@@ -1,0 +1,239 @@
+// Benchmarks regenerating the paper's tables and figures, one testing.B
+// benchmark per experiment, plus per-architecture micro-benchmarks of the
+// core operations.
+//
+// The experiment benchmarks run the corresponding internal/bench runner at
+// a reduced scale and report each system line's throughput as a custom
+// metric (sanitized series name + "/s"), so `go test -bench=.` produces a
+// compact reproduction of the whole evaluation. For the full-size sweeps
+// and readable tables, use `go run ./cmd/nvmbench -experiment all`.
+package nvmstore
+
+import (
+	"strings"
+	"testing"
+
+	"nvmstore/internal/bench"
+	"nvmstore/internal/btree"
+	"nvmstore/internal/core"
+	"nvmstore/internal/engine"
+	"nvmstore/internal/tpcc"
+	"nvmstore/internal/ycsb"
+)
+
+// benchOptions keeps experiment benchmarks in the seconds range; nvmbench
+// runs the full-size versions.
+func benchOptions() bench.Options {
+	return bench.Options{
+		Scale:  4 << 20,
+		Ops:    4000,
+		Warmup: 8000,
+		Quick:  true,
+	}
+}
+
+func metricName(series string) string {
+	s := strings.NewReplacer(" ", "_", "\\w", "w", "+", "", "(", "", ")", "").Replace(series)
+	return strings.Trim(s, "_") + "/s"
+}
+
+// runExperiment executes one paper experiment per benchmark iteration and
+// reports the last point of every series.
+func runExperiment(b *testing.B, id string) {
+	exp, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last bench.Result
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	for _, s := range last.Series {
+		if len(s.Y) > 0 {
+			b.ReportMetric(s.Y[len(s.Y)-1], metricName(s.Name))
+		}
+	}
+}
+
+func BenchmarkFig8YCSBDataSizes(b *testing.B)     { runExperiment(b, "fig8") }
+func BenchmarkFig9TPCCWarehouses(b *testing.B)    { runExperiment(b, "fig9") }
+func BenchmarkFig10DrillDown(b *testing.B)        { runExperiment(b, "fig10") }
+func BenchmarkScanOverheadTable(b *testing.B)     { runExperiment(b, "scan") }
+func BenchmarkFig11HybridStructures(b *testing.B) { runExperiment(b, "fig11") }
+func BenchmarkFig12NVMLatency(b *testing.B)       { runExperiment(b, "fig12") }
+func BenchmarkFig13DRAMRatio(b *testing.B)        { runExperiment(b, "fig13") }
+func BenchmarkFig14LargeWorkloads(b *testing.B)   { runExperiment(b, "fig14") }
+func BenchmarkFig15UpdateRatio(b *testing.B)      { runExperiment(b, "fig15") }
+func BenchmarkFig16NVMWear(b *testing.B)          { runExperiment(b, "fig16") }
+func BenchmarkFig17RestartRampUp(b *testing.B)    { runExperiment(b, "fig17") }
+
+// Micro-benchmarks: single-operation cost per architecture. Reported ns/op
+// is CPU wall time only; the sim/op metric adds the simulated device time
+// charged per operation.
+
+func microEngine(b *testing.B, topo core.Topology) (*engine.Engine, *ycsb.Workload) {
+	b.Helper()
+	const unit = 4 << 20
+	cfg := engine.DefaultConfig(topo, 2*unit, 10*unit, 50*unit)
+	cfg.WALBytes = 4 << 20
+	e, err := engine.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := ycsb.Load(e, ycsb.RowsForDataSize(6*unit), btree.LayoutSorted)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The three-tier design needs many eviction cycles before the NVM
+	// admission set reaches steady state.
+	for i := 0; i < 40000; i++ {
+		if err := w.Lookup(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return e, w
+}
+
+func benchOp(b *testing.B, topo core.Topology, op func(*ycsb.Workload) error) {
+	e, w := microEngine(b, topo)
+	b.ResetTimer()
+	simStart := e.Clock().Ns()
+	for i := 0; i < b.N; i++ {
+		if err := op(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.Clock().Ns()-simStart)/float64(b.N), "sim-ns/op")
+}
+
+func BenchmarkLookupMainMemory(b *testing.B) {
+	// Main memory cannot hold 6 units; use 1 unit of data instead.
+	const unit = 4 << 20
+	cfg := engine.DefaultConfig(core.MemOnly, 0, 0, 0)
+	cfg.WALBytes = 4 << 20
+	e, err := engine.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := ycsb.Load(e, ycsb.RowsForDataSize(unit), btree.LayoutSorted)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.Lookup(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLookupThreeTier(b *testing.B) { benchOp(b, core.ThreeTier, (*ycsb.Workload).Lookup) }
+func BenchmarkLookupBasicNVM(b *testing.B)  { benchOp(b, core.DRAMNVM, (*ycsb.Workload).Lookup) }
+func BenchmarkLookupNVMDirect(b *testing.B) { benchOp(b, core.DirectNVM, (*ycsb.Workload).Lookup) }
+func BenchmarkLookupSSDBuffer(b *testing.B) { benchOp(b, core.DRAMSSD, (*ycsb.Workload).Lookup) }
+
+func BenchmarkUpdateThreeTier(b *testing.B) { benchOp(b, core.ThreeTier, (*ycsb.Workload).Update) }
+func BenchmarkUpdateNVMDirect(b *testing.B) { benchOp(b, core.DirectNVM, (*ycsb.Workload).Update) }
+
+func BenchmarkScanThreeTier(b *testing.B) {
+	benchOp(b, core.ThreeTier, func(w *ycsb.Workload) error { return w.ScanRange(100) })
+}
+
+// BenchmarkTPCCThreeTier measures the TPC-C mix on the paper's three-tier
+// configuration.
+func BenchmarkTPCCThreeTier(b *testing.B) {
+	const unit = 4 << 20
+	cfg := engine.DefaultConfig(core.ThreeTier, 2*unit, 10*unit, 50*unit)
+	cfg.WALBytes = 8 << 20
+	e, err := engine.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := tpcc.New(e, tpcc.Config{
+		Warehouses: 5, Items: 300, CustomersPerDistrict: 20, InitialOrdersPerDistrict: 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 8000; i++ {
+		if err := w.NextTransaction(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	simStart := e.Clock().Ns()
+	for i := 0; i < b.N; i++ {
+		if err := w.NextTransaction(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.Clock().Ns()-simStart)/float64(b.N), "sim-ns/op")
+}
+
+// BenchmarkRestartScan measures the §4.4 mapping-table reconstruction: a
+// clean restart of a three-tier store whose NVM cache is full. The paper
+// reports reading the page identifiers of 100 GB of NVM in just under a
+// second; the sim-ns/op metric is the simulated scan cost at this scale.
+func BenchmarkRestartScan(b *testing.B) {
+	const unit = 16 << 20
+	cfg := engine.DefaultConfig(core.ThreeTier, 2*unit, 10*unit, 50*unit)
+	e, err := engine.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := ycsb.Load(e, ycsb.RowsForDataSize(8*unit), btree.LayoutSorted)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = w
+	b.ResetTimer()
+	simStart := e.Clock().Ns()
+	for i := 0; i < b.N; i++ {
+		if err := e.CleanRestart(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(e.Clock().Ns()-simStart)/float64(b.N), "sim-ns/op")
+}
+
+// BenchmarkCrashRecovery measures WAL replay: transactions are run, the
+// power fails, and recovery repeats history. Reported per recovered
+// transaction.
+func BenchmarkCrashRecovery(b *testing.B) {
+	const unit = 4 << 20
+	const txs = 2000
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := engine.DefaultConfig(core.ThreeTier, 2*unit, 10*unit, 50*unit)
+		cfg.StrictPersistence = true
+		e, err := engine.Open(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := ycsb.Load(e, ycsb.RowsForDataSize(unit), btree.LayoutSorted)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < txs; j++ {
+			if err := w.Update(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		stats, err := e.CrashRestart()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Committed == 0 {
+			b.Fatal("nothing recovered")
+		}
+	}
+	b.ReportMetric(float64(txs), "tx-replayed/op")
+}

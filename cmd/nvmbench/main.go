@@ -1,0 +1,82 @@
+// Command nvmbench regenerates the tables and figures of "Managing
+// Non-Volatile Memory in Database Systems" (SIGMOD 2018).
+//
+// Usage:
+//
+//	nvmbench -list
+//	nvmbench -experiment fig8
+//	nvmbench -experiment all -scale 16 -ops 30000
+//
+// Capacities follow the paper's DRAM:NVM:SSD = 2:10:50 proportions, scaled
+// by -scale (megabytes per "paper gigabyte"). Output is one aligned text
+// table per experiment, with one column per system line of the original
+// figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nvmstore/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (see -list), or \"all\"")
+		list       = flag.Bool("list", false, "list available experiments")
+		scaleMB    = flag.Int64("scale", 16, "megabytes per paper-gigabyte of capacity")
+		ops        = flag.Int("ops", 30000, "measured operations per data point")
+		warmup     = flag.Int("warmup", 0, "warm-up operations per data point (default: same as -ops)")
+		quick      = flag.Bool("quick", false, "fewer sweep points for a fast smoke run")
+		format     = flag.String("format", "table", "output format: table, csv, or chart")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments() {
+			fmt.Printf("  %-6s %s\n", e.ID, e.Description)
+		}
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "nvmbench: pick an experiment with -experiment <id> or -experiment all (-list shows ids)")
+		os.Exit(2)
+	}
+
+	opts := bench.Options{
+		Scale:  *scaleMB << 20,
+		Ops:    *ops,
+		Warmup: *warmup,
+		Quick:  *quick,
+	}
+	var runs []bench.Experiment
+	if *experiment == "all" {
+		runs = bench.Experiments()
+	} else {
+		exp, err := bench.Lookup(*experiment)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runs = []bench.Experiment{exp}
+	}
+	for _, exp := range runs {
+		start := time.Now()
+		res, err := exp.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmbench: %s: %v\n", exp.ID, err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "csv":
+			res.FormatCSV(os.Stdout)
+		case "chart":
+			res.Chart(os.Stdout, 72, 18)
+		default:
+			res.Format(os.Stdout)
+		}
+		fmt.Printf("(%s finished in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,110 @@
+package nvmstore_test
+
+import (
+	"fmt"
+	"log"
+
+	"nvmstore"
+)
+
+// Example shows the basic lifecycle: open a three-tier store, create a
+// table, run a transaction, read a field back.
+func Example() {
+	store, err := nvmstore.Open(nvmstore.Options{
+		Architecture: nvmstore.ThreeTier,
+		DRAMBytes:    8 << 20,
+		NVMBytes:     64 << 20,
+		SSDBytes:     256 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	users, err := store.CreateTable(1, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	row := make([]byte, 32)
+	copy(row, "ada lovelace")
+	if err := store.Update(func() error { return users.Insert(7, row) }); err != nil {
+		log.Fatal(err)
+	}
+
+	name := make([]byte, 12)
+	found, err := users.LookupField(7, 0, 12, name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(found, string(name))
+	// Output: true ada lovelace
+}
+
+// ExampleStore_CrashRestart demonstrates recovery: committed work is
+// replayed from the write-ahead log, an in-flight transaction vanishes.
+func ExampleStore_CrashRestart() {
+	store, err := nvmstore.Open(nvmstore.Options{
+		Architecture:      nvmstore.BasicNVMBuffer,
+		DRAMBytes:         8 << 20,
+		NVMBytes:          64 << 20,
+		StrictPersistence: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	table, err := store.CreateTable(1, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Update(func() error { return table.Insert(1, make([]byte, 16)) }); err != nil {
+		log.Fatal(err)
+	}
+
+	store.Begin() // in flight when the power fails
+	if err := table.Insert(2, make([]byte, 16)); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := store.CrashRestart(); err != nil {
+		log.Fatal(err)
+	}
+	table = store.Table(1)
+	count, err := table.Count()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rows after crash:", count)
+	// Output: rows after crash: 1
+}
+
+// ExampleTable_Scan iterates a key range in order.
+func ExampleTable_Scan() {
+	store, err := nvmstore.Open(nvmstore.Options{Architecture: nvmstore.MainMemory})
+	if err != nil {
+		log.Fatal(err)
+	}
+	t, err := store.CreateTable(1, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Update(func() error {
+		for _, k := range []uint64{30, 10, 20, 40} {
+			row := make([]byte, 8)
+			row[0] = byte(k)
+			if err := t.Insert(k, row); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := t.Scan(15, 2, 0, 1, func(key uint64, field []byte) bool {
+		fmt.Println(key, field[0])
+		return true
+	}); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// 20 20
+	// 30 30
+}

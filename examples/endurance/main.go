@@ -1,0 +1,96 @@
+// Endurance: NVM wear under buffered vs in-place updates.
+//
+// NVM cells wear out; the reproduced paper's Figure 16 shows that its
+// buffer-managed design not only reduces writes to hot cache lines but
+// levels them almost perfectly, while the in-place design hammers the same
+// lines tens of thousands of times. This example reproduces that result
+// through the public API: the same update-only workload runs against the
+// three-tier buffer manager and the NVM-direct engine, and the wear
+// profiles are compared.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvmstore"
+)
+
+const (
+	rows    = 10000
+	rowSize = 1024
+	updates = 50000
+)
+
+func run(arch nvmstore.Architecture) (nvmstore.WearProfile, error) {
+	store, err := nvmstore.Open(nvmstore.Options{
+		Architecture: arch,
+		DRAMBytes:    8 << 20,
+		NVMBytes:     64 << 20,
+		SSDBytes:     256 << 20,
+	})
+	if err != nil {
+		return nvmstore.WearProfile{}, err
+	}
+	table, err := store.CreateTable(1, rowSize)
+	if err != nil {
+		return nvmstore.WearProfile{}, err
+	}
+	if err := table.BulkLoad(rows,
+		func(i int) uint64 { return uint64(i) },
+		func(i int, dst []byte) { dst[0] = byte(i) }, 0.66); err != nil {
+		return nvmstore.WearProfile{}, err
+	}
+	if err := store.Checkpoint(); err != nil {
+		return nvmstore.WearProfile{}, err
+	}
+
+	// Skewed updates: half the draws hit 1% of the keys.
+	state := uint64(arch)*0x9e3779b97f4a7c15 + 1
+	nextKey := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		x := state ^ state>>33
+		if (x>>4)&1 == 0 {
+			return (x >> 8) % (rows / 100)
+		}
+		return (x >> 8) % rows
+	}
+	field := make([]byte, 100)
+	oneUpdate := func(i int) error {
+		key := nextKey()
+		field[0] = byte(i)
+		return store.Update(func() error {
+			found, err := table.UpdateField(key, 0, field)
+			if err == nil && !found {
+				err = fmt.Errorf("key %d missing", key)
+			}
+			return err
+		})
+	}
+	for i := 0; i < updates/4; i++ { // warm the caches first
+		if err := oneUpdate(i); err != nil {
+			return nvmstore.WearProfile{}, err
+		}
+	}
+	store.ResetWear()
+	for i := 0; i < updates; i++ {
+		if err := oneUpdate(i); err != nil {
+			return nvmstore.WearProfile{}, err
+		}
+	}
+	return store.WearProfile(), nil
+}
+
+func main() {
+	fmt.Printf("%d skewed updates over %d rows; per-cache-line NVM write counts:\n\n", updates, rows)
+	for _, arch := range []nvmstore.Architecture{nvmstore.ThreeTier, nvmstore.NVMDirect} {
+		p, err := run(arch)
+		if err != nil {
+			log.Fatalf("%s: %v", arch.String(), err)
+		}
+		fmt.Printf("%-14s total writes %9d over %8d lines — max/line %6d, median/line %d\n",
+			arch.String(), p.TotalWrites, p.LinesTouched, p.MaxPerLine, p.MedianPerLine)
+	}
+	fmt.Println("\nthe buffer manager levels wear (max ≈ median); in-place updates")
+	fmt.Println("concentrate thousands of writes on the hottest lines, the paper's Figure 16")
+}

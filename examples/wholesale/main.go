@@ -1,0 +1,154 @@
+// Wholesale: a small order-entry workload with multi-table transactions.
+//
+// The reproduced paper motivates its storage engine with OLTP workloads
+// like TPC-C's wholesale supplier. This example builds a miniature version
+// on the public API: items with stock on one table, orders and order lines
+// on others, and an order-entry transaction that updates all of them
+// atomically — including rolling back when an item is out of stock.
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"log"
+
+	"nvmstore"
+)
+
+// Table ids and row layouts.
+const (
+	tableStock  = 1 // key: item id; row: [8]stock [24]name
+	tableOrders = 2 // key: order id; row: [8]customer [8]lines
+	tableLines  = 3 // key: order<<8|line; row: [8]item [8]quantity
+)
+
+var errOutOfStock = errors.New("out of stock")
+
+func u64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// placeOrder enters one order with its lines, decrementing stock. Any
+// failure (such as insufficient stock) rolls the entire order back.
+func placeOrder(store *nvmstore.Store, orderID, customer uint64, items map[uint64]uint64) error {
+	stock := store.Table(tableStock)
+	orders := store.Table(tableOrders)
+	lines := store.Table(tableLines)
+	return store.Update(func() error {
+		row := make([]byte, 16)
+		binary.LittleEndian.PutUint64(row, customer)
+		binary.LittleEndian.PutUint64(row[8:], uint64(len(items)))
+		if err := orders.Insert(orderID, row); err != nil {
+			return err
+		}
+		line := uint64(0)
+		for item, qty := range items {
+			// Read-modify-write the stock level.
+			var have uint64
+			buf := make([]byte, 8)
+			found, err := stock.LookupField(item, 0, 8, buf)
+			if err != nil {
+				return err
+			}
+			if !found {
+				return fmt.Errorf("item %d does not exist", item)
+			}
+			have = binary.LittleEndian.Uint64(buf)
+			if have < qty {
+				return fmt.Errorf("item %d: want %d, have %d: %w", item, qty, have, errOutOfStock)
+			}
+			if _, err := stock.UpdateField(item, 0, u64(have-qty)); err != nil {
+				return err
+			}
+			lrow := make([]byte, 16)
+			binary.LittleEndian.PutUint64(lrow, item)
+			binary.LittleEndian.PutUint64(lrow[8:], qty)
+			if err := lines.Insert(orderID<<8|line, lrow); err != nil {
+				return err
+			}
+			line++
+		}
+		return nil
+	})
+}
+
+func main() {
+	store, err := nvmstore.Open(nvmstore.Options{
+		Architecture: nvmstore.ThreeTier,
+		DRAMBytes:    16 << 20,
+		NVMBytes:     64 << 20,
+		SSDBytes:     256 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stock, err := store.CreateTable(tableStock, 32)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.CreateTable(tableOrders, 16); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.CreateTable(tableLines, 16); err != nil {
+		log.Fatal(err)
+	}
+
+	// Load 1000 items with 10 units of stock each.
+	const itemCount = 1000
+	err = stock.BulkLoad(itemCount,
+		func(i int) uint64 { return uint64(i + 1) },
+		func(i int, dst []byte) {
+			binary.LittleEndian.PutUint64(dst, 10)
+			copy(dst[8:], fmt.Sprintf("item-%04d", i+1))
+		}, 0.66)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := store.Checkpoint(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Enter orders. Order 3 asks for more than is in stock and must
+	// leave no trace.
+	ok, rejected := 0, 0
+	ordersToPlace := []map[uint64]uint64{
+		{1: 2, 7: 1},
+		{1: 3, 9: 4},
+		{1: 9}, // only 5 left: rejected
+		{2: 1, 3: 1, 4: 1},
+	}
+	for i, items := range ordersToPlace {
+		err := placeOrder(store, uint64(i+1), uint64(100+i), items)
+		switch {
+		case errors.Is(err, errOutOfStock):
+			rejected++
+			fmt.Printf("order %d rejected: %v\n", i+1, err)
+		case err != nil:
+			log.Fatal(err)
+		default:
+			ok++
+		}
+	}
+
+	orderCount, _ := store.Table(tableOrders).Count()
+	lineCount, _ := store.Table(tableLines).Count()
+	fmt.Printf("placed %d orders (%d rejected); tables hold %d orders, %d lines\n",
+		ok, rejected, orderCount, lineCount)
+
+	// Stock of item 1: 10 - 2 - 3 = 5 (the rejected order left it alone).
+	buf := make([]byte, 8)
+	if _, err := stock.LookupField(1, 0, 8, buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("item 1 stock: %d\n", binary.LittleEndian.Uint64(buf))
+
+	// The rejected order's id is free: no order row, no lines.
+	if found, _ := store.Table(tableOrders).Lookup(3, make([]byte, 16)); found {
+		log.Fatal("rejected order left a row behind")
+	}
+	fmt.Println("rejected order left no trace — rollback works")
+}

@@ -1,0 +1,3 @@
+module nvmstore
+
+go 1.22

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one of the paper's tables or figures.
+type Runner func(Options) (Result, error)
+
+// Experiment pairs a runner with its description.
+type Experiment struct {
+	ID          string
+	Description string
+	Run         Runner
+}
+
+// Experiments lists every reproducible table and figure in paper order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"fig8", "YCSB-RO throughput vs data size, five architectures (Figure 8)", Fig8},
+		{"fig9", "TPC-C throughput vs warehouses, five architectures (Figure 9)", Fig9},
+		{"fig10", "performance drill-down of the proposed optimizations (Figure 10)", Fig10},
+		{"scan", "scan overhead of the optimizations, §5.4.2 table", ScanOverhead},
+		{"fig11", "hybrid DRAM-NVM structures vs FPTree (Figure 11)", Fig11},
+		{"fig12", "NVM latency sweep (Figure 12)", Fig12},
+		{"fig13", "DRAM buffer size sweep (Figure 13)", Fig13},
+		{"fig14", "large workloads, appendix A.2 (Figure 14)", Fig14},
+		{"fig15", "update-ratio sweep, appendix A.3 (Figure 15)", Fig15},
+		{"fig16", "NVM wear, appendix A.4 (Figure 16)", Fig16},
+		{"fig17", "restart ramp-up, appendix A.5 (Figure 17)", Fig17},
+		{"ablation", "NVM admission-set ablation (not in the paper)", AblationAdmission},
+	}
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (Experiment, error) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(Experiments()))
+	for _, e := range Experiments() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ids)
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// FormatCSV writes the result as CSV: one row per (series, x, y) triple,
+// ready for external plotting.
+func (r Result) FormatCSV(w io.Writer) {
+	fmt.Fprintf(w, "experiment,series,%s,%s\n", r.XLabel, r.YLabel)
+	for _, s := range r.Series {
+		for i := range s.X {
+			fmt.Fprintf(w, "%s,%q,%g,%g\n", r.ID, s.Name, s.X[i], s.Y[i])
+		}
+	}
+}
+
+// Chart renders the result as an ASCII chart (log-scaled Y, one mark per
+// series), good enough to eyeball the figure's shape in a terminal.
+func (r Result) Chart(w io.Writer, width, height int) {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range r.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			if s.Y[i] > 0 {
+				minY = math.Min(minY, s.Y[i])
+				maxY = math.Max(maxY, s.Y[i])
+			}
+		}
+	}
+	if math.IsInf(minX, 1) || minY <= 0 {
+		fmt.Fprintln(w, "(no plottable data)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	logMin, logMax := math.Log10(minY), math.Log10(maxY)
+	if logMax == logMin {
+		logMax = logMin + 1
+	}
+
+	marks := "o+x*#@%&"
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range r.Series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			if s.Y[i] <= 0 {
+				continue
+			}
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			row := height - 1 - int((math.Log10(s.Y[i])-logMin)/(logMax-logMin)*float64(height-1))
+			if row >= 0 && row < height && col >= 0 && col < width {
+				grid[row][col] = mark
+			}
+		}
+	}
+	fmt.Fprintf(w, "%s (y: %s, log scale %.3g..%.3g)\n", r.Title, r.YLabel, minY, maxY)
+	for _, line := range grid {
+		fmt.Fprintf(w, "  |%s\n", line)
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "   %-*s%s\n", width-len(fmt.Sprint(maxX)), trimFloat(minX)+" "+r.XLabel, trimFloat(maxX))
+	var legend []string
+	for si, s := range r.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(w, "   %s\n\n", strings.Join(legend, "  "))
+}

@@ -1,0 +1,665 @@
+// Package btree implements the B+-tree used by every storage engine in the
+// reproduction.
+//
+// Following the paper's evaluation setup (§5.1), each table is a B+-tree
+// with 16 kB pages; leaves store keys and fixed-size payloads in separate
+// arrays sorted by key, and lookups use binary search. The tree runs on
+// top of internal/core's buffer manager and therefore works unchanged
+// across all five storage architectures.
+//
+// Cache-line-grained accesses are applied exactly where the paper applies
+// them (§3.1): point operations (lookup, insert, delete, field update) fix
+// leaves in core.ModeCacheLine and touch individual cache lines through
+// the MakeResident-style Handle API, while inner-node traversal and
+// restructuring use the full-page path. Scans are cache-line-grained by
+// default — that is what the overhead analysis of §5.4.2 measures — and
+// can be switched to full-page loading via SetScanFullPage, the "hinting
+// mechanism" the paper describes.
+//
+// Two leaf layouts are provided: the default sorted layout, and an
+// open-addressing hash layout ("3 Tier BM with hashing", §5.5) that
+// reduces the number of NVM accesses per point lookup at the price of
+// just-in-time sorting during scans.
+//
+// Trees are not safe for concurrent use (single-threaded evaluation,
+// paper Appendix A.1).
+package btree
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"nvmstore/internal/core"
+)
+
+// LeafLayout selects how leaf pages organize their entries.
+type LeafLayout uint8
+
+const (
+	// LayoutSorted stores keys and payloads in sorted parallel arrays
+	// and looks keys up by binary search (the paper's default).
+	LayoutSorted LeafLayout = iota
+	// LayoutHash stores entries in an open-addressing hash table,
+	// touching ~2 NVM cache lines per point lookup instead of ~8 (§5.5).
+	LayoutHash
+)
+
+// Node type tags (first byte of the node header).
+const (
+	nodeInner      byte = 1
+	nodeLeafSorted byte = 2
+	nodeLeafHash   byte = 3
+)
+
+// Node header layout. The header occupies the first cache line of the
+// page; the paper's residency/dirty masks live out-of-band in the frame.
+const (
+	headerSize = core.LineSize
+	offType    = 0
+	offCount   = 2 // uint16
+	offUsed    = 4 // uint16: occupied+tombstones (hash leaves)
+	offNext    = 8 // uint64: right-sibling page id (leaves)
+)
+
+// Errors returned by tree operations.
+var (
+	// ErrDuplicateKey is returned by Insert when the key already exists.
+	ErrDuplicateKey = errors.New("btree: duplicate key")
+	// ErrPayloadSize is returned when a payload does not match the
+	// tree's fixed payload size.
+	ErrPayloadSize = errors.New("btree: wrong payload size")
+)
+
+// Logger receives logical redo/undo records for tree modifications. The
+// engine binds it to the current transaction's WAL. A nil Logger disables
+// logging (bulk load, recovery replay).
+type Logger interface {
+	LogInsert(treeID, key uint64, payload []byte) error
+	LogDelete(treeID, key uint64, old []byte) error
+	LogUpdate(treeID, key uint64, off int, before, after []byte) error
+	// LogPageImage records the full after-image of a page changed by a
+	// structural operation (split). Image records are redo-only: splits
+	// survive even when the surrounding transaction rolls back, like
+	// ARIES nested top actions.
+	LogPageImage(pid core.PageID, image []byte) error
+}
+
+// Tree is a B+-tree over fixed-size payloads keyed by uint64.
+type Tree struct {
+	m  *core.Manager
+	id uint64
+
+	root   core.Ref
+	height int
+
+	payload  int
+	layout   LeafLayout
+	leafCap  int
+	hashCap  int
+	hashMax  int // split threshold for hash leaves
+	innerCap int
+
+	logger       Logger
+	syncMeta     func() error
+	scanFullPage bool
+	// structuralLogging makes splits durable by logging page images to
+	// the WAL. Without it (bulk loads, or architectures whose pages are
+	// already durable in place) split pages are force-written instead.
+	structuralLogging bool
+	// perProbeInner makes inner-node searches read individual keys
+	// instead of the whole page. The NVM Direct architecture works in
+	// place and never loads pages, so charging it a full-page read for
+	// an inner node would be wrong.
+	perProbeInner bool
+}
+
+// Create allocates an empty tree (a single empty leaf) in m.
+func Create(m *core.Manager, id uint64, payloadSize int, layout LeafLayout) (*Tree, error) {
+	t, err := newTree(m, id, payloadSize, layout)
+	if err != nil {
+		return nil, err
+	}
+	h, err := m.Allocate()
+	if err != nil {
+		return nil, fmt.Errorf("btree: allocate root: %w", err)
+	}
+	t.initLeaf(h)
+	t.root = core.MakeRef(h.PID())
+	t.height = 1
+	m.Unfix(h)
+	return t, nil
+}
+
+// Load reopens a tree from its persisted root and height (as recorded in
+// an engine catalog).
+func Load(m *core.Manager, id uint64, payloadSize int, layout LeafLayout, root core.PageID, height int) (*Tree, error) {
+	t, err := newTree(m, id, payloadSize, layout)
+	if err != nil {
+		return nil, err
+	}
+	if root == core.InvalidPageID || height < 1 {
+		return nil, fmt.Errorf("btree: invalid catalog entry root=%d height=%d", root, height)
+	}
+	t.root = core.MakeRef(root)
+	t.height = height
+	return t, nil
+}
+
+func newTree(m *core.Manager, id uint64, payloadSize int, layout LeafLayout) (*Tree, error) {
+	if payloadSize <= 0 || payloadSize > core.PageSize/2 {
+		return nil, fmt.Errorf("btree: payload size %d out of range", payloadSize)
+	}
+	t := &Tree{
+		m:       m,
+		id:      id,
+		payload: payloadSize,
+		layout:  layout,
+	}
+	t.leafCap = (core.PageSize - headerSize) / (8 + payloadSize)
+	t.hashCap = (core.PageSize - headerSize) / (1 + 8 + payloadSize)
+	t.hashMax = t.hashCap * 8 / 10 // split at 80% occupancy
+	t.innerCap = (core.PageSize - headerSize - 8) / 16
+	if t.leafCap < 1 || t.hashCap < 2 {
+		return nil, fmt.Errorf("btree: payload size %d leaves no room for entries", payloadSize)
+	}
+	t.perProbeInner = m.Config().Topology == core.DirectNVM
+	return t, nil
+}
+
+// ID returns the tree identifier used in log records.
+func (t *Tree) ID() uint64 { return t.id }
+
+// Height returns the current tree height (1 = a single leaf).
+func (t *Tree) Height() int { return t.height }
+
+// PayloadSize returns the fixed payload size.
+func (t *Tree) PayloadSize() int { return t.payload }
+
+// Layout returns the tree's leaf layout.
+func (t *Tree) Layout() LeafLayout { return t.layout }
+
+// LeafCapacity returns the maximum number of entries per leaf.
+func (t *Tree) LeafCapacity() int {
+	if t.layout == LayoutHash {
+		return t.hashMax
+	}
+	return t.leafCap
+}
+
+// RootPID returns the page id of the root, resolving a swizzled root
+// reference. Engines persist it in their catalog.
+func (t *Tree) RootPID() core.PageID {
+	if t.root.Swizzled() {
+		h, err := t.m.Fix(t.root, core.ModeFull)
+		if err != nil {
+			panic(fmt.Sprintf("btree: swizzled root unfixable: %v", err))
+		}
+		pid := h.PID()
+		t.m.Unfix(h)
+		return pid
+	}
+	return t.root.PageID()
+}
+
+// SetLogger installs the WAL adapter for subsequent modifications.
+func (t *Tree) SetLogger(l Logger) { t.logger = l }
+
+// SetStructuralLogging selects how splits are made durable: true logs
+// page images to the WAL (the cheap path for buffered architectures whose
+// log lives on NVM), false force-writes the split pages to their
+// persistent home (in-place architectures, or engines without a logger).
+func (t *Tree) SetStructuralLogging(on bool) { t.structuralLogging = on }
+
+// SetMetaSync installs a callback invoked after the root changes (engines
+// persist their catalog there).
+func (t *Tree) SetMetaSync(fn func() error) { t.syncMeta = fn }
+
+// SetScanFullPage toggles the scan hint of §5.4.2: when enabled, scans fix
+// leaves with full-page loading instead of cache-line-grained access.
+func (t *Tree) SetScanFullPage(on bool) { t.scanFullPage = on }
+
+// Offset helpers.
+
+func (t *Tree) leafKeyOff(i int) int { return headerSize + i*8 }
+func (t *Tree) leafPayOff(i int) int { return headerSize + t.leafCap*8 + i*t.payload }
+
+func (t *Tree) hashStateOff(i int) int { return headerSize + i }
+func (t *Tree) hashKeyOff(i int) int   { return headerSize + t.hashCap + i*8 }
+func (t *Tree) hashPayOff(i int) int   { return headerSize + t.hashCap*(1+8) + i*t.payload }
+
+func (t *Tree) innerKeyOff(i int) int   { return headerSize + i*8 }
+func (t *Tree) innerChildOff(i int) int { return headerSize + t.innerCap*8 + i*8 }
+
+// Small header accessors. Point operations read them cache-line-grained;
+// the header shares the leaf's first line with nothing else.
+
+func nodeCount(h core.Handle) int {
+	return int(binary.LittleEndian.Uint16(h.Read(offCount, 2)))
+}
+
+func setNodeCount(h core.Handle, n int) {
+	binary.LittleEndian.PutUint16(h.Write(offCount, 2), uint16(n))
+}
+
+func nodeUsed(h core.Handle) int {
+	return int(binary.LittleEndian.Uint16(h.Read(offUsed, 2)))
+}
+
+func setNodeUsed(h core.Handle, n int) {
+	binary.LittleEndian.PutUint16(h.Write(offUsed, 2), uint16(n))
+}
+
+func nodeType(h core.Handle) byte { return h.Read(offType, 1)[0] }
+
+func leafNext(h core.Handle) core.PageID {
+	return core.PageID(binary.LittleEndian.Uint64(h.Read(offNext, 8)))
+}
+
+func setLeafNext(h core.Handle, pid core.PageID) {
+	binary.LittleEndian.PutUint64(h.Write(offNext, 8), uint64(pid))
+}
+
+func (t *Tree) initLeaf(h core.Handle) {
+	data := h.WriteAll()
+	for i := range data[:headerSize] {
+		data[i] = 0
+	}
+	if t.layout == LayoutHash {
+		data[offType] = nodeLeafHash
+		// Hash leaves need their state bytes zeroed; fresh pages are
+		// zero already, but splits reuse scratch-built pages.
+		for i := 0; i < t.hashCap; i++ {
+			data[t.hashStateOff(i)] = slotEmpty
+		}
+	} else {
+		data[offType] = nodeLeafSorted
+	}
+}
+
+func (t *Tree) initInner(h core.Handle) {
+	data := h.WriteAll()
+	for i := range data[:headerSize] {
+		data[i] = 0
+	}
+	data[offType] = nodeInner
+}
+
+// leafMode returns the access mode for leaves on point operations.
+func (t *Tree) leafMode() core.AccessMode { return core.ModeCacheLine }
+
+// modeFor returns the fix mode for a node at the given level during a
+// point operation: inner nodes always load fully (the paper's hint that
+// inner traversal should not be cache-line-grained), leaves load
+// cache-line-grained.
+func (t *Tree) modeFor(level int, leafMode core.AccessMode) core.AccessMode {
+	if level == t.height-1 {
+		return leafMode
+	}
+	return core.ModeFull
+}
+
+// innerSearch returns the child index to follow for key. Inner nodes are
+// fixed with ModeFull, so ReadAll is free of residency checks; on the
+// in-place NVM Direct architecture each probe reads only its key word.
+func (t *Tree) innerSearch(h core.Handle, key uint64) int {
+	if t.perProbeInner {
+		count := nodeCount(h)
+		lo, hi := 0, count
+		for lo < hi {
+			mid := (lo + hi) / 2
+			k := binary.LittleEndian.Uint64(h.Read(t.innerKeyOff(mid), 8))
+			if k <= key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	data := h.ReadAll()
+	count := int(binary.LittleEndian.Uint16(data[offCount:]))
+	lo, hi := 0, count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k := binary.LittleEndian.Uint64(data[t.innerKeyOff(mid):])
+		if k <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// leafSearch binary-searches a sorted leaf cache-line-grained: each probe
+// makes one 8-byte key resident. It returns the insertion position and
+// whether the key is present.
+func (t *Tree) leafSearch(h core.Handle, key uint64) (int, bool) {
+	count := nodeCount(h)
+	lo, hi := 0, count
+	for lo < hi {
+		mid := (lo + hi) / 2
+		k := binary.LittleEndian.Uint64(h.Read(t.leafKeyOff(mid), 8))
+		if k < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < count {
+		k := binary.LittleEndian.Uint64(h.Read(t.leafKeyOff(lo), 8))
+		return lo, k == key
+	}
+	return lo, false
+}
+
+// findLeaf descends to the leaf covering key, fixing it with leafMode and
+// unfixing all inner nodes on the way.
+func (t *Tree) findLeaf(key uint64, leafMode core.AccessMode) (core.Handle, error) {
+	h, err := t.m.FixRoot(&t.root, t.modeFor(0, leafMode))
+	if err != nil {
+		return core.Handle{}, err
+	}
+	for lvl := 0; lvl < t.height-1; lvl++ {
+		idx := t.innerSearch(h, key)
+		child, err := t.m.FixChild(h, t.innerChildOff(idx), t.modeFor(lvl+1, leafMode))
+		t.m.Unfix(h)
+		if err != nil {
+			return core.Handle{}, err
+		}
+		h = child
+	}
+	return h, nil
+}
+
+// Lookup copies the payload of key into buf (which must be PayloadSize
+// bytes) and reports whether the key was found.
+func (t *Tree) Lookup(key uint64, buf []byte) (bool, error) {
+	return t.lookupField(key, 0, t.payload, buf)
+}
+
+// LookupField copies n bytes at byte offset off of key's payload into buf.
+// This is the cache-line-grained fast path: only the probed keys and the
+// requested field become resident.
+func (t *Tree) LookupField(key uint64, off, n int, buf []byte) (bool, error) {
+	return t.lookupField(key, off, n, buf)
+}
+
+func (t *Tree) lookupField(key uint64, off, n int, buf []byte) (bool, error) {
+	if off < 0 || n < 0 || off+n > t.payload {
+		return false, fmt.Errorf("btree: field [%d,%d) outside payload of %d bytes", off, off+n, t.payload)
+	}
+	if len(buf) < n {
+		return false, fmt.Errorf("btree: buffer of %d bytes for field of %d", len(buf), n)
+	}
+	h, err := t.findLeaf(key, t.leafMode())
+	if err != nil {
+		return false, err
+	}
+	defer t.m.Unfix(h)
+	if t.layout == LayoutHash {
+		pos, found := t.hashSearch(h, key)
+		if !found {
+			return false, nil
+		}
+		copy(buf, h.Read(t.hashPayOff(pos)+off, n))
+		return true, nil
+	}
+	pos, found := t.leafSearch(h, key)
+	if !found {
+		return false, nil
+	}
+	copy(buf, h.Read(t.leafPayOff(pos)+off, n))
+	return true, nil
+}
+
+// UpdateField overwrites n bytes at byte offset off of key's payload and
+// reports whether the key was found. The before and after images are
+// logged.
+func (t *Tree) UpdateField(key uint64, off int, val []byte) (bool, error) {
+	if off < 0 || off+len(val) > t.payload {
+		return false, fmt.Errorf("btree: field [%d,%d) outside payload of %d bytes", off, off+len(val), t.payload)
+	}
+	h, err := t.findLeaf(key, t.leafMode())
+	if err != nil {
+		return false, err
+	}
+	defer t.m.Unfix(h)
+	var payOff int
+	if t.layout == LayoutHash {
+		pos, found := t.hashSearch(h, key)
+		if !found {
+			return false, nil
+		}
+		payOff = t.hashPayOff(pos)
+	} else {
+		pos, found := t.leafSearch(h, key)
+		if !found {
+			return false, nil
+		}
+		payOff = t.leafPayOff(pos)
+	}
+	dst := h.Write(payOff+off, len(val))
+	if t.logger != nil {
+		if err := t.logger.LogUpdate(t.id, key, off, dst, val); err != nil {
+			return false, err
+		}
+	}
+	copy(dst, val)
+	return true, nil
+}
+
+// Insert adds key with the given payload. It fails with ErrDuplicateKey if
+// the key exists. Splits encountered on the way down are performed
+// preemptively (top-down splitting), so a parent always has room for a
+// separator from a splitting child.
+func (t *Tree) Insert(key uint64, payload []byte) error {
+	return t.insert(key, payload, false)
+}
+
+// InsertOrReplace adds key or overwrites its payload if present. Recovery
+// redo uses it, because replaying an insert against a page that already
+// saw it must be idempotent.
+func (t *Tree) InsertOrReplace(key uint64, payload []byte) error {
+	return t.insert(key, payload, true)
+}
+
+// insert adds or (when upsert is set, used by recovery redo) overwrites an
+// entry.
+func (t *Tree) insert(key uint64, payload []byte, upsert bool) error {
+	if len(payload) != t.payload {
+		return fmt.Errorf("btree: payload of %d bytes, tree holds %d: %w", len(payload), t.payload, ErrPayloadSize)
+	}
+	h, err := t.m.FixRoot(&t.root, t.modeFor(0, t.leafMode()))
+	if err != nil {
+		return err
+	}
+	// Preemptive root split.
+	if t.nodeFull(h) {
+		h, err = t.splitRoot(h)
+		if err != nil {
+			return err
+		}
+	}
+	for lvl := 0; lvl < t.height-1; lvl++ {
+		idx := t.innerSearch(h, key)
+		child, err := t.m.FixChild(h, t.innerChildOff(idx), t.modeFor(lvl+1, t.leafMode()))
+		if err != nil {
+			t.m.Unfix(h)
+			return err
+		}
+		if t.nodeFull(child) {
+			// Split the child using h as the (non-full) parent, then
+			// re-route to the correct side.
+			sep, err := t.splitChild(h, child, idx)
+			if err != nil {
+				t.m.Unfix(child)
+				t.m.Unfix(h)
+				return err
+			}
+			t.m.Unfix(child)
+			if key >= sep {
+				idx++
+			}
+			child, err = t.m.FixChild(h, t.innerChildOff(idx), t.modeFor(lvl+1, t.leafMode()))
+			if err != nil {
+				t.m.Unfix(h)
+				return err
+			}
+		}
+		t.m.Unfix(h)
+		h = child
+	}
+	defer t.m.Unfix(h)
+	if t.layout == LayoutHash {
+		return t.hashInsert(h, key, payload, upsert)
+	}
+	return t.sortedInsert(h, key, payload, upsert)
+}
+
+// Delete removes key and reports whether it was present. Leaves are never
+// merged; an empty leaf simply stays in place, as is common in research
+// prototypes (deletes are rare in the evaluated workloads).
+func (t *Tree) Delete(key uint64) (bool, error) {
+	h, err := t.findLeaf(key, t.leafMode())
+	if err != nil {
+		return false, err
+	}
+	defer t.m.Unfix(h)
+	if t.layout == LayoutHash {
+		return t.hashDelete(h, key)
+	}
+	return t.sortedDelete(h, key)
+}
+
+// nodeFull reports whether a node must be split before inserting into it.
+func (t *Tree) nodeFull(h core.Handle) bool {
+	switch nodeType(h) {
+	case nodeInner:
+		return nodeCount(h) >= t.innerCap
+	case nodeLeafHash:
+		return nodeUsed(h) >= t.hashMax
+	default:
+		return nodeCount(h) >= t.leafCap
+	}
+}
+
+// splitRoot grows the tree by one level: a fresh inner root adopts the old
+// root, which is then split as its child. Returns the new root, fixed.
+func (t *Tree) splitRoot(oldRoot core.Handle) (core.Handle, error) {
+	t.m.Unswizzle(oldRoot) // detach the old root from the root holder
+	newRoot, err := t.m.Allocate()
+	if err != nil {
+		t.m.Unfix(oldRoot)
+		return core.Handle{}, fmt.Errorf("btree: allocate new root: %w", err)
+	}
+	t.initInner(newRoot)
+	data := newRoot.WriteAll()
+	binary.LittleEndian.PutUint64(data[t.innerChildOff(0):], uint64(core.MakeRef(oldRoot.PID())))
+	t.root = core.MakeRef(newRoot.PID())
+	t.height++
+	if _, err := t.splitChild(newRoot, oldRoot, 0); err != nil {
+		t.m.Unfix(oldRoot)
+		t.m.Unfix(newRoot)
+		return core.Handle{}, err
+	}
+	t.m.Unfix(oldRoot)
+	if t.syncMeta != nil {
+		if err := t.syncMeta(); err != nil {
+			t.m.Unfix(newRoot)
+			return core.Handle{}, err
+		}
+	}
+	return newRoot, nil
+}
+
+// splitChild splits child (the idx-th child of parent, which must not be
+// full) and inserts the separator into parent. It returns the separator
+// key. All three pages are force-written so the persistent structure stays
+// consistent regardless of later eviction order.
+func (t *Tree) splitChild(parent, child core.Handle, idx int) (uint64, error) {
+	right, err := t.m.Allocate()
+	if err != nil {
+		return 0, fmt.Errorf("btree: allocate split page: %w", err)
+	}
+	var sep uint64
+	switch nodeType(child) {
+	case nodeInner:
+		sep = t.splitInner(child, right)
+	case nodeLeafHash:
+		sep = t.splitHashLeaf(child, right)
+	default:
+		sep = t.splitSortedLeaf(child, right)
+	}
+	t.innerInsertSep(parent, idx, sep, right.PID())
+	// Make the structural change durable so the persistent tree stays
+	// consistent regardless of later eviction order: either as page
+	// images in the WAL, or by force-writing the pages.
+	if t.structuralLogging && t.logger != nil {
+		for _, h := range []core.Handle{child, right, parent} {
+			if err := t.logger.LogPageImage(h.PID(), h.ReadAll()); err != nil {
+				t.m.Unfix(right)
+				return 0, err
+			}
+		}
+	} else {
+		t.m.ForceWrite(child)
+		t.m.ForceWrite(right)
+		t.m.ForceWrite(parent)
+	}
+	t.m.Unfix(right)
+	return sep, nil
+}
+
+// splitSortedLeaf moves the upper half of child into right and links the
+// sibling chain. Returns the separator (first key of right).
+func (t *Tree) splitSortedLeaf(child, right core.Handle) uint64 {
+	t.initLeaf(right)
+	src := child.WriteAll()
+	dst := right.WriteAll()
+	count := int(binary.LittleEndian.Uint16(src[offCount:]))
+	mid := count / 2
+	moved := count - mid
+	copy(dst[t.leafKeyOff(0):], src[t.leafKeyOff(mid):t.leafKeyOff(count)])
+	copy(dst[t.leafPayOff(0):], src[t.leafPayOff(mid):t.leafPayOff(count)])
+	binary.LittleEndian.PutUint16(src[offCount:], uint16(mid))
+	binary.LittleEndian.PutUint16(dst[offCount:], uint16(moved))
+	// Sibling chain: right inherits child's next, child points to right.
+	copy(dst[offNext:offNext+8], src[offNext:offNext+8])
+	binary.LittleEndian.PutUint64(src[offNext:], uint64(right.PID()))
+	return binary.LittleEndian.Uint64(dst[t.leafKeyOff(0):])
+}
+
+// splitInner moves the upper half of child into right, promoting the
+// middle separator. Child references move, so both nodes' swizzled
+// children are unswizzled first.
+func (t *Tree) splitInner(child, right core.Handle) uint64 {
+	t.m.UnswizzleChildren(child)
+	t.initInner(right)
+	src := child.WriteAll()
+	dst := right.WriteAll()
+	count := int(binary.LittleEndian.Uint16(src[offCount:]))
+	mid := count / 2
+	sep := binary.LittleEndian.Uint64(src[t.innerKeyOff(mid):])
+	moved := count - mid - 1
+	copy(dst[t.innerKeyOff(0):], src[t.innerKeyOff(mid+1):t.innerKeyOff(count)])
+	copy(dst[t.innerChildOff(0):], src[t.innerChildOff(mid+1):t.innerChildOff(count+1)])
+	binary.LittleEndian.PutUint16(src[offCount:], uint16(mid))
+	binary.LittleEndian.PutUint16(dst[offCount:], uint16(moved))
+	return sep
+}
+
+// innerInsertSep inserts separator sep with right child pid at position
+// idx of parent, which must have room. Child references shift, so
+// swizzled children are unswizzled first.
+func (t *Tree) innerInsertSep(parent core.Handle, idx int, sep uint64, rightPID core.PageID) {
+	t.m.UnswizzleChildren(parent)
+	data := parent.WriteAll()
+	count := int(binary.LittleEndian.Uint16(data[offCount:]))
+	copy(data[t.innerKeyOff(idx+1):t.innerKeyOff(count+1)], data[t.innerKeyOff(idx):t.innerKeyOff(count)])
+	copy(data[t.innerChildOff(idx+2):t.innerChildOff(count+2)], data[t.innerChildOff(idx+1):t.innerChildOff(count+1)])
+	binary.LittleEndian.PutUint64(data[t.innerKeyOff(idx):], sep)
+	binary.LittleEndian.PutUint64(data[t.innerChildOff(idx+1):], uint64(core.MakeRef(rightPID)))
+	binary.LittleEndian.PutUint16(data[offCount:], uint16(count+1))
+}

@@ -1,0 +1,123 @@
+package btree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"nvmstore/internal/core"
+)
+
+// TestQuickInsertDeleteSetSemantics property-checks set semantics: for an
+// arbitrary multiset of inserted keys and an arbitrary subset of deleted
+// keys, the tree contains exactly the surviving distinct keys, in order.
+func TestQuickInsertDeleteSetSemantics(t *testing.T) {
+	prop := func(insertKeys []uint16, deleteMask []bool) bool {
+		m := newManager(t, core.MemOnly, 0, false, false, true)
+		tr, err := Create(m, 1, 24, LayoutSorted)
+		if err != nil {
+			return false
+		}
+		want := make(map[uint64]bool)
+		for _, k := range insertKeys {
+			key := uint64(k)
+			err := tr.Insert(key, payloadFor(key, 24))
+			if want[key] {
+				if err == nil {
+					return false // duplicate accepted
+				}
+			} else {
+				if err != nil {
+					return false
+				}
+				want[key] = true
+			}
+		}
+		for i, del := range deleteMask {
+			if !del || i >= len(insertKeys) {
+				continue
+			}
+			key := uint64(insertKeys[i])
+			found, err := tr.Delete(key)
+			if err != nil {
+				return false
+			}
+			if found != want[key] {
+				return false
+			}
+			delete(want, key)
+		}
+		var got []uint64
+		if err := tr.Scan(0, 0, 0, 0, func(k uint64, _ []byte) bool {
+			got = append(got, k)
+			return true
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		expect := make([]uint64, 0, len(want))
+		for k := range want {
+			expect = append(expect, k)
+		}
+		sort.Slice(expect, func(a, b int) bool { return expect[a] < expect[b] })
+		for i := range expect {
+			if got[i] != expect[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScanMatchesLookup property-checks that every key a scan reports
+// is individually findable with the same payload prefix, on the hash
+// layout (where scans sort just in time).
+func TestQuickScanMatchesLookup(t *testing.T) {
+	prop := func(keys []uint16, from uint16) bool {
+		m := newManager(t, core.MemOnly, 0, false, false, false)
+		tr, err := Create(m, 1, 16, LayoutHash)
+		if err != nil {
+			return false
+		}
+		seen := make(map[uint64]bool)
+		for _, k := range keys {
+			key := uint64(k)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			if err := tr.Insert(key, payloadFor(key, 16)); err != nil {
+				return false
+			}
+		}
+		ok := true
+		buf := make([]byte, 16)
+		err = tr.Scan(uint64(from), 0, 0, 8, func(k uint64, field []byte) bool {
+			if k < uint64(from) || !seen[k] {
+				ok = false
+				return false
+			}
+			found, err := tr.Lookup(k, buf)
+			if err != nil || !found {
+				ok = false
+				return false
+			}
+			for i := 0; i < 8; i++ {
+				if buf[i] != field[i] {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok && err == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestAllPinnedNoEvictable(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4)
+	var hs []Handle
+	for i := 0; i < 4; i++ {
+		hs = append(hs, mustAlloc(t, m))
+	}
+	if _, err := m.Allocate(); !errors.Is(err, ErrNoEvictable) {
+		t.Fatalf("err = %v, want ErrNoEvictable", err)
+	}
+	// Unpinning one page unblocks allocation.
+	m.Unfix(hs[0])
+	h, err := m.Allocate()
+	if err != nil {
+		t.Fatalf("allocate after unpin: %v", err)
+	}
+	m.Unfix(h)
+	for _, p := range hs[1:] {
+		m.Unfix(p)
+	}
+}
+
+func TestThreeTierAdmissionFallsBackWhenNVMPinned(t *testing.T) {
+	// Two NVM slots, both backing pages that are cached (and pinned) in
+	// DRAM: an eviction wanting admission must fall back to SSD rather
+	// than deadlock or evict a backing slot.
+	m := newTestManager(t, ThreeTier, 8, func(c *Config) {
+		c.CacheLineGrained = true
+		c.NVMBytes = 2 * slotSize
+		c.AdmissionSetSize = -1 // always admit: pressure on the slots
+	})
+	var pids []PageID
+	for i := 0; i < 2; i++ {
+		h := mustAlloc(t, m)
+		pids = append(pids, h.PID())
+		fillPattern(h, byte(i))
+		m.Unfix(h)
+	}
+	if err := m.CleanShutdown(); err != nil { // both admitted to NVM
+		t.Fatal(err)
+	}
+	// Pin both NVM-backed pages in DRAM.
+	var pinned []Handle
+	for _, pid := range pids {
+		pinned = append(pinned, mustFix(t, m, pid, ModeFull))
+	}
+	// A third page evicted under always-admit cannot get a slot.
+	h := mustAlloc(t, m)
+	third := h.PID()
+	fillPattern(h, 9)
+	m.Unfix(h)
+	ssdWrites := m.SSD().Stats().PagesWritten
+	// Force its eviction by creating DRAM pressure.
+	for i := 0; i < 8; i++ {
+		x, err := m.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Unfix(x)
+	}
+	if m.SSD().Stats().PagesWritten == ssdWrites {
+		t.Fatal("third page never reached SSD under full NVM")
+	}
+	for _, h := range pinned {
+		m.Unfix(h)
+	}
+	// Its content must still be correct.
+	h3 := mustFix(t, m, third, ModeFull)
+	checkPattern(t, h3, 9)
+	m.Unfix(h3)
+}
+
+func TestFreePageReleasesNVMSlot(t *testing.T) {
+	m := newTestManager(t, ThreeTier, 4, withFeatures(true, true, false), func(c *Config) {
+		c.NVMBytes = 2 * slotSize
+		c.AdmissionSetSize = -1
+	})
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 1)
+	m.Unfix(h)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if loc, ok := m.table[pid]; !ok || loc.inDRAM() {
+		t.Fatalf("page not on NVM: %v %v", loc, ok)
+	}
+	h = mustFix(t, m, pid, ModeFull)
+	m.FreePage(h)
+	// Both NVM slots are available again: two new pages admit cleanly.
+	for i := 0; i < 2; i++ {
+		n := mustAlloc(t, m)
+		fillPattern(n, byte(i))
+		m.Unfix(n)
+	}
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().NVMAdmissions; got < 3 {
+		t.Fatalf("NVM admissions = %d, want the freed slot reused", got)
+	}
+}
+
+func TestRestartScanSkipsFreedSlots(t *testing.T) {
+	m := newTestManager(t, ThreeTier, 4, withFeatures(true, false, false), func(c *Config) {
+		c.AdmissionSetSize = -1
+	})
+	keep := mustAlloc(t, m)
+	keepPID := keep.PID()
+	fillPattern(keep, 1)
+	m.Unfix(keep)
+	gone := mustAlloc(t, m)
+	gonePID := gone.PID()
+	fillPattern(gone, 2)
+	m.Unfix(gone)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	g := mustFix(t, m, gonePID, ModeFull)
+	m.FreePage(g)
+	if err := m.CleanRestart(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.table[gonePID]; ok {
+		t.Fatal("freed page reappeared in the rebuilt table")
+	}
+	if loc, ok := m.table[keepPID]; !ok || loc.inDRAM() {
+		t.Fatalf("kept page lost from NVM: %v %v", loc, ok)
+	}
+	h := mustFix(t, m, keepPID, ModeFull)
+	checkPattern(t, h, 1)
+	m.Unfix(h)
+}
+
+func TestMiniPromotionTransfersSwizzle(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 8, withFeatures(true, true, true))
+	parent := mustAlloc(t, m)
+	child := mustAlloc(t, m)
+	childPID := child.PID()
+	fillPattern(child, 3)
+	putRef(parent.Write(128, 8), 0, MakeRef(childPID))
+	m.Unfix(child)
+	m.Unfix(parent)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := mustFix(t, m, parent.PID(), ModeFull)
+	c2, err := m.FixChild(p2, 128, ModeCacheLine) // mini page, swizzled
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().MiniAllocs == 0 {
+		t.Fatal("child not loaded as a mini page")
+	}
+	// Overflow the mini page: promotion must move the swizzle to the
+	// full frame so the parent's reference stays valid.
+	for line := 0; line < 20; line++ {
+		c2.Read(line*LineSize, 1)
+	}
+	if m.Stats().MiniPromotions != 1 {
+		t.Fatalf("promotions = %d", m.Stats().MiniPromotions)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("after promotion: %v", err)
+	}
+	m.Unfix(c2)
+	// Re-fixing through the parent must hit the swizzled full frame.
+	m.ResetStats()
+	c3, err := m.FixChild(p2, 128, ModeCacheLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().SwizzleHits != 1 {
+		t.Fatalf("SwizzleHits = %d, want 1", m.Stats().SwizzleHits)
+	}
+	checkPattern(t, c3, 3)
+	m.Unfix(c3)
+	m.Unfix(p2)
+}
+
+func TestUserMetaEmpty(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4)
+	if got := m.UserMeta(); len(got) != 0 {
+		t.Fatalf("fresh UserMeta = %q", got)
+	}
+	if err := m.SetUserMeta(nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.UserMeta(); len(got) != 0 {
+		t.Fatalf("UserMeta after SetUserMeta(nil) = %q", got)
+	}
+}
+
+func TestStatsAccessors(t *testing.T) {
+	m := newTestManager(t, ThreeTier, 4)
+	if m.NVMSlotsTotal() != 64 {
+		t.Fatalf("NVMSlotsTotal = %d", m.NVMSlotsTotal())
+	}
+	if m.DRAMUsed() != 0 {
+		t.Fatalf("DRAMUsed = %d on fresh manager", m.DRAMUsed())
+	}
+	h := mustAlloc(t, m)
+	if m.DRAMUsed() == 0 {
+		t.Fatal("DRAMUsed did not grow")
+	}
+	m.Unfix(h)
+	m.ResetStats()
+	if m.Stats() != (Stats{}) {
+		t.Fatal("ResetStats left counters")
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import "fmt"
+
+// CheckInvariants validates the buffer manager's internal consistency and
+// returns a descriptive error on the first violation. It is exported for
+// tests and debugging tools; it walks every frame and is not meant for hot
+// paths.
+func (m *Manager) CheckInvariants() error {
+	counts := make(map[*Frame]int32)
+	for idx, f := range m.frames {
+		if f == nil {
+			continue
+		}
+		if int(f.idx) != idx {
+			return fmt.Errorf("frame at %d has idx %d", idx, f.idx)
+		}
+		if f.promoted != nil {
+			continue // wrapper: state lives in the promoted frame
+		}
+		if loc, ok := m.table[f.pid]; !ok || !loc.inDRAM() || loc.frame() != f.idx {
+			return fmt.Errorf("page %d frame %d not mapped correctly (loc=%v ok=%v)", f.pid, f.idx, loc, ok)
+		}
+		switch {
+		case f.parent != nil:
+			counts[f.parent]++
+			ref := getRef(f.parent.data, int(f.parentOff))
+			if !ref.Swizzled() || ref.frameIndex() != f.idx {
+				return fmt.Errorf("page %d frame %d: parent page %d word at %d is %#x, want swizzled ref to frame %d",
+					f.pid, f.idx, f.parent.pid, f.parentOff, uint64(ref), f.idx)
+			}
+		case f.rootHolder != nil:
+			ref := *f.rootHolder
+			if !ref.Swizzled() || ref.frameIndex() != f.idx {
+				return fmt.Errorf("page %d frame %d: root holder is %#x, want swizzled ref to frame %d",
+					f.pid, f.idx, uint64(ref), f.idx)
+			}
+		}
+	}
+	for p, n := range counts {
+		if p.swizzledChildren != n {
+			return fmt.Errorf("page %d: swizzledChildren=%d but %d frames name it as parent", p.pid, p.swizzledChildren, n)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,1273 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+
+	"nvmstore/internal/nvm"
+	"nvmstore/internal/simclock"
+	"nvmstore/internal/ssd"
+)
+
+// Topology selects which of the paper's five storage architectures a
+// Manager implements.
+type Topology uint8
+
+const (
+	// MemOnly keeps every page in DRAM ("Main Memory" in the paper).
+	// Capacity is limited by Config.DRAMBytes; there is no page-based
+	// persistence, only the WAL.
+	MemOnly Topology = iota
+	// DRAMSSD is a traditional buffer manager: DRAM cache over SSD
+	// ("SSD BM").
+	DRAMSSD
+	// DRAMNVM stores all pages on NVM and caches them in DRAM
+	// ("Basic NVM BM" when page-grained; the drill-down experiment of
+	// §5.4.1 enables the optimizations on this topology one by one).
+	DRAMNVM
+	// ThreeTier uses DRAM and NVM as caches over SSD — the paper's
+	// contribution.
+	ThreeTier
+	// DirectNVM works on NVM in place with no DRAM buffering
+	// ("NVM Direct").
+	DirectNVM
+)
+
+// String implements fmt.Stringer using the paper's system names.
+func (t Topology) String() string {
+	switch t {
+	case MemOnly:
+		return "Main Memory"
+	case DRAMSSD:
+		return "SSD BM"
+	case DRAMNVM:
+		return "Basic NVM BM"
+	case ThreeTier:
+		return "3 Tier BM"
+	case DirectNVM:
+		return "NVM Direct"
+	default:
+		return fmt.Sprintf("Topology(%d)", uint8(t))
+	}
+}
+
+// NVM device layout: a WAL region, one superblock page, then page slots of
+// one header line plus PageSize data each.
+const (
+	superSize     = 4096
+	slotSize      = LineSize + PageSize
+	userMetaMax   = 1024
+	superMagic    = 0x4e564d53544f5245 // "NVMSTORE"
+	slotMagic     = 0x50414745         // "PAGE"
+	slotFlagDirty = 1 << 0             // NVM copy is newer than the SSD copy
+)
+
+// Config describes a Manager. The zero value is not valid; at minimum
+// Topology and the capacities the topology needs must be set.
+type Config struct {
+	Topology Topology
+
+	// DRAMBytes bounds the DRAM buffer pool (page data plus the paper's
+	// per-page header sizes). Zero means unlimited, which is the normal
+	// setting for MemOnly.
+	DRAMBytes int64
+	// NVMBytes is the NVM capacity available for page slots. The WAL
+	// region and superblock are reserved on top of it.
+	NVMBytes int64
+	// SSDBytes is the SSD capacity.
+	SSDBytes int64
+	// WALBytes is the size of the NVM log region (default 16 MB).
+	WALBytes int64
+
+	// CacheLineGrained enables loading NVM-backed pages one cache line
+	// at a time (§3.1). Without it the manager is page-grained.
+	CacheLineGrained bool
+	// MiniPages enables 1 KB mini pages (§3.2); requires
+	// CacheLineGrained.
+	MiniPages bool
+	// Swizzling enables pointer swizzling (§3.3).
+	Swizzling bool
+
+	// AdmissionSetSize bounds the NVM admission set (§4.2). Zero selects
+	// the default (the number of NVM page slots); a negative value
+	// disables the set, admitting every page on first eviction.
+	AdmissionSetSize int
+
+	// Device timing. Zero values select the defaults documented in
+	// internal/nvm and internal/ssd (500 ns NVM, 100/200 µs SSD).
+	NVMReadLatency  time.Duration
+	NVMWriteLatency time.Duration
+	NVMLineTransfer time.Duration
+	// CPUCacheBytes sizes the simulated CPU cache in front of NVM.
+	// Zero selects the 20 MB default; negative disables it.
+	CPUCacheBytes   int64
+	SSDReadLatency  time.Duration
+	SSDWriteLatency time.Duration
+
+	// StrictPersistence makes unflushed NVM writes vanish on Crash
+	// (see internal/nvm); used by recovery tests.
+	StrictPersistence bool
+
+	// DebugChecks enables the §A.6 debugging mode: freshly allocated
+	// frames are poisoned, and on eviction every resident-but-clean
+	// cache line is verified against its NVM backing.
+	DebugChecks bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.WALBytes == 0 {
+		c.WALBytes = 16 << 20
+	}
+	// The log must hold the page images of the largest transaction's
+	// structural changes.
+	if c.WALBytes < 1<<20 {
+		c.WALBytes = 1 << 20
+	}
+	if c.NVMReadLatency == 0 {
+		c.NVMReadLatency = 500 * time.Nanosecond
+	}
+	if c.NVMWriteLatency == 0 {
+		c.NVMWriteLatency = 500 * time.Nanosecond
+	}
+	if c.NVMLineTransfer == 0 {
+		c.NVMLineTransfer = 30 * time.Nanosecond
+	}
+	if c.CPUCacheBytes == 0 {
+		c.CPUCacheBytes = 20 << 20
+	}
+	if c.SSDReadLatency == 0 {
+		c.SSDReadLatency = 100 * time.Microsecond
+	}
+	if c.SSDWriteLatency == 0 {
+		c.SSDWriteLatency = 200 * time.Microsecond
+	}
+}
+
+func (c *Config) validate() error {
+	switch c.Topology {
+	case MemOnly:
+	case DRAMSSD:
+		if c.SSDBytes <= 0 {
+			return fmt.Errorf("core: topology %v requires SSDBytes", c.Topology)
+		}
+	case DRAMNVM, DirectNVM:
+		if c.NVMBytes <= 0 {
+			return fmt.Errorf("core: topology %v requires NVMBytes", c.Topology)
+		}
+	case ThreeTier:
+		if c.NVMBytes <= 0 || c.SSDBytes <= 0 {
+			return fmt.Errorf("core: topology %v requires NVMBytes and SSDBytes", c.Topology)
+		}
+	default:
+		return fmt.Errorf("core: unknown topology %d", c.Topology)
+	}
+	if c.Topology != MemOnly && c.Topology != DirectNVM {
+		if c.DRAMBytes > 0 && c.DRAMBytes < 4*fullFrameBytes {
+			return fmt.Errorf("core: DRAMBytes %d below minimum of %d", c.DRAMBytes, 4*fullFrameBytes)
+		}
+	}
+	if c.MiniPages && !c.CacheLineGrained {
+		return fmt.Errorf("core: MiniPages requires CacheLineGrained")
+	}
+	return nil
+}
+
+// Stats counts buffer-manager events since the last ResetStats.
+type Stats struct {
+	Fixes          int64 // page fixes of any kind
+	SwizzleHits    int64 // fixes resolved through a swizzled reference
+	TableHits      int64 // fixes resolved to a DRAM frame via the table
+	Swizzles       int64 // references turned into swizzled pointers
+	SSDLoads       int64 // pages read from SSD into DRAM
+	NVMPageLoads   int64 // whole pages read from NVM (page-grained mode)
+	LinesLoaded    int64 // cache lines read from NVM (cache-line mode)
+	MiniAllocs     int64 // mini pages allocated
+	FullAllocs     int64 // full pages allocated
+	MiniPromotions int64 // mini pages promoted to full pages
+	DRAMEvictions  int64 // frames evicted from DRAM
+	NVMAdmissions  int64 // pages admitted to the NVM cache
+	NVMDenials     int64 // pages denied NVM admission
+	NVMEvictions   int64 // pages evicted from the NVM cache
+	DirectFixes    int64 // in-place fixes (DirectNVM topology)
+}
+
+// nvmSlotMeta is the in-DRAM directory entry for one NVM page slot
+// (ThreeTier only).
+type nvmSlotMeta struct {
+	pid         PageID // 0 = free
+	referenced  bool
+	dirtyWrtSSD bool
+}
+
+// Manager is the storage engine's buffer manager. See the package comment
+// for the design. Create one with New; the zero value is not usable.
+type Manager struct {
+	cfg Config
+	clk *simclock.Clock
+	nvm *nvm.Device
+	ssd *ssd.Device
+
+	// Combined page table (§4.3): pid -> DRAM frame or NVM slot.
+	table map[PageID]location
+
+	// Frame table: stable indices so swizzled references stay valid.
+	frames     []*Frame
+	freeFrames []int32
+	clockHand  int
+	dramUsed   int64
+	dramCap    int64 // 0 = unlimited
+
+	fullPool [][]byte
+	miniPool [][]byte
+
+	// NVM page-slot bookkeeping.
+	nvmSlots    int64
+	slotsOff    int64
+	nvmDir      []nvmSlotMeta // ThreeTier only
+	freeSlots   []int64
+	nvmNextSlot int64
+	nvmHand     int64
+
+	admission admissionSet
+
+	nextPID  PageID
+	freePIDs []PageID
+	ssdPages int64
+
+	stats   Stats
+	scratch []byte
+
+	// writeBarrier, when set, runs before any dirty page content reaches
+	// persistent storage. Engines install the WAL's Flush here so the
+	// write-ahead rule holds under page steal: no modified page is ever
+	// persisted before the log records describing the modification.
+	writeBarrier func()
+}
+
+// SetWriteBarrier installs fn to run before dirty page content is written
+// to NVM or SSD (eviction, admission, or ForceWrite). See the field
+// comment; typically fn is the WAL's Flush.
+func (m *Manager) SetWriteBarrier(fn func()) { m.writeBarrier = fn }
+
+func (m *Manager) barrier() {
+	if m.writeBarrier != nil {
+		m.writeBarrier()
+	}
+}
+
+// New creates a Manager and its simulated devices.
+func New(cfg Config) (*Manager, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		cfg:     cfg,
+		clk:     &simclock.Clock{},
+		table:   make(map[PageID]location),
+		dramCap: cfg.DRAMBytes,
+		nextPID: 1,
+		scratch: make([]byte, PageSize),
+	}
+	m.nvmSlots = cfg.NVMBytes / slotSize
+	m.slotsOff = cfg.WALBytes + superSize
+	nvmCfg := nvm.Config{
+		Size:              m.slotsOff + m.nvmSlots*slotSize,
+		ReadLatency:       cfg.NVMReadLatency,
+		WriteLatency:      cfg.NVMWriteLatency,
+		LineTransfer:      cfg.NVMLineTransfer,
+		CPUCacheBytes:     cfg.CPUCacheBytes,
+		StrictPersistence: cfg.StrictPersistence,
+	}
+	if nvmCfg.CPUCacheBytes < 0 {
+		nvmCfg.CPUCacheBytes = 0
+	}
+	m.nvm = nvm.New(nvmCfg, m.clk)
+	if cfg.SSDBytes > 0 {
+		m.ssdPages = cfg.SSDBytes / PageSize
+		m.ssd = ssd.New(ssd.Config{
+			PageSize:     PageSize,
+			Capacity:     m.ssdPages,
+			ReadLatency:  cfg.SSDReadLatency,
+			WriteLatency: cfg.SSDWriteLatency,
+		}, m.clk)
+	}
+	if cfg.Topology == ThreeTier {
+		m.nvmDir = make([]nvmSlotMeta, m.nvmSlots)
+		size := cfg.AdmissionSetSize
+		if size == 0 {
+			size = int(m.nvmSlots)
+		}
+		m.admission.init(size)
+	}
+	m.persistSuper()
+	return m, nil
+}
+
+// Clock returns the virtual clock accumulating simulated device time.
+func (m *Manager) Clock() *simclock.Clock { return m.clk }
+
+// NVM returns the simulated NVM device (for WAL placement and
+// experiment instrumentation such as wear counters).
+func (m *Manager) NVM() *nvm.Device { return m.nvm }
+
+// SSD returns the simulated SSD device, or nil if the topology has none.
+func (m *Manager) SSD() *ssd.Device { return m.ssd }
+
+// Config returns the manager's configuration with defaults applied.
+func (m *Manager) Config() Config { return m.cfg }
+
+// WALRegion returns the offset and size of the NVM region reserved for the
+// write-ahead log.
+func (m *Manager) WALRegion() (off, size int64) { return 0, m.cfg.WALBytes }
+
+// Stats returns a snapshot of the event counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the event counters.
+func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+// DRAMUsed returns the bytes currently charged against the DRAM budget.
+func (m *Manager) DRAMUsed() int64 { return m.dramUsed }
+
+// NVMSlotsTotal returns the number of NVM page slots.
+func (m *Manager) NVMSlotsTotal() int64 { return m.nvmSlots }
+
+func (m *Manager) slotHeaderOff(slot int64) int64 { return m.slotsOff + slot*slotSize }
+func (m *Manager) slotDataOff(slot int64) int64   { return m.slotsOff + slot*slotSize + LineSize }
+
+// Handle is a pinned page. The zero Handle is invalid. Handles are values;
+// copy them freely, but every Fix must be matched by exactly one Unfix.
+type Handle struct {
+	f *Frame
+	m *Manager
+}
+
+// Valid reports whether h refers to a fixed page.
+func (h Handle) Valid() bool { return h.f != nil }
+
+// PID returns the page identifier.
+func (h Handle) PID() PageID { return h.f.pid }
+
+// Read returns the page bytes [off, off+n), loading missing cache lines
+// from NVM first. The slice is valid until the next access to this page or
+// its Unfix, and must not be modified.
+func (h Handle) Read(off, n int) []byte { return h.f.read(h.m, off, n) }
+
+// Write returns a writable slice of the page bytes [off, off+n), marking
+// the covered cache lines dirty. The same validity rule as Read applies.
+func (h Handle) Write(off, n int) []byte { return h.f.write(h.m, off, n) }
+
+// ReadAll returns the entire page, loading it completely — the paper's
+// full-page path that avoids per-access residency checks. A mini page is
+// promoted.
+func (h Handle) ReadAll() []byte { return h.f.readAll(h.m) }
+
+// WriteAll returns the entire page writable with every line marked dirty.
+func (h Handle) WriteAll() []byte { return h.f.writeAll(h.m) }
+
+// Ref returns the current reference for storing in a parent page: swizzled
+// if the page is swizzled, the plain page id otherwise.
+func (h Handle) Ref() Ref {
+	f := h.f
+	if f.promoted != nil {
+		f = f.promoted
+	}
+	if f.swizzled() {
+		return swizzledRef(f.idx)
+	}
+	return MakeRef(f.pid)
+}
+
+// Allocate creates a new page and returns it fixed. The page content is
+// zeroed and the caller is expected to initialize it before unfixing.
+func (m *Manager) Allocate() (Handle, error) {
+	pid, reused, err := m.takePID()
+	if err != nil {
+		return Handle{}, err
+	}
+	switch m.cfg.Topology {
+	case DirectNVM:
+		slot := int64(pid - 1)
+		if reused {
+			// Reused slots may hold stale data; clear it so the new
+			// page starts zeroed like a fresh one.
+			zero := m.scratch[:PageSize]
+			for i := range zero {
+				zero[i] = 0
+			}
+			m.nvm.WriteAt(zero, m.slotDataOff(slot))
+		}
+		m.writeSlotHeader(slot, pid, false)
+		f := m.directFrame(pid, slot)
+		m.stats.DirectFixes++
+		return Handle{f, m}, nil
+	case DRAMNVM:
+		slot := int64(pid - 1)
+		m.writeSlotHeader(slot, pid, false)
+		f, err := m.newFrame(kindFull, pid)
+		if err != nil {
+			return Handle{}, err
+		}
+		zeroBytes(f.data)
+		f.nvmSlot = slot
+		m.initAllocated(f)
+		return Handle{f, m}, nil
+	default: // MemOnly, DRAMSSD, ThreeTier
+		f, err := m.newFrame(kindFull, pid)
+		if err != nil {
+			return Handle{}, err
+		}
+		zeroBytes(f.data)
+		f.nvmSlot = -1
+		m.initAllocated(f)
+		return Handle{f, m}, nil
+	}
+}
+
+func (m *Manager) initAllocated(f *Frame) {
+	f.fullyResident = true
+	f.resident.setRange(0, LinesPerPage-1)
+	f.dirty.setRange(0, LinesPerPage-1)
+	f.anyDirty = true
+	f.pins = 1
+	f.referenced = true
+	m.table[f.pid] = dramLoc(f.idx)
+}
+
+// takePID hands out the next page identifier, enforcing the topology's
+// hard capacity limit, and persists the allocation watermark.
+func (m *Manager) takePID() (PageID, bool, error) {
+	if n := len(m.freePIDs); n > 0 {
+		pid := m.freePIDs[n-1]
+		m.freePIDs = m.freePIDs[:n-1]
+		return pid, true, nil
+	}
+	pid := m.nextPID
+	switch m.cfg.Topology {
+	case DirectNVM, DRAMNVM:
+		if int64(pid-1) >= m.nvmSlots {
+			return 0, false, fmt.Errorf("core: %v full at %d pages: %w", m.cfg.Topology, m.nvmSlots, ErrCapacity)
+		}
+	case DRAMSSD, ThreeTier:
+		if int64(pid-1) >= m.ssdPages {
+			return 0, false, fmt.Errorf("core: SSD full at %d pages: %w", m.ssdPages, ErrCapacity)
+		}
+	}
+	m.nextPID++
+	m.persistNextPID()
+	return pid, false, nil
+}
+
+// Fix pins the page identified by ref without swizzling bookkeeping. Use
+// FixChild or FixRoot to let hot references be swizzled.
+func (m *Manager) Fix(ref Ref, mode AccessMode) (Handle, error) {
+	return m.fix(ref, nil, 0, nil, mode)
+}
+
+// FixChild reads the child reference stored at byte offset wordOff of
+// parent, pins the child, and — when swizzling is enabled — replaces the
+// stored reference with a direct frame pointer.
+func (m *Manager) FixChild(parent Handle, wordOff int, mode AccessMode) (Handle, error) {
+	ref := Ref(binary.LittleEndian.Uint64(parent.Read(wordOff, 8)))
+	pf := parent.f
+	if pf.promoted != nil {
+		pf = pf.promoted
+	}
+	return m.fix(ref, pf, wordOff, nil, mode)
+}
+
+// FixRoot pins the page referenced by *holder, typically a tree's root
+// reference. When swizzling is enabled the holder is updated to a direct
+// frame pointer, and restored to a plain page id when the root is evicted.
+func (m *Manager) FixRoot(holder *Ref, mode AccessMode) (Handle, error) {
+	return m.fix(*holder, nil, 0, holder, mode)
+}
+
+func (m *Manager) fix(ref Ref, parent *Frame, wordOff int, holder *Ref, mode AccessMode) (Handle, error) {
+	m.stats.Fixes++
+	if ref.Swizzled() {
+		idx := ref.frameIndex()
+		f := m.frames[idx]
+		if f == nil {
+			panic(fmt.Sprintf("core: dangling swizzled reference to frame %d", idx))
+		}
+		f.pins++
+		f.referenced = true
+		m.stats.SwizzleHits++
+		return Handle{f, m}, nil
+	}
+	pid := ref.PageID()
+	if pid == InvalidPageID || pid >= m.nextPID {
+		return Handle{}, fmt.Errorf("core: fix page %d: %w", pid, ErrPageNotFound)
+	}
+	if m.cfg.Topology == DirectNVM {
+		f := m.directFrame(pid, int64(pid-1))
+		m.stats.DirectFixes++
+		return Handle{f, m}, nil
+	}
+	if loc, ok := m.table[pid]; ok {
+		if loc.inDRAM() {
+			f := m.frames[loc.frame()]
+			f.pins++
+			f.referenced = true
+			m.stats.TableHits++
+			m.maybeSwizzle(f, parent, wordOff, holder)
+			return Handle{f, m}, nil
+		}
+		// ThreeTier: the page is cached on NVM.
+		f, err := m.loadFromNVM(pid, loc.nvmSlot(), mode)
+		if err != nil {
+			return Handle{}, err
+		}
+		m.maybeSwizzle(f, parent, wordOff, holder)
+		return Handle{f, m}, nil
+	}
+	var f *Frame
+	var err error
+	switch m.cfg.Topology {
+	case MemOnly:
+		return Handle{}, fmt.Errorf("core: fix page %d: %w", pid, ErrPageNotFound)
+	case DRAMNVM:
+		f, err = m.loadFromNVM(pid, int64(pid-1), mode)
+	default: // DRAMSSD, ThreeTier: page only on SSD
+		f, err = m.loadFromSSD(pid)
+	}
+	if err != nil {
+		return Handle{}, err
+	}
+	m.maybeSwizzle(f, parent, wordOff, holder)
+	return Handle{f, m}, nil
+}
+
+// directFrame builds an in-place frame over the page's NVM slot.
+func (m *Manager) directFrame(pid PageID, slot int64) *Frame {
+	return &Frame{
+		kind:    kindDirect,
+		pid:     pid,
+		idx:     -1,
+		nvmSlot: slot,
+		data:    m.nvm.View(m.slotDataOff(slot), PageSize),
+		pins:    1,
+	}
+}
+
+// loadFromNVM caches an NVM-resident page in DRAM: as a mini page or lazy
+// cache-line-grained full page when enabled, or by reading the whole page
+// in page-grained mode.
+func (m *Manager) loadFromNVM(pid PageID, slot int64, mode AccessMode) (*Frame, error) {
+	if m.nvmDir != nil {
+		m.nvmDir[slot].referenced = true
+	}
+	kind := kindFull
+	if m.cfg.CacheLineGrained && m.cfg.MiniPages && mode == ModeCacheLine {
+		kind = kindMini
+	}
+	f, err := m.newFrame(kind, pid)
+	if err != nil {
+		return nil, err
+	}
+	f.nvmSlot = slot
+	if kind == kindFull && !m.cfg.CacheLineGrained {
+		m.nvm.ReadAt(f.data, m.slotDataOff(slot))
+		f.resident.setRange(0, LinesPerPage-1)
+		f.fullyResident = true
+		m.stats.NVMPageLoads++
+	}
+	f.pins = 1
+	f.referenced = true
+	m.table[pid] = dramLoc(f.idx)
+	return f, nil
+}
+
+// loadFromSSD reads a page from SSD into a fresh, fully resident DRAM
+// frame. Per §4.2 the page is not put into NVM on the way in; it becomes a
+// candidate for NVM admission only when evicted from DRAM.
+func (m *Manager) loadFromSSD(pid PageID) (*Frame, error) {
+	f, err := m.newFrame(kindFull, pid)
+	if err != nil {
+		return nil, err
+	}
+	m.ssd.ReadPage(int64(pid-1), f.data)
+	f.nvmSlot = -1
+	f.resident.setRange(0, LinesPerPage-1)
+	f.fullyResident = true
+	f.pins = 1
+	f.referenced = true
+	m.table[pid] = dramLoc(f.idx)
+	m.stats.SSDLoads++
+	return f, nil
+}
+
+func (m *Manager) maybeSwizzle(f *Frame, parent *Frame, wordOff int, holder *Ref) {
+	if !m.cfg.Swizzling || f.swizzled() {
+		return
+	}
+	switch {
+	case parent != nil:
+		putRef(parent.data, wordOff, swizzledRef(f.idx))
+		parent.swizzledChildren++
+		f.parent = parent
+		f.parentOff = int32(wordOff)
+		m.stats.Swizzles++
+	case holder != nil:
+		*holder = swizzledRef(f.idx)
+		f.rootHolder = holder
+		m.stats.Swizzles++
+	}
+}
+
+func (m *Manager) unswizzle(f *Frame) {
+	switch {
+	case f.parent != nil:
+		if got := getRef(f.parent.data, int(f.parentOff)); !got.Swizzled() || got.frameIndex() != f.idx {
+			panic(fmt.Sprintf("core: unswizzle page %d frame %d: parent page %d word at %d holds %#x, not this frame", f.pid, f.idx, f.parent.pid, f.parentOff, uint64(got)))
+		}
+		putRef(f.parent.data, int(f.parentOff), MakeRef(f.pid))
+		f.parent.swizzledChildren--
+		f.parent = nil
+	case f.rootHolder != nil:
+		if got := *f.rootHolder; !got.Swizzled() || got.frameIndex() != f.idx {
+			panic(fmt.Sprintf("core: unswizzle page %d frame %d: root holder holds %#x, not this frame", f.pid, f.idx, uint64(got)))
+		}
+		*f.rootHolder = MakeRef(f.pid)
+		f.rootHolder = nil
+	}
+}
+
+// Unfix releases a pinned page. For in-place (DirectNVM) pages the dirty
+// cache lines are flushed to NVM, mirroring the paper's clwb of updated
+// tuples. For a mini page that was promoted while fixed, the wrapper is
+// released once its last pin drops (§3.2).
+func (m *Manager) Unfix(h Handle) {
+	f := h.f
+	if f == nil {
+		panic("core: unfix of invalid handle")
+	}
+	if f.pins <= 0 {
+		panic(fmt.Sprintf("core: unfix of unpinned page %d", f.pid))
+	}
+	if f.kind == kindDirect {
+		f.pins--
+		if f.anyDirty {
+			m.barrier()
+			base := m.slotDataOff(f.nvmSlot)
+			f.dirty.setRuns(0, LinesPerPage-1, func(from, to int) {
+				m.nvm.Flush(base+int64(from)*LineSize, (to-from+1)*LineSize)
+			})
+			f.dirty.reset()
+			f.anyDirty = false
+		}
+		return
+	}
+	if f.promoted != nil {
+		f.pins--
+		p := f.promoted
+		if p.pins <= 0 {
+			panic(fmt.Sprintf("core: promoted page %d lost its pin", p.pid))
+		}
+		p.pins--
+		if f.pins == 0 {
+			// Last reference through the wrapper: release the mini frame.
+			m.dropFrame(f)
+		}
+		return
+	}
+	f.pins--
+}
+
+// ForceWrite persists the page's dirty content to its home (NVM slot or
+// SSD) without evicting it, clearing the dirty state. Storage engines use
+// it to make structural changes (for example B-tree splits) durable
+// immediately, so that the persistent tree structure is always consistent
+// regardless of later eviction order. On a MemOnly topology it is a no-op:
+// that architecture has no page-based persistence.
+func (m *Manager) ForceWrite(h Handle) {
+	f := h.f
+	if f.promoted != nil {
+		f = f.promoted
+	}
+	switch f.kind {
+	case kindDirect:
+		if f.anyDirty {
+			m.barrier()
+			base := m.slotDataOff(f.nvmSlot)
+			f.dirty.setRuns(0, LinesPerPage-1, func(from, to int) {
+				m.nvm.Flush(base+int64(from)*LineSize, (to-from+1)*LineSize)
+			})
+		}
+	default:
+		if !f.anyDirty {
+			return
+		}
+		// Swizzled child references are transient in-memory state and
+		// must never reach persistent storage; they re-swizzle on the
+		// next fix.
+		if f.swizzledChildren > 0 {
+			m.unswizzleChildrenOf(f)
+		}
+		m.barrier()
+		switch m.cfg.Topology {
+		case MemOnly:
+			return
+		case DRAMSSD:
+			m.ssd.WritePage(int64(f.pid-1), f.data)
+		case DRAMNVM:
+			m.writeBackToNVM(f)
+		case ThreeTier:
+			if f.nvmSlot >= 0 {
+				m.writeBackToNVM(f)
+				e := &m.nvmDir[f.nvmSlot]
+				if !e.dirtyWrtSSD {
+					e.dirtyWrtSSD = true
+					m.writeSlotHeader(f.nvmSlot, f.pid, true)
+				}
+			} else if slot, ok := m.freeNVMSlot(); ok {
+				// Not NVM-backed: stage on NVM when a slot is free (a
+				// forced page is being persisted because it matters —
+				// checkpoints and structural changes). No NVM eviction
+				// is triggered for it; with NVM full it goes to SSD.
+				m.admitToNVM(f, slot)
+				f.nvmSlot = slot
+				m.stats.NVMAdmissions++
+			} else {
+				m.ssd.WritePage(int64(f.pid-1), f.data)
+			}
+		}
+	}
+	f.dirty.reset()
+	f.miniDirty = 0
+	f.anyDirty = false
+}
+
+// FlushAll force-writes every dirty page in the buffer pool without
+// evicting anything. Together with truncating the WAL this forms a
+// checkpoint.
+func (m *Manager) FlushAll() {
+	for _, f := range m.frames {
+		if f != nil && f.anyDirty && f.promoted == nil {
+			m.ForceWrite(Handle{f, m})
+		}
+	}
+}
+
+// UnswizzleChildren converts every swizzled child reference of the given
+// page back to a plain page identifier. Callers that restructure a page
+// (shifting or moving reference words, as a B-tree split does) must call
+// this first: a swizzled child's back-pointer records the byte offset of
+// its reference word, which restructuring would invalidate.
+func (m *Manager) UnswizzleChildren(parent Handle) {
+	pf := parent.f
+	if pf.promoted != nil {
+		pf = pf.promoted
+	}
+	m.unswizzleChildrenOf(pf)
+}
+
+func (m *Manager) unswizzleChildrenOf(pf *Frame) {
+	if pf.swizzledChildren == 0 {
+		return
+	}
+	for _, f := range m.frames {
+		if f != nil && f.parent == pf {
+			m.unswizzle(f)
+			if pf.swizzledChildren == 0 {
+				return
+			}
+		}
+	}
+}
+
+// Unswizzle converts the reference pointing at this page (in its parent or
+// root holder) back to a plain page identifier. B-tree root splits use it
+// before re-homing the old root under a new parent.
+func (m *Manager) Unswizzle(h Handle) {
+	f := h.f
+	if f.promoted != nil {
+		f = f.promoted
+	}
+	m.unswizzle(f)
+}
+
+// FreePage deallocates the page held by h, releasing its DRAM frame, NVM
+// slot, and page identifier. The caller must hold the only pin and must
+// have removed all references to the page.
+func (m *Manager) FreePage(h Handle) {
+	f := h.f
+	if f.pins != 1 {
+		panic(fmt.Sprintf("core: freeing page %d with %d pins", f.pid, f.pins))
+	}
+	if f.swizzledChildren != 0 {
+		panic(fmt.Sprintf("core: freeing page %d with swizzled children", f.pid))
+	}
+	pid := f.pid
+	if f.kind == kindDirect {
+		m.clearSlotHeader(f.nvmSlot)
+		f.pins = 0
+		m.freePIDs = append(m.freePIDs, pid)
+		return
+	}
+	if f.promoted != nil {
+		p := f.promoted
+		m.unswizzle(p)
+		p.pins = 0
+		m.freeNVMBacking(p)
+		delete(m.table, pid)
+		m.dropFrame(p)
+		f.pins = 0
+		m.dropFrame(f)
+		m.freePIDs = append(m.freePIDs, pid)
+		return
+	}
+	m.unswizzle(f)
+	f.pins = 0
+	m.freeNVMBacking(f)
+	delete(m.table, pid)
+	m.dropFrame(f)
+	m.freePIDs = append(m.freePIDs, pid)
+}
+
+// freeNVMBacking releases the NVM slot backing f, if any.
+func (m *Manager) freeNVMBacking(f *Frame) {
+	if f.nvmSlot < 0 {
+		return
+	}
+	m.clearSlotHeader(f.nvmSlot)
+	if m.cfg.Topology == ThreeTier {
+		m.nvmDir[f.nvmSlot] = nvmSlotMeta{}
+		m.freeSlots = append(m.freeSlots, f.nvmSlot)
+	}
+	f.nvmSlot = -1
+}
+
+// newFrame allocates a DRAM frame, evicting pages as needed to stay within
+// the DRAM budget, and registers it in the frame table.
+func (m *Manager) newFrame(kind frameKind, pid PageID) (*Frame, error) {
+	need := int64(fullFrameBytes)
+	if kind == kindMini {
+		need = miniFrameBytes
+	}
+	if err := m.ensureDRAM(need); err != nil {
+		return nil, err
+	}
+	f := &Frame{kind: kind, pid: pid, nvmSlot: -1}
+	if kind == kindMini {
+		if n := len(m.miniPool); n > 0 {
+			f.data = m.miniPool[n-1]
+			m.miniPool = m.miniPool[:n-1]
+		} else {
+			f.data = make([]byte, MiniDataSize)
+		}
+		m.stats.MiniAllocs++
+	} else {
+		if n := len(m.fullPool); n > 0 {
+			f.data = m.fullPool[n-1]
+			m.fullPool = m.fullPool[:n-1]
+		} else {
+			f.data = make([]byte, PageSize)
+		}
+		m.stats.FullAllocs++
+		if m.cfg.DebugChecks {
+			poison(f.data)
+		}
+	}
+	if n := len(m.freeFrames); n > 0 {
+		f.idx = m.freeFrames[n-1]
+		m.freeFrames = m.freeFrames[:n-1]
+		m.frames[f.idx] = f
+	} else {
+		f.idx = int32(len(m.frames))
+		m.frames = append(m.frames, f)
+	}
+	m.dramUsed += need
+	return f, nil
+}
+
+// dropFrame releases a frame's memory without writing anything back.
+func (m *Manager) dropFrame(f *Frame) {
+	if f.kind == kindMini {
+		m.miniPool = append(m.miniPool, f.data)
+		m.dramUsed -= miniFrameBytes
+	} else {
+		m.fullPool = append(m.fullPool, f.data)
+		m.dramUsed -= fullFrameBytes
+	}
+	m.frames[f.idx] = nil
+	m.freeFrames = append(m.freeFrames, f.idx)
+	f.data = nil
+}
+
+// ensureDRAM evicts frames until need bytes fit in the DRAM budget.
+func (m *Manager) ensureDRAM(need int64) error {
+	if m.dramCap <= 0 {
+		return nil
+	}
+	for m.dramUsed+need > m.dramCap {
+		if err := m.evictOne(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictOne runs the DRAM clock (second chance, §4.2) and evicts one frame.
+func (m *Manager) evictOne() error {
+	if m.cfg.Topology == MemOnly {
+		return fmt.Errorf("core: main-memory topology out of DRAM: %w", ErrCapacity)
+	}
+	n := len(m.frames)
+	for scanned := 0; scanned < 2*n+1; scanned++ {
+		if m.clockHand >= len(m.frames) {
+			m.clockHand = 0
+		}
+		f := m.frames[m.clockHand]
+		m.clockHand++
+		if f == nil || f.pins > 0 || f.swizzledChildren > 0 {
+			continue
+		}
+		if f.referenced {
+			f.referenced = false
+			continue
+		}
+		m.evictFrame(f)
+		return nil
+	}
+	return ErrNoEvictable
+}
+
+// evictFrame writes a frame back according to the topology and releases it.
+// This is where the paper's NVM admission decision happens: a page without
+// NVM backing that is thrown out of DRAM either moves into the NVM cache
+// (if the admission set has seen it recently) or goes back to SSD.
+func (m *Manager) evictFrame(f *Frame) {
+	if f.swizzled() {
+		m.unswizzle(f)
+	}
+	if m.cfg.DebugChecks {
+		m.verifyCleanLines(f)
+	}
+	if f.anyDirty {
+		m.barrier()
+	}
+	m.stats.DRAMEvictions++
+	switch m.cfg.Topology {
+	case DRAMSSD:
+		if f.anyDirty {
+			m.ssd.WritePage(int64(f.pid-1), f.data)
+		}
+		delete(m.table, f.pid)
+	case DRAMNVM:
+		m.writeBackToNVM(f)
+		delete(m.table, f.pid)
+	case ThreeTier:
+		if f.nvmSlot >= 0 {
+			if m.writeBackToNVM(f) {
+				e := &m.nvmDir[f.nvmSlot]
+				if !e.dirtyWrtSSD {
+					e.dirtyWrtSSD = true
+					m.writeSlotHeader(f.nvmSlot, f.pid, true)
+				}
+			}
+			m.table[f.pid] = nvmLoc(f.nvmSlot)
+		} else if m.admission.checkAndUpdate(f.pid) {
+			if slot, err := m.allocNVMSlot(); err == nil {
+				m.admitToNVM(f, slot)
+				m.table[f.pid] = nvmLoc(slot)
+				m.stats.NVMAdmissions++
+			} else {
+				// NVM completely pinned by cached pages: fall back to SSD.
+				if f.anyDirty {
+					m.ssd.WritePage(int64(f.pid-1), f.data)
+				}
+				delete(m.table, f.pid)
+				m.stats.NVMDenials++
+			}
+		} else {
+			if f.anyDirty {
+				m.ssd.WritePage(int64(f.pid-1), f.data)
+			}
+			delete(m.table, f.pid)
+			m.stats.NVMDenials++
+		}
+	}
+	m.dropFrame(f)
+}
+
+// writeBackToNVM writes the frame's dirty content to its NVM slot and
+// reports whether anything was written. In page-grained mode the whole
+// page is written; in cache-line-grained mode only the dirty lines are,
+// which is the source of the endurance advantage measured in Figure 16.
+func (m *Manager) writeBackToNVM(f *Frame) bool {
+	if !f.anyDirty {
+		return false
+	}
+	base := m.slotDataOff(f.nvmSlot)
+	if f.kind == kindMini {
+		i := 0
+		for i < int(f.count) {
+			if f.miniDirty&(1<<uint(i)) == 0 {
+				i++
+				continue
+			}
+			j := i
+			for j+1 < int(f.count) && f.miniDirty&(1<<uint(j+1)) != 0 && f.slots[j+1] == f.slots[j]+1 {
+				j++
+			}
+			off := base + int64(f.slots[i])*LineSize
+			n := (j - i + 1) * LineSize
+			m.nvm.WriteAt(f.data[i*LineSize:i*LineSize+n], off)
+			m.nvm.Flush(off, n)
+			i = j + 1
+		}
+		return true
+	}
+	if !m.cfg.CacheLineGrained {
+		m.nvm.WriteAt(f.data, base)
+		m.nvm.Flush(base, PageSize)
+		return true
+	}
+	f.dirty.setRuns(0, LinesPerPage-1, func(from, to int) {
+		off := base + int64(from)*LineSize
+		n := (to - from + 1) * LineSize
+		m.nvm.WriteAt(f.data[from*LineSize:from*LineSize+n], off)
+		m.nvm.Flush(off, n)
+	})
+	return true
+}
+
+// admitToNVM copies a fully resident frame into a fresh NVM slot (§4.2,
+// transition 4). The slot starts dirty with respect to SSD when the frame
+// carried modifications.
+func (m *Manager) admitToNVM(f *Frame, slot int64) {
+	if !f.fullyResident {
+		panic(fmt.Sprintf("core: admitting partially resident page %d", f.pid))
+	}
+	base := m.slotDataOff(slot)
+	m.nvm.WriteAt(f.data, base)
+	m.nvm.Flush(base, PageSize)
+	m.writeSlotHeader(slot, f.pid, f.anyDirty)
+	m.nvmDir[slot] = nvmSlotMeta{pid: f.pid, referenced: true, dirtyWrtSSD: f.anyDirty}
+}
+
+// allocNVMSlot returns a free NVM page slot, evicting one (§4.2,
+// transition 6) if necessary.
+func (m *Manager) allocNVMSlot() (int64, error) {
+	if slot, ok := m.freeNVMSlot(); ok {
+		return slot, nil
+	}
+	return m.evictNVMSlot()
+}
+
+// freeNVMSlot returns an NVM page slot only if one is free, never
+// evicting.
+func (m *Manager) freeNVMSlot() (int64, bool) {
+	if n := len(m.freeSlots); n > 0 {
+		slot := m.freeSlots[n-1]
+		m.freeSlots = m.freeSlots[:n-1]
+		return slot, true
+	}
+	if m.nvmNextSlot < m.nvmSlots {
+		slot := m.nvmNextSlot
+		m.nvmNextSlot++
+		return slot, true
+	}
+	return 0, false
+}
+
+// evictNVMSlot runs the NVM clock and evicts one slot, writing its page to
+// SSD when the NVM copy is newer.
+func (m *Manager) evictNVMSlot() (int64, error) {
+	n := m.nvmSlots
+	for scanned := int64(0); scanned < 2*n+1; scanned++ {
+		slot := m.nvmHand
+		m.nvmHand++
+		if m.nvmHand >= n {
+			m.nvmHand = 0
+		}
+		e := &m.nvmDir[slot]
+		if e.pid == 0 {
+			continue
+		}
+		if loc, ok := m.table[e.pid]; ok && loc.inDRAM() {
+			// The page is cached in DRAM and this slot is its backing;
+			// evicting it would orphan the DRAM frame.
+			continue
+		}
+		if e.referenced {
+			e.referenced = false
+			continue
+		}
+		if e.dirtyWrtSSD {
+			m.nvm.ReadAt(m.scratch, m.slotDataOff(slot))
+			m.ssd.WritePage(int64(e.pid-1), m.scratch)
+		}
+		delete(m.table, e.pid)
+		m.clearSlotHeader(slot)
+		*e = nvmSlotMeta{}
+		m.stats.NVMEvictions++
+		return slot, nil
+	}
+	return 0, ErrNVMFull
+}
+
+// promoteMini promotes a mini page to a full page (§3.2): the resident
+// lines, masks, backing, and swizzling state move to a freshly allocated
+// full frame; the mini page becomes a forwarding wrapper until unfixed.
+func (m *Manager) promoteMini(f *Frame) {
+	full, err := m.newFrame(kindFull, f.pid)
+	if err != nil {
+		// Promotion happens mid-access where no error can be returned;
+		// failing here means DRAM cannot hold even the pages pinned by a
+		// single operation, which is a configuration error.
+		panic(fmt.Sprintf("core: mini-page promotion of page %d failed: %v", f.pid, err))
+	}
+	full.nvmSlot = f.nvmSlot
+	for i := 0; i < int(f.count); i++ {
+		line := int(f.slots[i])
+		copy(full.data[line*LineSize:(line+1)*LineSize], f.data[i*LineSize:(i+1)*LineSize])
+		full.resident.set(line)
+		if f.miniDirty&(1<<uint(i)) != 0 {
+			full.dirty.set(line)
+			full.anyDirty = true
+		}
+	}
+	// Transfer swizzling state: the reference that pointed at the mini
+	// frame now points at the full frame.
+	full.parent, full.parentOff, full.rootHolder = f.parent, f.parentOff, f.rootHolder
+	if full.parent != nil {
+		putRef(full.parent.data, int(full.parentOff), swizzledRef(full.idx))
+	} else if full.rootHolder != nil && full.rootHolder.Swizzled() {
+		*full.rootHolder = swizzledRef(full.idx)
+	}
+	f.parent, f.rootHolder = nil, nil
+	full.pins = f.pins
+	full.referenced = true
+	m.table[f.pid] = dramLoc(full.idx)
+	f.promoted = full
+	m.stats.MiniPromotions++
+}
+
+// Slot header helpers. The header occupies the first cache line of each
+// NVM page slot and is what the restart scan of §4.4 reads.
+
+func (m *Manager) writeSlotHeader(slot int64, pid PageID, dirty bool) {
+	var h [16]byte
+	binary.LittleEndian.PutUint32(h[0:], slotMagic)
+	flags := uint32(0)
+	if dirty {
+		flags |= slotFlagDirty
+	}
+	binary.LittleEndian.PutUint32(h[4:], flags)
+	binary.LittleEndian.PutUint64(h[8:], uint64(pid))
+	m.nvm.Persist(h[:], m.slotHeaderOff(slot))
+}
+
+func (m *Manager) clearSlotHeader(slot int64) {
+	var h [16]byte
+	m.nvm.Persist(h[:], m.slotHeaderOff(slot))
+}
+
+func (m *Manager) readSlotHeader(slot int64) (pid PageID, dirty bool, ok bool) {
+	var h [16]byte
+	m.nvm.ReadAt(h[:], m.slotHeaderOff(slot))
+	if binary.LittleEndian.Uint32(h[0:]) != slotMagic {
+		return 0, false, false
+	}
+	flags := binary.LittleEndian.Uint32(h[4:])
+	pid = PageID(binary.LittleEndian.Uint64(h[8:]))
+	return pid, flags&slotFlagDirty != 0, pid != 0
+}
+
+// admissionSet is the bounded set of §4.2 that identifies warm pages: a
+// page is admitted to NVM only if it was recently denied, i.e. if it keeps
+// coming back.
+type admissionSet struct {
+	cap  int
+	m    map[PageID]int
+	ring []PageID
+	head int
+}
+
+func (s *admissionSet) init(capacity int) {
+	s.cap = capacity
+	if capacity > 0 {
+		s.m = make(map[PageID]int, capacity)
+		s.ring = make([]PageID, 0, capacity)
+	}
+}
+
+// checkAndUpdate reports whether pid should be admitted: true if pid was
+// in the set (and removes it), false otherwise (and remembers pid). A
+// disabled set (capacity < 0 at configuration) admits everything.
+func (s *admissionSet) checkAndUpdate(pid PageID) bool {
+	if s.cap <= 0 {
+		return true
+	}
+	if _, ok := s.m[pid]; ok {
+		delete(s.m, pid)
+		return true
+	}
+	if len(s.ring) < s.cap {
+		s.ring = append(s.ring, pid)
+		s.m[pid] = 1
+		return false
+	}
+	old := s.ring[s.head]
+	if _, ok := s.m[old]; ok {
+		delete(s.m, old)
+	}
+	s.ring[s.head] = pid
+	s.m[pid] = 1
+	s.head++
+	if s.head == s.cap {
+		s.head = 0
+	}
+	return false
+}
+
+func zeroBytes(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+const poisonByte = 0xAB
+
+func poison(b []byte) {
+	for i := range b {
+		b[i] = poisonByte
+	}
+}
+
+// verifyCleanLines implements the §A.6 debugging check on eviction: every
+// resident cache line that is not marked dirty must match its NVM backing.
+// A mismatch means some code modified page memory without marking it dirty.
+func (m *Manager) verifyCleanLines(f *Frame) {
+	if f.nvmSlot < 0 {
+		return
+	}
+	base := m.slotDataOff(f.nvmSlot)
+	var line [LineSize]byte
+	check := func(physLine int, data []byte) {
+		m.nvm.ReadAt(line[:], base+int64(physLine)*LineSize)
+		for i := range line {
+			if line[i] != data[i] {
+				panic(fmt.Sprintf("core: page %d line %d modified without dirty mark", f.pid, physLine))
+			}
+		}
+	}
+	if f.kind == kindMini {
+		for i := 0; i < int(f.count); i++ {
+			if f.miniDirty&(1<<uint(i)) == 0 {
+				check(int(f.slots[i]), f.data[i*LineSize:(i+1)*LineSize])
+			}
+		}
+		return
+	}
+	for l := 0; l < LinesPerPage; l++ {
+		if f.resident.get(l) && !f.dirty.get(l) {
+			check(l, f.data[l*LineSize:(l+1)*LineSize])
+		}
+	}
+}

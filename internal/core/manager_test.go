@@ -1,0 +1,897 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// newTestManager builds a Manager with small capacities suited to tests:
+// DRAM of frames full frames, 64 pages of NVM, 256 pages of SSD, and no
+// simulated CPU cache so that device charges are deterministic.
+func newTestManager(t *testing.T, topo Topology, frames int, opts ...func(*Config)) *Manager {
+	t.Helper()
+	cfg := Config{
+		Topology:      topo,
+		DRAMBytes:     int64(frames) * fullFrameBytes,
+		NVMBytes:      64 * slotSize,
+		SSDBytes:      256 * PageSize,
+		WALBytes:      1 << 16,
+		CPUCacheBytes: -1,
+	}
+	if topo == MemOnly {
+		cfg.DRAMBytes = 0
+		cfg.SSDBytes = 0
+	}
+	if topo == DRAMNVM || topo == DirectNVM {
+		cfg.SSDBytes = 0
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func withFeatures(cl, mini, swizzle bool) func(*Config) {
+	return func(c *Config) {
+		c.CacheLineGrained = cl
+		c.MiniPages = mini
+		c.Swizzling = swizzle
+	}
+}
+
+func mustAlloc(t *testing.T, m *Manager) Handle {
+	t.Helper()
+	h, err := m.Allocate()
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	return h
+}
+
+func mustFix(t *testing.T, m *Manager, pid PageID, mode AccessMode) Handle {
+	t.Helper()
+	h, err := m.Fix(MakeRef(pid), mode)
+	if err != nil {
+		t.Fatalf("Fix(%d): %v", pid, err)
+	}
+	return h
+}
+
+// fillPattern writes a deterministic page-wide pattern derived from seed.
+func fillPattern(h Handle, seed byte) {
+	data := h.WriteAll()
+	for i := range data {
+		data[i] = seed ^ byte(i) ^ byte(i>>8)
+	}
+}
+
+// checkPattern verifies the full page matches fillPattern(seed).
+func checkPattern(t *testing.T, h Handle, seed byte) {
+	t.Helper()
+	data := h.ReadAll()
+	for i := range data {
+		want := seed ^ byte(i) ^ byte(i>>8)
+		if data[i] != want {
+			t.Fatalf("page %d byte %d = %#x, want %#x", h.PID(), i, data[i], want)
+		}
+	}
+}
+
+func TestMemOnlyBasic(t *testing.T) {
+	m := newTestManager(t, MemOnly, 0)
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 3)
+	m.Unfix(h)
+
+	h2 := mustFix(t, m, pid, ModeFull)
+	checkPattern(t, h2, 3)
+	m.Unfix(h2)
+}
+
+func TestMemOnlyCapacity(t *testing.T) {
+	m := newTestManager(t, MemOnly, 0, func(c *Config) {
+		c.DRAMBytes = 4 * fullFrameBytes
+	})
+	for i := 0; i < 4; i++ {
+		h := mustAlloc(t, m)
+		m.Unfix(h)
+	}
+	if _, err := m.Allocate(); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("5th allocation: err = %v, want ErrCapacity", err)
+	}
+}
+
+func TestDRAMSSDEvictAndReload(t *testing.T) {
+	m := newTestManager(t, DRAMSSD, 4)
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 9)
+	m.Unfix(h)
+
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if m.SSD().Stats().PagesWritten == 0 {
+		t.Fatal("dirty page eviction wrote nothing to SSD")
+	}
+	h2 := mustFix(t, m, pid, ModeFull)
+	checkPattern(t, h2, 9)
+	m.Unfix(h2)
+	if m.Stats().SSDLoads != 1 {
+		t.Fatalf("SSDLoads = %d, want 1", m.Stats().SSDLoads)
+	}
+}
+
+func TestDRAMSSDCleanPageNotRewritten(t *testing.T) {
+	m := newTestManager(t, DRAMSSD, 4)
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 1)
+	m.Unfix(h)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	written := m.SSD().Stats().PagesWritten
+
+	// Reload, only read, evict again: no further SSD write.
+	h2 := mustFix(t, m, pid, ModeFull)
+	checkPattern(t, h2, 1)
+	m.Unfix(h2)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.SSD().Stats().PagesWritten; got != written {
+		t.Fatalf("clean page eviction wrote to SSD: %d -> %d writes", written, got)
+	}
+}
+
+func TestDRAMNVMPageGrained(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4)
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 7)
+	m.Unfix(h)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := mustFix(t, m, pid, ModeCacheLine)
+	checkPattern(t, h2, 7)
+	m.Unfix(h2)
+	st := m.Stats()
+	if st.NVMPageLoads != 1 {
+		t.Fatalf("NVMPageLoads = %d, want 1 (page-grained mode)", st.NVMPageLoads)
+	}
+	if st.LinesLoaded != 0 {
+		t.Fatalf("LinesLoaded = %d, want 0 (page-grained mode)", st.LinesLoaded)
+	}
+}
+
+func TestCacheLineGrainedLoadsOnlyNeededLines(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4, withFeatures(true, false, false))
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 5)
+	m.Unfix(h)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+
+	h2 := mustFix(t, m, pid, ModeCacheLine)
+	got := h2.Read(128, 8) // one line: line 2
+	want := h2.Read(128, 8)
+	if !bytes.Equal(got, want) {
+		t.Fatal("repeated read differs")
+	}
+	if st := m.Stats(); st.LinesLoaded != 1 {
+		t.Fatalf("LinesLoaded = %d after one-line read, want 1", st.LinesLoaded)
+	}
+	h2.Read(60, 10) // straddles lines 0 and 1
+	if st := m.Stats(); st.LinesLoaded != 3 {
+		t.Fatalf("LinesLoaded = %d after straddling read, want 3", st.LinesLoaded)
+	}
+	// Verify content correctness of a partial read.
+	data := h2.Read(128, 8)
+	for i := range data {
+		wantB := byte(5) ^ byte(128+i) ^ byte((128+i)>>8)
+		if data[i] != wantB {
+			t.Fatalf("byte %d = %#x, want %#x", 128+i, data[i], wantB)
+		}
+	}
+	m.Unfix(h2)
+}
+
+func TestCacheLineWriteBackOnlyDirtyLines(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4, withFeatures(true, false, false))
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 2)
+	m.Unfix(h)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	slot := int64(pid - 1)
+	dataLine := m.slotDataOff(slot) / LineSize
+	wearBefore := m.NVM().WearCounts()
+
+	h2 := mustFix(t, m, pid, ModeCacheLine)
+	w := h2.Write(3*LineSize, 8) // dirty exactly line 3
+	w[0] = 0xFF
+	m.Unfix(h2)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	wearAfter := m.NVM().WearCounts()
+	if got := wearAfter[dataLine+3] - wearBefore[dataLine+3]; got != 1 {
+		t.Fatalf("dirty line written %d times, want 1", got)
+	}
+	for l := int64(0); l < LinesPerPage; l++ {
+		if l == 3 {
+			continue
+		}
+		if wearAfter[dataLine+l] != wearBefore[dataLine+l] {
+			t.Fatalf("clean line %d was rewritten", l)
+		}
+	}
+
+	// The modification must be durable.
+	h3 := mustFix(t, m, pid, ModeCacheLine)
+	if got := h3.Read(3*LineSize, 1)[0]; got != 0xFF {
+		t.Fatalf("written byte = %#x, want 0xFF", got)
+	}
+	m.Unfix(h3)
+}
+
+func TestMiniPageBasic(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4, withFeatures(true, true, false))
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 11)
+	m.Unfix(h)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+
+	h2 := mustFix(t, m, pid, ModeCacheLine)
+	if st := m.Stats(); st.MiniAllocs != 1 {
+		t.Fatalf("MiniAllocs = %d, want 1", st.MiniAllocs)
+	}
+	// Access three lines out of order and verify content.
+	for _, line := range []int{9, 3, 7} {
+		data := h2.Read(line*LineSize, LineSize)
+		for i := range data {
+			off := line*LineSize + i
+			want := byte(11) ^ byte(off) ^ byte(off>>8)
+			if data[i] != want {
+				t.Fatalf("line %d byte %d = %#x, want %#x", line, i, data[i], want)
+			}
+		}
+	}
+	// Mini pages cost far less DRAM than a full page.
+	if used := m.DRAMUsed(); used != miniFrameBytes {
+		t.Fatalf("DRAMUsed = %d, want %d (one mini page)", used, miniFrameBytes)
+	}
+	// Modify line 3 and evict; the change must persist, others must not
+	// be disturbed.
+	copy(h2.Write(3*LineSize, 4), "MINI")
+	m.Unfix(h2)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	h3 := mustFix(t, m, pid, ModeFull)
+	data := h3.ReadAll()
+	if string(data[3*LineSize:3*LineSize+4]) != "MINI" {
+		t.Fatal("mini-page write lost on eviction")
+	}
+	for i := 3*LineSize + 4; i < PageSize; i++ {
+		want := byte(11) ^ byte(i) ^ byte(i>>8)
+		if data[i] != want {
+			t.Fatalf("byte %d corrupted: %#x want %#x", i, data[i], want)
+		}
+	}
+	m.Unfix(h3)
+}
+
+func TestMiniPageContiguousMultiLine(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4, withFeatures(true, true, false))
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 4)
+	m.Unfix(h)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := mustFix(t, m, pid, ModeCacheLine)
+	// Load line 5 first, then request a span over 4..6: the mini page
+	// must keep physical lines contiguous.
+	h2.Read(5*LineSize, 8)
+	span := h2.Read(4*LineSize, 3*LineSize)
+	for i := range span {
+		off := 4*LineSize + i
+		want := byte(4) ^ byte(off) ^ byte(off>>8)
+		if span[i] != want {
+			t.Fatalf("span byte %d = %#x, want %#x", off, span[i], want)
+		}
+	}
+	m.Unfix(h2)
+}
+
+func TestMiniPagePromotion(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 8, withFeatures(true, true, false))
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 6)
+	m.Unfix(h)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	m.ResetStats()
+
+	h2 := mustFix(t, m, pid, ModeCacheLine)
+	// Dirty a line pre-promotion so we can check dirty-state transfer.
+	copy(h2.Write(2*LineSize, 4), "PREP")
+	// Touch 17 distinct lines: the 17th overflows the mini page.
+	for line := 0; line < 17; line++ {
+		h2.Read(line*LineSize, 1)
+	}
+	st := m.Stats()
+	if st.MiniPromotions != 1 {
+		t.Fatalf("MiniPromotions = %d, want 1", st.MiniPromotions)
+	}
+	// Reads through the promoted wrapper still return correct data.
+	for line := 0; line < 20; line++ {
+		data := h2.Read(line*LineSize, LineSize)
+		for i := range data {
+			off := line*LineSize + i
+			want := byte(6) ^ byte(off) ^ byte(off>>8)
+			if line == 2 && i < 4 {
+				want = "PREP"[i]
+			}
+			if data[i] != want {
+				t.Fatalf("post-promotion line %d byte %d wrong", line, i)
+			}
+		}
+	}
+	m.Unfix(h2)
+	// After unfix the wrapper is gone: only the full frame remains.
+	if used := m.DRAMUsed(); used != fullFrameBytes {
+		t.Fatalf("DRAMUsed = %d after unfix, want %d", used, fullFrameBytes)
+	}
+	// The pre-promotion dirty line survives eviction.
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	h3 := mustFix(t, m, pid, ModeFull)
+	if string(h3.ReadAll()[2*LineSize:2*LineSize+4]) != "PREP" {
+		t.Fatal("dirty line lost across promotion")
+	}
+	m.Unfix(h3)
+}
+
+func TestSwizzling(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 8, withFeatures(true, false, true))
+	parent := mustAlloc(t, m)
+	child := mustAlloc(t, m)
+	childPID := child.PID()
+	fillPattern(child, 8)
+	// Store the child reference at offset 256 of the parent.
+	putRef(parent.Write(256, 8), 0, MakeRef(childPID))
+	m.Unfix(child)
+
+	m.ResetStats()
+	c1, err := m.FixChild(parent, 256, ModeCacheLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Swizzles != 1 {
+		t.Fatalf("Swizzles = %d, want 1", st.Swizzles)
+	}
+	if ref := getRef(parent.Read(256, 8), 0); !ref.Swizzled() {
+		t.Fatal("parent word not swizzled after FixChild")
+	}
+	m.Unfix(c1)
+
+	// Second fix goes through the swizzled pointer, not the table.
+	c2, err := m.FixChild(parent, 256, ModeCacheLine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.SwizzleHits != 1 {
+		t.Fatalf("SwizzleHits = %d, want 1", st.SwizzleHits)
+	}
+	checkPattern(t, c2, 8)
+	m.Unfix(c2)
+
+	// Clean shutdown evicts the child first (unswizzling the parent
+	// word) and then the parent; the persisted word must be the page id.
+	m.Unfix(parent)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := mustFix(t, m, parent.PID(), ModeFull)
+	if ref := getRef(p2.ReadAll(), 256); ref.Swizzled() || ref.PageID() != childPID {
+		t.Fatalf("persisted child word = %#x, want page id %d", uint64(ref), childPID)
+	}
+	m.Unfix(p2)
+}
+
+func TestSwizzledChildPinsParent(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4, withFeatures(true, false, true))
+	parent := mustAlloc(t, m)
+	child := mustAlloc(t, m)
+	putRef(parent.Write(0, 8), 0, MakeRef(child.PID()))
+	m.Unfix(child)
+	c, err := m.FixChild(parent, 0, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keep the child pinned so it stays swizzled; the unpinned parent
+	// must then survive eviction pressure, because evicting it would
+	// persist the swizzled pointer.
+	parentPID := parent.PID()
+	m.Unfix(parent)
+
+	for i := 0; i < 6; i++ {
+		h := mustAlloc(t, m)
+		m.Unfix(h)
+	}
+	loc, ok := m.table[parentPID]
+	if !ok || !loc.inDRAM() {
+		t.Fatalf("parent with swizzled child was evicted (loc=%v ok=%v)", loc, ok)
+	}
+	m.Unfix(c)
+}
+
+func TestUnswizzleChildren(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 8, withFeatures(true, false, true))
+	parent := mustAlloc(t, m)
+	child := mustAlloc(t, m)
+	childPID := child.PID()
+	putRef(parent.Write(64, 8), 0, MakeRef(childPID))
+	m.Unfix(child)
+	c, err := m.FixChild(parent, 64, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Unfix(c)
+
+	m.UnswizzleChildren(parent)
+	if ref := getRef(parent.Read(64, 8), 0); ref.Swizzled() || ref.PageID() != childPID {
+		t.Fatalf("word after UnswizzleChildren = %#x, want page id %d", uint64(ref), childPID)
+	}
+	if parent.f.swizzledChildren != 0 {
+		t.Fatalf("swizzledChildren = %d, want 0", parent.f.swizzledChildren)
+	}
+	m.Unfix(parent)
+}
+
+func TestFixRootSwizzles(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4, withFeatures(true, false, true))
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 1)
+	m.Unfix(h)
+
+	root := MakeRef(pid)
+	r1, err := m.FixRoot(&root, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !root.Swizzled() {
+		t.Fatal("root holder not swizzled")
+	}
+	m.Unfix(r1)
+
+	// Eviction restores the page id in the holder.
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if root.Swizzled() || root.PageID() != pid {
+		t.Fatalf("root holder after eviction = %#x, want page id %d", uint64(root), pid)
+	}
+	r2, err := m.FixRoot(&root, ModeFull)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkPattern(t, r2, 1)
+	m.Unfix(r2)
+}
+
+func TestThreeTierAdmission(t *testing.T) {
+	m := newTestManager(t, ThreeTier, 4, withFeatures(true, true, false))
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 13)
+	m.Unfix(h)
+
+	// First eviction: the page has never been denied, so it is denied
+	// admission and written to SSD.
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	st := m.Stats()
+	if st.NVMDenials != 1 || st.NVMAdmissions != 0 {
+		t.Fatalf("after first eviction: denials=%d admissions=%d, want 1/0", st.NVMDenials, st.NVMAdmissions)
+	}
+	if m.SSD().Stats().PagesWritten != 1 {
+		t.Fatalf("SSD writes = %d, want 1", m.SSD().Stats().PagesWritten)
+	}
+
+	// Reload from SSD and evict again: now it is in the admission set
+	// and moves into NVM.
+	h2 := mustFix(t, m, pid, ModeCacheLine)
+	checkPattern(t, h2, 13)
+	m.Unfix(h2)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	st = m.Stats()
+	if st.NVMAdmissions != 1 {
+		t.Fatalf("NVMAdmissions = %d, want 1", st.NVMAdmissions)
+	}
+	loc, ok := m.table[pid]
+	if !ok || loc.inDRAM() {
+		t.Fatalf("page location after admission = %v, want NVM", loc)
+	}
+
+	// Third fix comes from NVM, cache-line-grained.
+	m.ResetStats()
+	ssdReads := m.SSD().Stats().PagesRead
+	h3 := mustFix(t, m, pid, ModeCacheLine)
+	h3.Read(0, 8)
+	if st := m.Stats(); st.LinesLoaded == 0 {
+		t.Fatal("NVM-backed fix loaded no cache lines")
+	}
+	if m.SSD().Stats().PagesRead != ssdReads {
+		t.Fatal("NVM-resident page was read from SSD")
+	}
+	m.Unfix(h3)
+}
+
+func TestThreeTierNVMEviction(t *testing.T) {
+	m := newTestManager(t, ThreeTier, 4, func(c *Config) {
+		c.CacheLineGrained = true
+		c.NVMBytes = 2 * slotSize // room for only two NVM pages
+	})
+	// Create three pages and cycle each through DRAM twice so all want
+	// NVM admission; with two slots, at least one NVM eviction happens.
+	var pids []PageID
+	for i := 0; i < 3; i++ {
+		h := mustAlloc(t, m)
+		pids = append(pids, h.PID())
+		fillPattern(h, byte(20+i))
+		m.Unfix(h)
+	}
+	for round := 0; round < 2; round++ {
+		if err := m.CleanShutdown(); err != nil {
+			t.Fatal(err)
+		}
+		for _, pid := range pids {
+			h := mustFix(t, m, pid, ModeFull)
+			m.Unfix(h)
+		}
+	}
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().NVMEvictions == 0 {
+		t.Fatal("no NVM evictions despite 3 pages and 2 slots")
+	}
+	// All pages must still be readable with correct content.
+	for i, pid := range pids {
+		h := mustFix(t, m, pid, ModeFull)
+		checkPattern(t, h, byte(20+i))
+		m.Unfix(h)
+	}
+}
+
+func TestCleanRestartRebuildsTable(t *testing.T) {
+	m := newTestManager(t, ThreeTier, 4, withFeatures(true, true, false))
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 17)
+	m.Unfix(h)
+	// Two eviction rounds to get the page admitted to NVM.
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+	h2 := mustFix(t, m, pid, ModeFull)
+	m.Unfix(h2)
+	if err := m.CleanRestart(); err != nil {
+		t.Fatal(err)
+	}
+
+	loc, ok := m.table[pid]
+	if !ok || loc.inDRAM() {
+		t.Fatalf("restart did not rebuild NVM mapping: loc=%v ok=%v", loc, ok)
+	}
+	ssdReads := m.SSD().Stats().PagesRead
+	h3 := mustFix(t, m, pid, ModeFull)
+	checkPattern(t, h3, 17)
+	m.Unfix(h3)
+	if m.SSD().Stats().PagesRead != ssdReads {
+		t.Fatal("restart lost the NVM cache: page re-read from SSD")
+	}
+}
+
+func TestCrashRestartStrictPersistence(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4, func(c *Config) {
+		c.CacheLineGrained = true
+		c.StrictPersistence = true
+	})
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 30)
+	m.Unfix(h)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Modify the page but crash before eviction: the change is only in
+	// DRAM and must be lost.
+	h2 := mustFix(t, m, pid, ModeCacheLine)
+	copy(h2.Write(0, 4), "LOST")
+	if err := m.CrashRestart(); err != nil {
+		t.Fatal(err)
+	}
+	h3 := mustFix(t, m, pid, ModeFull)
+	checkPattern(t, h3, 30)
+	m.Unfix(h3)
+}
+
+func TestDirectNVM(t *testing.T) {
+	m := newTestManager(t, DirectNVM, 0)
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	copy(h.Write(128, 6), "DIRECT")
+	wear := m.NVM().WearCounts()
+	m.Unfix(h)
+
+	// Unfix flushed exactly the dirty line (line 2 of the page data).
+	dataLine := m.slotDataOff(int64(pid-1)) / LineSize
+	after := m.NVM().WearCounts()
+	if after[dataLine+2]-wear[dataLine+2] != 1 {
+		t.Fatalf("dirty line flushed %d times, want 1", after[dataLine+2]-wear[dataLine+2])
+	}
+	if after[dataLine] != wear[dataLine] {
+		t.Fatal("clean line was flushed")
+	}
+
+	// Reads charge NVM latency.
+	before := m.Clock().Ns()
+	h2 := mustFix(t, m, pid, ModeCacheLine)
+	got := h2.Read(128, 6)
+	if string(got) != "DIRECT" {
+		t.Fatalf("read back %q", got)
+	}
+	if m.Clock().Ns() == before {
+		t.Fatal("direct read charged no latency")
+	}
+	m.Unfix(h2)
+	if m.Stats().DirectFixes != 2 {
+		t.Fatalf("DirectFixes = %d, want 2", m.Stats().DirectFixes)
+	}
+}
+
+func TestFreePageReusesPID(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4)
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	m.FreePage(h)
+	h2 := mustAlloc(t, m)
+	if h2.PID() != pid {
+		t.Fatalf("reallocated pid = %d, want reused %d", h2.PID(), pid)
+	}
+	// Freed-and-reused pages must read as zero.
+	data := h2.ReadAll()
+	for i, b := range data {
+		if b != 0 {
+			t.Fatalf("reused page byte %d = %#x, want 0", i, b)
+		}
+	}
+	m.Unfix(h2)
+}
+
+func TestUserMetaPersistsAcrossRestart(t *testing.T) {
+	m := newTestManager(t, ThreeTier, 4)
+	meta := []byte("catalog: tree@3")
+	if err := m.SetUserMeta(meta); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CleanRestart(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.UserMeta(); !bytes.Equal(got, meta) {
+		t.Fatalf("UserMeta after restart = %q, want %q", got, meta)
+	}
+}
+
+func TestUserMetaTooLarge(t *testing.T) {
+	m := newTestManager(t, MemOnly, 0)
+	if err := m.SetUserMeta(make([]byte, userMetaMax+1)); err == nil {
+		t.Fatal("oversized metadata accepted")
+	}
+}
+
+func TestDebugChecksCatchUnmarkedWrite(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4, func(c *Config) {
+		c.CacheLineGrained = true
+		c.DebugChecks = true
+	})
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 2)
+	m.Unfix(h)
+	if err := m.CleanShutdown(); err != nil {
+		t.Fatal(err)
+	}
+
+	h2 := mustFix(t, m, pid, ModeCacheLine)
+	// Simulate a buggy caller: mutate a read-only slice.
+	h2.Read(0, 8)[0] ^= 0xFF
+	m.Unfix(h2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("debug checks did not catch unmarked write")
+		}
+	}()
+	_ = m.CleanShutdown()
+}
+
+func TestUnfixPanics(t *testing.T) {
+	m := newTestManager(t, MemOnly, 0)
+	h := mustAlloc(t, m)
+	m.Unfix(h)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unfix did not panic")
+		}
+	}()
+	m.Unfix(h)
+}
+
+func TestFixUnknownPage(t *testing.T) {
+	m := newTestManager(t, DRAMNVM, 4)
+	if _, err := m.Fix(MakeRef(99), ModeFull); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("err = %v, want ErrPageNotFound", err)
+	}
+	if _, err := m.Fix(MakeRef(InvalidPageID), ModeFull); !errors.Is(err, ErrPageNotFound) {
+		t.Fatalf("err = %v, want ErrPageNotFound", err)
+	}
+}
+
+// TestRandomAccessAgainstShadow drives one page through random reads,
+// writes, evictions, and restarts in every buffered topology and feature
+// combination, comparing against an in-memory shadow copy.
+func TestRandomAccessAgainstShadow(t *testing.T) {
+	type variant struct {
+		name string
+		topo Topology
+		feat func(*Config)
+	}
+	variants := []variant{
+		{"ssd-bm", DRAMSSD, withFeatures(false, false, false)},
+		{"basic-nvm", DRAMNVM, withFeatures(false, false, false)},
+		{"nvm-cl", DRAMNVM, withFeatures(true, false, false)},
+		{"nvm-cl-mini", DRAMNVM, withFeatures(true, true, false)},
+		{"three-tier", ThreeTier, withFeatures(true, true, true)},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			m := newTestManager(t, v.topo, 4, v.feat)
+			rng := rand.New(rand.NewSource(42))
+			h := mustAlloc(t, m)
+			pid := h.PID()
+			shadow := make([]byte, PageSize)
+			copy(h.WriteAll(), shadow) // starts zeroed
+			m.Unfix(h)
+
+			for step := 0; step < 2000; step++ {
+				switch rng.Intn(10) {
+				case 0: // evict everything
+					if err := m.CleanShutdown(); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					continue
+				case 1: // full restart
+					if v.topo == ThreeTier {
+						if err := m.CleanRestart(); err != nil {
+							t.Fatalf("step %d: %v", step, err)
+						}
+						continue
+					}
+				}
+				hh, err := m.Fix(MakeRef(pid), ModeCacheLine)
+				if err != nil {
+					t.Fatalf("step %d: fix: %v", step, err)
+				}
+				nOps := 1 + rng.Intn(4)
+				for op := 0; op < nOps; op++ {
+					n := 1 + rng.Intn(300)
+					off := rng.Intn(PageSize - n)
+					if rng.Intn(2) == 0 {
+						got := hh.Read(off, n)
+						if !bytes.Equal(got, shadow[off:off+n]) {
+							t.Fatalf("step %d: read [%d,%d) mismatch", step, off, off+n)
+						}
+					} else {
+						w := hh.Write(off, n)
+						rng.Read(w)
+						copy(shadow[off:], w)
+					}
+				}
+				m.Unfix(hh)
+			}
+			// Final full verification.
+			hh := mustFix(t, m, pid, ModeFull)
+			if !bytes.Equal(hh.ReadAll(), shadow) {
+				t.Fatal("final page content diverged from shadow")
+			}
+			m.Unfix(hh)
+		})
+	}
+}
+
+// TestManyPagesEvictionChurn creates more pages than DRAM holds and
+// repeatedly accesses them in random order, verifying content integrity
+// under heavy eviction in the three-tier topology.
+func TestManyPagesEvictionChurn(t *testing.T) {
+	m := newTestManager(t, ThreeTier, 6, withFeatures(true, true, true))
+	const pages = 24
+	pids := make([]PageID, pages)
+	for i := range pids {
+		h := mustAlloc(t, m)
+		pids[i] = h.PID()
+		fillPattern(h, byte(i))
+		m.Unfix(h)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for step := 0; step < 3000; step++ {
+		i := rng.Intn(pages)
+		h, err := m.Fix(MakeRef(pids[i]), ModeCacheLine)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		off := rng.Intn(PageSize - 8)
+		data := h.Read(off, 8)
+		for j := range data {
+			want := byte(i) ^ byte(off+j) ^ byte((off+j)>>8)
+			if data[j] != want {
+				t.Fatalf("step %d: page %d byte %d = %#x, want %#x", step, pids[i], off+j, data[j], want)
+			}
+		}
+		m.Unfix(h)
+	}
+	st := m.Stats()
+	if st.DRAMEvictions == 0 {
+		t.Fatal("no DRAM evictions despite 24 pages in a 6-frame pool")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Topology: ThreeTier}, // missing capacities
+		{Topology: DRAMNVM},   // missing NVM
+		{Topology: DRAMSSD},   // missing SSD
+		{Topology: DRAMSSD, SSDBytes: 1 << 20, DRAMBytes: 10},   // DRAM too small
+		{Topology: DRAMNVM, NVMBytes: 1 << 20, MiniPages: true}, // mini without CL
+		{Topology: Topology(99)},
+	}
+	for i, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, cfg)
+		}
+	}
+}

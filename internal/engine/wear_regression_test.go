@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"testing"
+
+	"nvmstore/internal/btree"
+	"nvmstore/internal/core"
+)
+
+// TestDirectUpdateWearsTupleLines is a regression test for NVM wear
+// accounting on the in-place architecture: each update must flush (and
+// therefore wear) the updated tuple's cache lines in addition to the log
+// lines, and updates to distinct rows must wear distinct lines.
+func TestDirectUpdateWearsTupleLines(t *testing.T) {
+	cfg := DefaultConfig(core.DirectNVM, 0, 64<<20, 0)
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := e.CreateTree(1, 1024, btree.LayoutSorted)
+	if err := tr.BulkLoad(100, func(i int) uint64 { return uint64(i) }, func(i int, dst []byte) {}, 0.66); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Manager()
+
+	// A single update wears both log and tuple lines.
+	m.NVM().ResetWear()
+	e.Begin()
+	if found, err := tr.UpdateField(3, 0, []byte("YY")); err != nil || !found {
+		t.Fatalf("update: %v %v", found, err)
+	}
+	if err := e.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if w := m.NVM().TotalWrites(); w < 3 {
+		t.Fatalf("single update wore %d lines, want log + tuple", w)
+	}
+
+	// Updates over distinct rows wear distinct lines: lines touched must
+	// scale with the rows, not stay at the handful of reused log lines.
+	m.NVM().ResetWear()
+	for i := 0; i < 80; i++ {
+		e.Begin()
+		if found, err := tr.UpdateField(uint64(i), 0, []byte("abcd")); err != nil || !found {
+			t.Fatalf("bulk update %d: %v %v", i, found, err)
+		}
+		if err := e.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	touched := 0
+	for _, c := range m.NVM().WearCounts() {
+		if c > 0 {
+			touched++
+		}
+	}
+	if touched < 60 {
+		t.Fatalf("only %d lines touched for 80 distinct-row updates", touched)
+	}
+}

@@ -1,0 +1,427 @@
+// Package nvm simulates a byte-addressable non-volatile memory device.
+//
+// The device stands in for the Intel Crystal Ridge Software Emulation
+// Platform used by the paper "Managing Non-Volatile Memory in Database
+// Systems" (SIGMOD 2018). It models exactly the properties the paper's
+// experiments depend on:
+//
+//   - configurable read latency (the paper sweeps 165 ns to 1800 ns),
+//   - asymmetric write latency,
+//   - cache-line (64 B) access granularity with a bandwidth term for
+//     contiguous transfers,
+//   - explicit persistence via Flush, mirroring clwb+sfence: data written
+//     with WriteAt is visible but not durable until flushed,
+//   - per-cache-line write (wear) counters for the endurance experiment,
+//   - an optional CPU last-level cache simulation, so that systems working
+//     directly on NVM benefit from cache hits on hot lines exactly as the
+//     paper's NVM Direct engine benefits from the real L3.
+//
+// Latency is not slept away; it is charged to a simclock.Clock so that
+// experiments are deterministic and fast (see internal/simclock).
+//
+// The device is not safe for concurrent use; the reproduced engines are
+// single-threaded, matching the paper's evaluation setup.
+package nvm
+
+import (
+	"fmt"
+	"time"
+
+	"nvmstore/internal/simclock"
+)
+
+// LineSize is the cache-line granularity of the device in bytes.
+const LineSize = 64
+
+// Config describes the geometry and timing of a simulated NVM device.
+type Config struct {
+	// Size is the capacity of the device in bytes. It is rounded up to a
+	// multiple of LineSize.
+	Size int64
+
+	// ReadLatency is charged once per contiguous read that misses the
+	// simulated CPU cache. The paper's default is 500 ns.
+	ReadLatency time.Duration
+
+	// WriteLatency is charged once per contiguous flush. NVM writes are
+	// more expensive than reads; the paper calls the latency asymmetric.
+	WriteLatency time.Duration
+
+	// LineTransfer is the bandwidth term: each additional contiguous line
+	// in a read or flush costs this much on top of the base latency. The
+	// default of 30 ns per 64 B line (~2.1 GB/s) makes a full 16 kB page
+	// load cost about 16 single-line reads, matching the benefit the
+	// paper measures for cache-line-grained loading.
+	LineTransfer time.Duration
+
+	// CPUCacheBytes is the size of the simulated last-level CPU cache
+	// sitting in front of the device. Reads that hit this cache are free.
+	// Zero disables the cache simulation.
+	CPUCacheBytes int64
+
+	// CPUCacheWays is the associativity of the simulated CPU cache.
+	// Defaults to 8 when the cache is enabled.
+	CPUCacheWays int
+
+	// StrictPersistence enables crash simulation: WriteAt records the
+	// previous content of each written line, and Crash reverts every line
+	// that has not been flushed since. This is the adversarial
+	// interpretation of the paper's observation that an unflushed store
+	// may or may not have reached NVM.
+	StrictPersistence bool
+}
+
+// DefaultConfig returns the device configuration used throughout the
+// reproduction unless an experiment overrides it: the paper's default
+// 500 ns NVM latency with a 20 MB, 8-way L3 in front.
+func DefaultConfig(size int64) Config {
+	return Config{
+		Size:          size,
+		ReadLatency:   500 * time.Nanosecond,
+		WriteLatency:  500 * time.Nanosecond,
+		LineTransfer:  30 * time.Nanosecond,
+		CPUCacheBytes: 20 << 20,
+		CPUCacheWays:  8,
+	}
+}
+
+// Stats counts device traffic since the last call to ResetStats.
+type Stats struct {
+	// LinesRead is the number of cache lines requested by reads,
+	// including those served by the simulated CPU cache.
+	LinesRead int64
+	// LinesReadCharged is the number of lines that actually paid NVM
+	// read latency (CPU-cache misses).
+	LinesReadCharged int64
+	// ReadOps is the number of ReadAt calls.
+	ReadOps int64
+	// LinesFlushed is the number of cache lines made durable by Flush.
+	LinesFlushed int64
+	// FlushOps is the number of Flush calls.
+	FlushOps int64
+	// LinesWritten is the number of cache lines stored by WriteAt.
+	LinesWritten int64
+}
+
+// Device is a simulated NVM DIMM.
+type Device struct {
+	cfg   Config
+	clk   *simclock.Clock
+	data  []byte
+	wear  []uint32
+	stats Stats
+	cache *cpuCache
+
+	// pending maps line index -> previous durable content, only in
+	// strict persistence mode.
+	pending map[int64][]byte
+
+	// Crash injection (FailAfterFlushes).
+	failArmed bool
+	failIn    int64
+}
+
+// New creates a device with the given configuration, charging all device
+// time to clk. It panics if cfg.Size is not positive or clk is nil, since
+// both indicate a programming error rather than a runtime condition.
+func New(cfg Config, clk *simclock.Clock) *Device {
+	if cfg.Size <= 0 {
+		panic("nvm: non-positive device size")
+	}
+	if clk == nil {
+		panic("nvm: nil clock")
+	}
+	lines := (cfg.Size + LineSize - 1) / LineSize
+	cfg.Size = lines * LineSize
+	d := &Device{
+		cfg:  cfg,
+		clk:  clk,
+		data: make([]byte, cfg.Size),
+		wear: make([]uint32, lines),
+	}
+	if cfg.CPUCacheBytes > 0 {
+		ways := cfg.CPUCacheWays
+		if ways <= 0 {
+			ways = 8
+		}
+		d.cache = newCPUCache(cfg.CPUCacheBytes, ways)
+	}
+	if cfg.StrictPersistence {
+		d.pending = make(map[int64][]byte)
+	}
+	return d
+}
+
+// Size returns the device capacity in bytes.
+func (d *Device) Size() int64 { return d.cfg.Size }
+
+// Lines returns the number of cache lines on the device.
+func (d *Device) Lines() int64 { return int64(len(d.wear)) }
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// SetReadLatency changes the read latency, supporting the paper's NVM
+// latency sweep (Figure 12) without rebuilding the device.
+func (d *Device) SetReadLatency(l time.Duration) { d.cfg.ReadLatency = l }
+
+// SetWriteLatency changes the write latency.
+func (d *Device) SetWriteLatency(l time.Duration) { d.cfg.WriteLatency = l }
+
+func (d *Device) checkRange(off int64, n int) {
+	if off < 0 || n < 0 || off+int64(n) > d.cfg.Size {
+		panic(fmt.Sprintf("nvm: access [%d, %d) outside device of size %d", off, off+int64(n), d.cfg.Size))
+	}
+}
+
+// lineRange returns the first line index and number of lines covering
+// [off, off+n).
+func lineRange(off int64, n int) (first, count int64) {
+	if n == 0 {
+		return off / LineSize, 0
+	}
+	first = off / LineSize
+	last := (off + int64(n) - 1) / LineSize
+	return first, last - first + 1
+}
+
+// ReadAt copies len(p) bytes starting at off into p, charging read latency
+// for the cache lines that miss the simulated CPU cache.
+func (d *Device) ReadAt(p []byte, off int64) {
+	d.checkRange(off, len(p))
+	if len(p) == 0 {
+		return
+	}
+	first, count := lineRange(off, len(p))
+	misses := int64(0)
+	for l := first; l < first+count; l++ {
+		if d.cache == nil || !d.cache.access(l) {
+			misses++
+		}
+	}
+	d.stats.ReadOps++
+	d.stats.LinesRead += count
+	d.stats.LinesReadCharged += misses
+	if misses > 0 {
+		d.clk.AdvanceNs(int64(d.cfg.ReadLatency) + (misses-1)*int64(d.cfg.LineTransfer))
+	}
+	copy(p, d.data[off:off+int64(len(p))])
+}
+
+// Touch charges exactly what a ReadAt of [off, off+n) would charge without
+// copying any data. It exists for engines that access the device zero-copy
+// through View, such as the NVM Direct engine working in place.
+func (d *Device) Touch(off int64, n int) {
+	d.checkRange(off, n)
+	if n == 0 {
+		return
+	}
+	first, count := lineRange(off, n)
+	misses := int64(0)
+	for l := first; l < first+count; l++ {
+		if d.cache == nil || !d.cache.access(l) {
+			misses++
+		}
+	}
+	d.stats.ReadOps++
+	d.stats.LinesRead += count
+	d.stats.LinesReadCharged += misses
+	if misses > 0 {
+		d.clk.AdvanceNs(int64(d.cfg.ReadLatency) + (misses-1)*int64(d.cfg.LineTransfer))
+	}
+}
+
+// View returns the device's backing memory for [off, off+n) without
+// charging anything. Callers are responsible for charging reads via Touch
+// and persisting mutations via Flush. Mutations made through a view bypass
+// strict-persistence tracking: they behave like stores that the CPU evicted
+// to NVM on its own, which the paper notes can happen at any time.
+func (d *Device) View(off int64, n int) []byte {
+	d.checkRange(off, n)
+	return d.data[off : off+int64(n)]
+}
+
+// WriteAt stores p at off. The store is immediately visible to ReadAt but
+// not durable until the covered lines are flushed: in strict persistence
+// mode a Crash reverts unflushed lines. WriteAt itself charges no device
+// time; the cost of persisting is charged by Flush, mirroring how stores go
+// to the CPU cache and clwb pays the NVM write.
+func (d *Device) WriteAt(p []byte, off int64) {
+	d.checkRange(off, len(p))
+	if len(p) == 0 {
+		return
+	}
+	first, count := lineRange(off, len(p))
+	d.stats.LinesWritten += count
+	if d.pending != nil {
+		for l := first; l < first+count; l++ {
+			if _, ok := d.pending[l]; !ok {
+				prev := make([]byte, LineSize)
+				copy(prev, d.data[l*LineSize:(l+1)*LineSize])
+				d.pending[l] = prev
+			}
+		}
+	}
+	if d.cache != nil {
+		for l := first; l < first+count; l++ {
+			d.cache.access(l) // write-allocate
+		}
+	}
+	copy(d.data[off:off+int64(len(p))], p)
+}
+
+// InjectedCrash is the panic value thrown by a flush when a crash was
+// armed with FailAfterFlushes. Test harnesses recover it and then restart
+// the engine, simulating a power failure in the middle of an operation.
+type InjectedCrash struct{}
+
+// Error implements the error interface.
+func (InjectedCrash) Error() string { return "nvm: injected crash" }
+
+// FailAfterFlushes arms a crash: after n more successful flushes, the next
+// flush panics with InjectedCrash before persisting anything, and in
+// strict-persistence mode every line not yet flushed is lost. Pass a
+// negative n to disarm.
+func (d *Device) FailAfterFlushes(n int64) {
+	d.failIn = n
+	d.failArmed = n >= 0
+}
+
+// Flush makes the lines covering [off, off+n) durable, charging write
+// latency and incrementing the wear counter of every flushed line. It
+// models clwb of each line followed by an sfence: the lines stay valid in
+// the simulated CPU cache.
+func (d *Device) Flush(off int64, n int) {
+	d.checkRange(off, n)
+	if n == 0 {
+		return
+	}
+	if d.failArmed {
+		if d.failIn <= 0 {
+			d.failArmed = false
+			panic(InjectedCrash{})
+		}
+		d.failIn--
+	}
+	first, count := lineRange(off, n)
+	for l := first; l < first+count; l++ {
+		d.wear[l]++
+		if d.pending != nil {
+			delete(d.pending, l)
+		}
+	}
+	d.stats.FlushOps++
+	d.stats.LinesFlushed += count
+	d.clk.AdvanceNs(int64(d.cfg.WriteLatency) + (count-1)*int64(d.cfg.LineTransfer))
+}
+
+// Persist is shorthand for WriteAt followed by Flush of the same range: a
+// store that is immediately made durable, as the paper's engines do for WAL
+// entries and in-place tuple updates.
+func (d *Device) Persist(p []byte, off int64) {
+	d.WriteAt(p, off)
+	d.Flush(off, len(p))
+}
+
+// Crash simulates a power failure. In strict persistence mode every line
+// written since its last flush reverts to its last durable content. The
+// simulated CPU cache is dropped either way (a real restart starts cold).
+func (d *Device) Crash() {
+	for l, prev := range d.pending {
+		copy(d.data[l*LineSize:(l+1)*LineSize], prev)
+	}
+	if d.pending != nil {
+		d.pending = make(map[int64][]byte)
+	}
+	if d.cache != nil {
+		d.cache.reset()
+	}
+}
+
+// DropCPUCache empties the simulated CPU cache without touching data,
+// modelling a clean restart where DRAM and caches are cold but NVM content
+// survives.
+func (d *Device) DropCPUCache() {
+	if d.cache != nil {
+		d.cache.reset()
+	}
+}
+
+// Wear returns the write count of cache line l.
+func (d *Device) Wear(l int64) uint32 { return d.wear[l] }
+
+// WearCounts returns a copy of all per-line write counters.
+func (d *Device) WearCounts() []uint32 {
+	out := make([]uint32, len(d.wear))
+	copy(out, d.wear)
+	return out
+}
+
+// TotalWrites returns the sum of all wear counters, i.e. the total number
+// of cache-line writes the device has absorbed.
+func (d *Device) TotalWrites() int64 {
+	var sum int64
+	for _, w := range d.wear {
+		sum += int64(w)
+	}
+	return sum
+}
+
+// ResetWear zeroes the wear counters.
+func (d *Device) ResetWear() {
+	for i := range d.wear {
+		d.wear[i] = 0
+	}
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ResetStats zeroes the traffic counters.
+func (d *Device) ResetStats() { d.stats = Stats{} }
+
+// cpuCache is a set-associative cache over line indices with per-set LRU
+// replacement. It only tracks presence, not content: content always lives
+// in the device slab.
+type cpuCache struct {
+	ways int
+	sets int64
+	// tags holds line indices + 1 (0 means empty), laid out per set in
+	// LRU order: tags[set*ways] is most recently used.
+	tags []int64
+}
+
+func newCPUCache(bytes int64, ways int) *cpuCache {
+	sets := bytes / LineSize / int64(ways)
+	if sets < 1 {
+		sets = 1
+	}
+	return &cpuCache{ways: ways, sets: sets, tags: make([]int64, sets*int64(ways))}
+}
+
+// access looks up line l, inserting it if absent, and reports whether it
+// was present (a hit).
+func (c *cpuCache) access(l int64) bool {
+	set := l % c.sets
+	base := set * int64(c.ways)
+	tag := l + 1
+	ways := c.tags[base : base+int64(c.ways)]
+	for i, t := range ways {
+		if t == tag {
+			// Move to front (most recently used).
+			copy(ways[1:i+1], ways[:i])
+			ways[0] = tag
+			return true
+		}
+	}
+	// Miss: insert at front, evicting the LRU way.
+	copy(ways[1:], ways[:len(ways)-1])
+	ways[0] = tag
+	return false
+}
+
+func (c *cpuCache) reset() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+}

@@ -1,0 +1,318 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"nvmstore/internal/simclock"
+)
+
+// testConfig returns a small device configuration without a CPU cache so
+// latency charges are exact.
+func testConfig(size int64) Config {
+	return Config{
+		Size:         size,
+		ReadLatency:  500 * time.Nanosecond,
+		WriteLatency: 700 * time.Nanosecond,
+		LineTransfer: 5 * time.Nanosecond,
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var clk simclock.Clock
+	d := New(testConfig(4096), &clk)
+	want := []byte("hello, persistent world")
+	d.WriteAt(want, 100)
+	got := make([]byte, len(want))
+	d.ReadAt(got, 100)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ReadAt = %q, want %q", got, want)
+	}
+}
+
+func TestSizeRoundedToLines(t *testing.T) {
+	var clk simclock.Clock
+	d := New(testConfig(100), &clk)
+	if d.Size() != 128 {
+		t.Fatalf("Size() = %d, want 128", d.Size())
+	}
+	if d.Lines() != 2 {
+		t.Fatalf("Lines() = %d, want 2", d.Lines())
+	}
+}
+
+func TestReadChargesLatencyPerContiguousRun(t *testing.T) {
+	var clk simclock.Clock
+	d := New(testConfig(1<<20), &clk)
+
+	// One line: base latency only.
+	buf := make([]byte, 8)
+	d.ReadAt(buf, 0)
+	if got, want := clk.Ns(), int64(500); got != want {
+		t.Fatalf("single-line read charged %d ns, want %d", got, want)
+	}
+
+	// Four fresh lines in one call: base + 3 transfer terms.
+	clk.Reset()
+	big := make([]byte, 4*LineSize)
+	d.ReadAt(big, 4*LineSize)
+	if got, want := clk.Ns(), int64(500+3*5); got != want {
+		t.Fatalf("4-line read charged %d ns, want %d", got, want)
+	}
+}
+
+func TestReadSpanningLineBoundaryChargesBothLines(t *testing.T) {
+	var clk simclock.Clock
+	d := New(testConfig(1<<20), &clk)
+	buf := make([]byte, 8)
+	d.ReadAt(buf, LineSize-4) // straddles lines 0 and 1
+	if got, want := clk.Ns(), int64(500+5); got != want {
+		t.Fatalf("straddling read charged %d ns, want %d", got, want)
+	}
+	if got := d.Stats().LinesRead; got != 2 {
+		t.Fatalf("LinesRead = %d, want 2", got)
+	}
+}
+
+func TestWriteAtChargesNothingFlushCharges(t *testing.T) {
+	var clk simclock.Clock
+	d := New(testConfig(1<<20), &clk)
+	p := make([]byte, 2*LineSize)
+	d.WriteAt(p, 0)
+	if clk.Ns() != 0 {
+		t.Fatalf("WriteAt charged %d ns, want 0", clk.Ns())
+	}
+	d.Flush(0, len(p))
+	if got, want := clk.Ns(), int64(700+5); got != want {
+		t.Fatalf("2-line flush charged %d ns, want %d", got, want)
+	}
+}
+
+func TestFlushIncrementsWear(t *testing.T) {
+	var clk simclock.Clock
+	d := New(testConfig(1<<20), &clk)
+	p := make([]byte, LineSize)
+	for i := 0; i < 3; i++ {
+		d.Persist(p, 0)
+	}
+	d.Persist(p, 5*LineSize)
+	if got := d.Wear(0); got != 3 {
+		t.Fatalf("Wear(0) = %d, want 3", got)
+	}
+	if got := d.Wear(5); got != 1 {
+		t.Fatalf("Wear(5) = %d, want 1", got)
+	}
+	if got := d.TotalWrites(); got != 4 {
+		t.Fatalf("TotalWrites() = %d, want 4", got)
+	}
+	counts := d.WearCounts()
+	if counts[0] != 3 || counts[5] != 1 {
+		t.Fatalf("WearCounts() = %v at 0 and 5, want 3 and 1", []uint32{counts[0], counts[5]})
+	}
+	d.ResetWear()
+	if got := d.TotalWrites(); got != 0 {
+		t.Fatalf("TotalWrites() after ResetWear = %d, want 0", got)
+	}
+}
+
+func TestCPUCacheHitsAreFree(t *testing.T) {
+	var clk simclock.Clock
+	cfg := testConfig(1 << 20)
+	cfg.CPUCacheBytes = 1 << 16
+	cfg.CPUCacheWays = 4
+	d := New(cfg, &clk)
+
+	buf := make([]byte, LineSize)
+	d.ReadAt(buf, 0)
+	first := clk.Ns()
+	d.ReadAt(buf, 0) // same line: now cached
+	if clk.Ns() != first {
+		t.Fatalf("second read of cached line charged %d ns", clk.Ns()-first)
+	}
+	st := d.Stats()
+	if st.LinesRead != 2 || st.LinesReadCharged != 1 {
+		t.Fatalf("stats = %+v, want LinesRead=2 LinesReadCharged=1", st)
+	}
+}
+
+func TestCPUCacheEvicts(t *testing.T) {
+	var clk simclock.Clock
+	cfg := testConfig(1 << 20)
+	// Tiny cache: 2 ways, 1 set (128 bytes).
+	cfg.CPUCacheBytes = 2 * LineSize
+	cfg.CPUCacheWays = 2
+	d := New(cfg, &clk)
+	buf := make([]byte, LineSize)
+
+	d.ReadAt(buf, 0*LineSize) // miss, cache {0}
+	d.ReadAt(buf, 1*LineSize) // miss, cache {1,0}
+	d.ReadAt(buf, 2*LineSize) // miss, evicts 0, cache {2,1}
+	clk.Reset()
+	d.ReadAt(buf, 0*LineSize) // must miss again
+	if clk.Ns() == 0 {
+		t.Fatal("read of evicted line was free")
+	}
+}
+
+func TestDropCPUCacheColdReads(t *testing.T) {
+	var clk simclock.Clock
+	cfg := testConfig(1 << 20)
+	cfg.CPUCacheBytes = 1 << 16
+	d := New(cfg, &clk)
+	buf := make([]byte, LineSize)
+	d.ReadAt(buf, 0)
+	d.DropCPUCache()
+	clk.Reset()
+	d.ReadAt(buf, 0)
+	if clk.Ns() == 0 {
+		t.Fatal("read after DropCPUCache was free")
+	}
+}
+
+func TestStrictPersistenceCrashRevertsUnflushed(t *testing.T) {
+	var clk simclock.Clock
+	cfg := testConfig(4096)
+	cfg.StrictPersistence = true
+	d := New(cfg, &clk)
+
+	durable := []byte("durable")
+	d.Persist(durable, 0)
+
+	// Overwrite without flushing, plus a write to a fresh line.
+	d.WriteAt([]byte("doomed!"), 0)
+	d.WriteAt([]byte("also doomed"), 2*LineSize)
+	d.Crash()
+
+	got := make([]byte, len(durable))
+	d.ReadAt(got, 0)
+	if !bytes.Equal(got, durable) {
+		t.Fatalf("after crash line 0 = %q, want %q", got, durable)
+	}
+	fresh := make([]byte, 11)
+	d.ReadAt(fresh, 2*LineSize)
+	if !bytes.Equal(fresh, make([]byte, 11)) {
+		t.Fatalf("after crash unflushed fresh line = %q, want zeroes", fresh)
+	}
+}
+
+func TestStrictPersistenceFlushSurvivesCrash(t *testing.T) {
+	var clk simclock.Clock
+	cfg := testConfig(4096)
+	cfg.StrictPersistence = true
+	d := New(cfg, &clk)
+
+	d.WriteAt([]byte("v1"), 0)
+	d.Flush(0, 2)
+	d.WriteAt([]byte("v2"), 0)
+	d.Flush(0, 2)
+	d.Crash()
+	got := make([]byte, 2)
+	d.ReadAt(got, 0)
+	if string(got) != "v2" {
+		t.Fatalf("after crash = %q, want v2", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	var clk simclock.Clock
+	d := New(testConfig(128), &clk)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"read past end", func() { d.ReadAt(make([]byte, 64), 100) }},
+		{"write past end", func() { d.WriteAt(make([]byte, 64), 100) }},
+		{"negative offset", func() { d.ReadAt(make([]byte, 1), -1) }},
+		{"flush past end", func() { d.Flush(64, 65) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}
+
+func TestLineRange(t *testing.T) {
+	tests := []struct {
+		off        int64
+		n          int
+		first, cnt int64
+	}{
+		{0, 0, 0, 0},
+		{0, 1, 0, 1},
+		{0, 64, 0, 1},
+		{0, 65, 0, 2},
+		{63, 2, 0, 2},
+		{64, 64, 1, 1},
+		{130, 200, 2, 4},
+	}
+	for _, tc := range tests {
+		first, cnt := lineRange(tc.off, tc.n)
+		if first != tc.first || cnt != tc.cnt {
+			t.Errorf("lineRange(%d, %d) = (%d, %d), want (%d, %d)",
+				tc.off, tc.n, first, cnt, tc.first, tc.cnt)
+		}
+	}
+}
+
+// TestQuickWriteReadIdentity checks that arbitrary writes at arbitrary
+// line-contained offsets read back identically.
+func TestQuickWriteReadIdentity(t *testing.T) {
+	var clk simclock.Clock
+	d := New(testConfig(1<<16), &clk)
+	f := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off) % (d.Size() - int64(len(data)))
+		if o < 0 {
+			o = 0
+		}
+		d.WriteAt(data, o)
+		got := make([]byte, len(data))
+		d.ReadAt(got, o)
+		return bytes.Equal(got, data)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCrashNeverLosesFlushedData: property-based check that flushed
+// writes always survive a crash in strict mode.
+func TestQuickCrashNeverLosesFlushedData(t *testing.T) {
+	cfg := testConfig(1 << 14)
+	cfg.StrictPersistence = true
+	var clk simclock.Clock
+	d := New(cfg, &clk)
+	f := func(flushed, torn []byte, off uint8) bool {
+		if len(flushed) == 0 {
+			return true
+		}
+		if len(flushed) > 512 {
+			flushed = flushed[:512]
+		}
+		if len(torn) > 512 {
+			torn = torn[:512]
+		}
+		o := int64(off) * LineSize
+		d.Persist(flushed, o)
+		if len(torn) > 0 {
+			d.WriteAt(torn, o)
+		}
+		d.Crash()
+		got := make([]byte, len(flushed))
+		d.ReadAt(got, o)
+		return bytes.Equal(got, flushed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

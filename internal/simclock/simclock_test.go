@@ -1,0 +1,55 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroValue(t *testing.T) {
+	var c Clock
+	if c.Ns() != 0 {
+		t.Fatalf("zero clock reports %d ns", c.Ns())
+	}
+	if c.Elapsed() != 0 {
+		t.Fatalf("zero clock reports elapsed %v", c.Elapsed())
+	}
+}
+
+func TestAdvanceAccumulates(t *testing.T) {
+	var c Clock
+	c.Advance(500 * time.Nanosecond)
+	c.Advance(time.Microsecond)
+	if got, want := c.Ns(), int64(1500); got != want {
+		t.Fatalf("Ns() = %d, want %d", got, want)
+	}
+	if got, want := c.Elapsed(), 1500*time.Nanosecond; got != want {
+		t.Fatalf("Elapsed() = %v, want %v", got, want)
+	}
+}
+
+func TestAdvanceNs(t *testing.T) {
+	var c Clock
+	c.AdvanceNs(42)
+	c.AdvanceNs(8)
+	if got := c.Ns(); got != 50 {
+		t.Fatalf("Ns() = %d, want 50", got)
+	}
+}
+
+func TestNegativeIgnored(t *testing.T) {
+	var c Clock
+	c.Advance(-time.Second)
+	c.AdvanceNs(-5)
+	if got := c.Ns(); got != 0 {
+		t.Fatalf("negative advance changed clock to %d", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	var c Clock
+	c.AdvanceNs(100)
+	c.Reset()
+	if got := c.Ns(); got != 0 {
+		t.Fatalf("Ns() after Reset = %d, want 0", got)
+	}
+}

@@ -1,0 +1,129 @@
+package ssd
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nvmstore/internal/simclock"
+)
+
+func testDevice(capacity int64) (*Device, *simclock.Clock) {
+	clk := &simclock.Clock{}
+	cfg := Config{
+		PageSize:     256,
+		Capacity:     capacity,
+		ReadLatency:  100 * time.Microsecond,
+		WriteLatency: 200 * time.Microsecond,
+	}
+	return New(cfg, clk), clk
+}
+
+func TestRoundTrip(t *testing.T) {
+	d, _ := testDevice(8)
+	page := make([]byte, 256)
+	copy(page, "page three content")
+	d.WritePage(3, page)
+
+	got := make([]byte, 256)
+	d.ReadPage(3, got)
+	if !bytes.Equal(got, page) {
+		t.Fatal("read back different content")
+	}
+}
+
+func TestUnwrittenSlotReadsZeroes(t *testing.T) {
+	d, _ := testDevice(8)
+	got := make([]byte, 256)
+	got[0] = 0xFF // ensure the device actually clears the buffer
+	d.ReadPage(7, got)
+	if !bytes.Equal(got, make([]byte, 256)) {
+		t.Fatal("unwritten slot returned non-zero data")
+	}
+	if d.Written(7) {
+		t.Fatal("Written(7) true for a slot that was only read")
+	}
+}
+
+func TestLatencyCharged(t *testing.T) {
+	d, clk := testDevice(8)
+	page := make([]byte, 256)
+	d.WritePage(0, page)
+	if got, want := clk.Elapsed(), 200*time.Microsecond; got != want {
+		t.Fatalf("write charged %v, want %v", got, want)
+	}
+	d.ReadPage(0, page)
+	if got, want := clk.Elapsed(), 300*time.Microsecond; got != want {
+		t.Fatalf("after read total %v, want %v", got, want)
+	}
+}
+
+func TestStats(t *testing.T) {
+	d, _ := testDevice(8)
+	page := make([]byte, 256)
+	d.WritePage(0, page)
+	d.WritePage(1, page)
+	d.ReadPage(0, page)
+	st := d.Stats()
+	if st.PagesWritten != 2 || st.PagesRead != 1 {
+		t.Fatalf("stats = %+v, want 2 writes / 1 read", st)
+	}
+	if got := d.Allocated(); got != 2 {
+		t.Fatalf("Allocated() = %d, want 2", got)
+	}
+	d.ResetStats()
+	if st := d.Stats(); st.PagesRead != 0 || st.PagesWritten != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	d, _ := testDevice(4)
+	p1 := bytes.Repeat([]byte{1}, 256)
+	p2 := bytes.Repeat([]byte{2}, 256)
+	d.WritePage(2, p1)
+	d.WritePage(2, p2)
+	got := make([]byte, 256)
+	d.ReadPage(2, got)
+	if !bytes.Equal(got, p2) {
+		t.Fatal("overwrite not visible")
+	}
+	if d.Allocated() != 1 {
+		t.Fatalf("Allocated() = %d after overwrite, want 1", d.Allocated())
+	}
+}
+
+func TestWriteDoesNotAliasCaller(t *testing.T) {
+	d, _ := testDevice(4)
+	p := make([]byte, 256)
+	p[0] = 1
+	d.WritePage(0, p)
+	p[0] = 99 // mutate caller's buffer after the write
+	got := make([]byte, 256)
+	d.ReadPage(0, got)
+	if got[0] != 1 {
+		t.Fatal("device aliased the caller's write buffer")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	d, _ := testDevice(4)
+	for _, tc := range []struct {
+		name string
+		fn   func()
+	}{
+		{"slot past capacity", func() { d.ReadPage(4, make([]byte, 256)) }},
+		{"negative slot", func() { d.ReadPage(-1, make([]byte, 256)) }},
+		{"short read buffer", func() { d.ReadPage(0, make([]byte, 100)) }},
+		{"long write buffer", func() { d.WritePage(0, make([]byte, 300)) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			tc.fn()
+		})
+	}
+}

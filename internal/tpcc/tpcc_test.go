@@ -1,0 +1,359 @@
+package tpcc
+
+import (
+	"testing"
+
+	"nvmstore/internal/btree"
+	"nvmstore/internal/core"
+	"nvmstore/internal/engine"
+)
+
+// testScale is a laptop-scale configuration: tiny item and customer
+// counts, preserving all code paths.
+func testScale(warehouses int) Config {
+	return Config{
+		Warehouses:               warehouses,
+		Items:                    500,
+		CustomersPerDistrict:     60,
+		InitialOrdersPerDistrict: 60,
+		Seed:                     42,
+	}
+}
+
+func newWorkload(t *testing.T, topo core.Topology, warehouses int) *Workload {
+	t.Helper()
+	cfg := engine.DefaultConfig(topo,
+		256*(core.PageSize+2*core.LineSize),
+		4096*(core.PageSize+core.LineSize),
+		16384*core.PageSize)
+	cfg.WALBytes = 4 << 20
+	cfg.CPUCacheBytes = -1
+	if topo == core.MemOnly {
+		cfg.DRAMBytes = 0
+	}
+	e, err := engine.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(e, testScale(warehouses))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLoadCardinalities(t *testing.T) {
+	w := newWorkload(t, core.MemOnly, 2)
+	cfg := w.cfg
+	checks := []struct {
+		name string
+		tree *btree.Tree
+		want int
+	}{
+		{"warehouse", w.warehouse, 2},
+		{"district", w.district, 2 * districtsPerWarehouse},
+		{"customer", w.customer, 2 * districtsPerWarehouse * cfg.CustomersPerDistrict},
+		{"item", w.item, cfg.Items},
+		{"stock", w.stock, 2 * cfg.Items},
+		{"order", w.order, 2 * districtsPerWarehouse * cfg.InitialOrdersPerDistrict},
+		{"custName", w.custName, 2 * districtsPerWarehouse * cfg.CustomersPerDistrict},
+		{"custOrder", w.custOrder, 2 * districtsPerWarehouse * cfg.InitialOrdersPerDistrict},
+		{"history", w.history, 2 * districtsPerWarehouse * cfg.CustomersPerDistrict},
+	}
+	for _, c := range checks {
+		got, err := c.tree.Count()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if got != c.want {
+			t.Errorf("%s count = %d, want %d", c.name, got, c.want)
+		}
+	}
+	// New orders: the undelivered ~30% tail.
+	no, _ := w.newOrder.Count()
+	wantNO := 2 * districtsPerWarehouse * (cfg.InitialOrdersPerDistrict - cfg.InitialOrdersPerDistrict*7/10)
+	if no != wantNO {
+		t.Errorf("newOrder count = %d, want %d", no, wantNO)
+	}
+}
+
+func TestEachTransactionType(t *testing.T) {
+	w := newWorkload(t, core.MemOnly, 1)
+	for i := 0; i < 30; i++ {
+		if err := w.NewOrder(); err != nil {
+			t.Fatalf("NewOrder %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 30; i++ {
+		if err := w.Payment(); err != nil {
+			t.Fatalf("Payment %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.OrderStatus(); err != nil {
+			t.Fatalf("OrderStatus %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if err := w.Delivery(); err != nil {
+			t.Fatalf("Delivery %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.StockLevel(); err != nil {
+			t.Fatalf("StockLevel %d: %v", i, err)
+		}
+	}
+	st := w.Stats()
+	if st.NewOrder+st.NewOrderRbk != 30 || st.Payment != 30 || st.OrderStatus != 10 ||
+		st.Delivery != 5 || st.StockLevel != 10 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestMixAcrossTopologies(t *testing.T) {
+	for _, topo := range []core.Topology{core.MemOnly, core.DRAMNVM, core.ThreeTier, core.DirectNVM} {
+		t.Run(topo.String(), func(t *testing.T) {
+			w := newWorkload(t, topo, 1)
+			for i := 0; i < 300; i++ {
+				if err := w.NextTransaction(); err != nil {
+					t.Fatalf("tx %d: %v", i, err)
+				}
+			}
+			st := w.Stats()
+			if st.Total() != 300 {
+				t.Fatalf("total = %d, want 300 (%+v)", st.Total(), st)
+			}
+			// The mix must have exercised every profile.
+			if st.NewOrder == 0 || st.Payment == 0 || st.OrderStatus == 0 ||
+				st.Delivery == 0 || st.StockLevel == 0 {
+				t.Fatalf("profile never ran: %+v", st)
+			}
+		})
+	}
+}
+
+func TestNewOrderAdvancesDistrictCounter(t *testing.T) {
+	w := newWorkload(t, core.MemOnly, 1)
+	before := make(map[uint64]int)
+	for d := 1; d <= districtsPerWarehouse; d++ {
+		w.district.Access(dKey(1, d), func(row btree.Row) error {
+			before[dKey(1, d)] = int(row.U32(diNextOID))
+			return nil
+		})
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := w.NewOrder(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	advanced := 0
+	for d := 1; d <= districtsPerWarehouse; d++ {
+		w.district.Access(dKey(1, d), func(row btree.Row) error {
+			advanced += int(row.U32(diNextOID)) - before[dKey(1, d)]
+			return nil
+		})
+	}
+	// Rolled-back orders restore the counter.
+	want := int(w.Stats().NewOrder)
+	if advanced != want {
+		t.Fatalf("district counters advanced by %d, want %d committed orders", advanced, want)
+	}
+	// Every committed order inserted its rows.
+	orders, _ := w.order.Count()
+	wantOrders := districtsPerWarehouse*w.cfg.InitialOrdersPerDistrict + want
+	if orders != wantOrders {
+		t.Fatalf("order count = %d, want %d", orders, wantOrders)
+	}
+}
+
+func TestPaymentMovesMoney(t *testing.T) {
+	w := newWorkload(t, core.MemOnly, 1)
+	var ytdBefore int64
+	w.warehouse.Access(wKey(1), func(row btree.Row) error {
+		ytdBefore = row.I64(whYTD)
+		return nil
+	})
+	for i := 0; i < 40; i++ {
+		if err := w.Payment(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ytdAfter int64
+	w.warehouse.Access(wKey(1), func(row btree.Row) error {
+		ytdAfter = row.I64(whYTD)
+		return nil
+	})
+	if ytdAfter <= ytdBefore {
+		t.Fatalf("warehouse YTD did not grow: %d -> %d", ytdBefore, ytdAfter)
+	}
+	hist, _ := w.history.Count()
+	wantHist := districtsPerWarehouse*w.cfg.CustomersPerDistrict + 40
+	if hist != wantHist {
+		t.Fatalf("history count = %d, want %d", hist, wantHist)
+	}
+}
+
+func TestDeliveryDrainsNewOrders(t *testing.T) {
+	w := newWorkload(t, core.MemOnly, 1)
+	before, _ := w.newOrder.Count()
+	if err := w.Delivery(); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := w.newOrder.Count()
+	if before-after != districtsPerWarehouse {
+		t.Fatalf("delivery removed %d new orders, want %d", before-after, districtsPerWarehouse)
+	}
+}
+
+func TestNewOrderRollbacksHappen(t *testing.T) {
+	w := newWorkload(t, core.MemOnly, 1)
+	for i := 0; i < 600; i++ {
+		if err := w.NewOrder(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	// ~1% of 600: expect at least one rollback with overwhelming
+	// probability, and not too many.
+	if st.NewOrderRbk == 0 {
+		t.Fatal("no intentional rollbacks in 600 new orders")
+	}
+	if st.NewOrderRbk > 30 {
+		t.Fatalf("%d rollbacks in 600 orders, expected ~6", st.NewOrderRbk)
+	}
+}
+
+func TestCrashRecoveryPreservesConsistency(t *testing.T) {
+	cfg := engine.DefaultConfig(core.ThreeTier,
+		256*(core.PageSize+2*core.LineSize),
+		4096*(core.PageSize+core.LineSize),
+		16384*core.PageSize)
+	cfg.WALBytes = 4 << 20
+	cfg.CPUCacheBytes = -1
+	cfg.StrictPersistence = true
+	e, err := engine.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(e, testScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := w.NextTransaction(); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	ordersBefore, _ := w.order.Count()
+	linesBefore, _ := w.orderLine.Count()
+
+	if _, err := e.CrashRestart(); err != nil {
+		t.Fatalf("CrashRestart: %v", err)
+	}
+	w2, err := Attach(e, testScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orders, _ := w2.order.Count()
+	lines, _ := w2.orderLine.Count()
+	if orders != ordersBefore || lines != linesBefore {
+		t.Fatalf("counts changed across crash: orders %d->%d lines %d->%d",
+			ordersBefore, orders, linesBefore, lines)
+	}
+	// Consistency: every order's line count matches its orderline rows,
+	// for a sample of orders.
+	for d := 1; d <= districtsPerWarehouse; d++ {
+		var nextOID int
+		w2.district.Access(dKey(1, d), func(row btree.Row) error {
+			nextOID = int(row.U32(diNextOID))
+			return nil
+		})
+		for _, o := range []int{1, nextOID - 1} {
+			var olCnt int
+			found, err := w2.order.Access(oKey(1, d, o), func(row btree.Row) error {
+				olCnt = int(row.Read(orOLCnt, 1)[0])
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !found {
+				t.Fatalf("order (1,%d,%d) missing after recovery", d, o)
+			}
+			got := 0
+			for ol := 1; ol <= olCnt; ol++ {
+				found, _ := w2.orderLine.Access(olKey(1, d, o, ol), func(btree.Row) error { return nil })
+				if found {
+					got++
+				}
+			}
+			if got != olCnt {
+				t.Fatalf("order (1,%d,%d): %d lines, header says %d", d, o, got, olCnt)
+			}
+		}
+	}
+	// The workload keeps running after recovery.
+	for i := 0; i < 50; i++ {
+		if err := w2.NextTransaction(); err != nil {
+			t.Fatalf("post-recovery tx %d: %v", i, err)
+		}
+	}
+}
+
+func TestDataBytesMonotonic(t *testing.T) {
+	a := Config{Warehouses: 1}
+	b := Config{Warehouses: 10}
+	if a.DataBytes() >= b.DataBytes() {
+		t.Fatalf("DataBytes not monotonic: %d vs %d", a.DataBytes(), b.DataBytes())
+	}
+}
+
+func TestConsistencyAfterMix(t *testing.T) {
+	w := newWorkload(t, core.MemOnly, 2)
+	if err := w.VerifyConsistency(); err != nil {
+		t.Fatalf("fresh database inconsistent: %v", err)
+	}
+	for i := 0; i < 500; i++ {
+		if err := w.NextTransaction(); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	if err := w.VerifyConsistency(); err != nil {
+		t.Fatalf("after mix: %v", err)
+	}
+}
+
+func TestConsistencyAfterCrash(t *testing.T) {
+	cfg := engine.DefaultConfig(core.ThreeTier,
+		256*(core.PageSize+2*core.LineSize),
+		4096*(core.PageSize+core.LineSize),
+		16384*core.PageSize)
+	cfg.WALBytes = 8 << 20
+	cfg.CPUCacheBytes = -1
+	cfg.StrictPersistence = true
+	e, err := engine.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(e, testScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if err := w.NextTransaction(); err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	if _, err := e.CrashRestart(); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Attach(e, testScale(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.VerifyConsistency(); err != nil {
+		t.Fatalf("after crash recovery: %v", err)
+	}
+}

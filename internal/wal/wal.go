@@ -1,0 +1,352 @@
+// Package wal implements write-ahead logging with redo and undo
+// information on NVM.
+//
+// The paper (§2.3) uses the same textbook logging scheme in every evaluated
+// storage engine so that only the storage layout differs: before-and-after
+// images are appended to an NVM-resident log, a transaction commits by
+// flushing the log tail (clwb + sfence in hardware, Device.Flush here), and
+// an ARIES-style restart first repeats history from the redo images and
+// then rolls back loser transactions from the undo images.
+//
+// Each record carries a monotonically increasing LSN. Storage engines keep
+// the LSN of the last applied record in each page header, so redo is
+// idempotent: a record is reapplied only when its LSN is newer than the
+// page's.
+//
+// The log occupies a fixed region of the simulated NVM device. It is
+// append-only until Truncate, which the engine calls once all logged
+// changes are known to be durable elsewhere (after a checkpoint, or — in
+// the NVM-direct architecture — after every commit, because there the
+// tuples themselves are flushed before the transaction finishes).
+//
+// A Log is not safe for concurrent use, matching the single-threaded
+// engines in this reproduction.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"nvmstore/internal/nvm"
+)
+
+// TxID identifies a transaction. Zero is never a valid transaction id.
+type TxID uint64
+
+// LSN is a log sequence number; LSNs increase strictly monotonically
+// across the life of the log, surviving truncation.
+type LSN uint64
+
+// Record types.
+const (
+	recUpdate byte = 1
+	recCommit byte = 2
+	recAbort  byte = 3
+)
+
+// ErrLogFull is returned when the log region cannot hold another record;
+// the engine must checkpoint and truncate.
+var ErrLogFull = errors.New("wal: log region full")
+
+// Record is one decoded log record.
+type Record struct {
+	LSN LSN
+	Tx  TxID
+	// Update records carry the page id, byte offset, and the before and
+	// after images.
+	PID    uint64
+	Off    int
+	Before []byte
+	After  []byte
+}
+
+// Handler receives records during recovery. Redo is called for every
+// update record in log order (repeating history); Undo is called for the
+// update records of loser transactions in reverse order.
+type Handler interface {
+	Redo(r Record) error
+	Undo(r Record) error
+}
+
+// RecoveryStats summarizes a Recover run.
+type RecoveryStats struct {
+	Records   int
+	Committed int
+	// Aborted counts transactions with an abort record: their log
+	// already contains the compensating operations, so they are redone
+	// but not undone.
+	Aborted int
+	// Losers counts in-flight transactions (neither commit nor abort
+	// record), which the undo phase rolls back.
+	Losers int
+	Redone int
+	Undone int
+}
+
+// Log is a write-ahead log on a region of a simulated NVM device.
+type Log struct {
+	dev  *nvm.Device
+	off  int64
+	size int64
+
+	head      int64 // append position relative to off
+	flushedTo int64 // durable prefix relative to off
+
+	nextLSN LSN
+	nextTx  TxID
+
+	stats Stats
+}
+
+// Stats counts log activity.
+type Stats struct {
+	Records   int64
+	Commits   int64
+	Aborts    int64
+	Flushes   int64
+	Truncates int64
+}
+
+const (
+	prefixSize = 8 // size + crc
+	updateHdr  = 1 + 8 + 8 + 8 + 4 + 4 + 4
+	markHdr    = 1 + 8 + 8
+)
+
+// New creates a log over [off, off+size) of dev. The region is assumed to
+// be either fresh or left over from a previous run; call Recover to replay
+// it, or Truncate to discard it.
+func New(dev *nvm.Device, off, size int64) *Log {
+	if size < 4096 {
+		panic(fmt.Sprintf("wal: log region of %d bytes is too small", size))
+	}
+	return &Log{dev: dev, off: off, size: size, nextLSN: 1, nextTx: 1}
+}
+
+// Begin starts a transaction. Begin writes nothing: a transaction exists
+// in the log only once its first update record does.
+func (l *Log) Begin() TxID {
+	tx := l.nextTx
+	l.nextTx++
+	return tx
+}
+
+// Update appends a redo/undo record for a modification of page pid at byte
+// offset pageOff: before and after are the undo and redo images (they may
+// have different lengths; an insert has an empty before image). The record
+// is not durable until Flush, Commit, or Abort.
+func (l *Log) Update(tx TxID, pid uint64, pageOff int, before, after []byte) (LSN, error) {
+	nb, na := len(before), len(after)
+	payload := make([]byte, updateHdr+nb+na)
+	payload[0] = recUpdate
+	lsn := l.nextLSN
+	binary.LittleEndian.PutUint64(payload[1:], uint64(lsn))
+	binary.LittleEndian.PutUint64(payload[9:], uint64(tx))
+	binary.LittleEndian.PutUint64(payload[17:], pid)
+	binary.LittleEndian.PutUint32(payload[25:], uint32(pageOff))
+	binary.LittleEndian.PutUint32(payload[29:], uint32(nb))
+	binary.LittleEndian.PutUint32(payload[33:], uint32(na))
+	copy(payload[37:], before)
+	copy(payload[37+nb:], after)
+	if err := l.append(payload); err != nil {
+		return 0, err
+	}
+	l.nextLSN++
+	l.stats.Records++
+	return lsn, nil
+}
+
+// Commit appends a commit record and flushes the log tail, making the
+// transaction durable.
+func (l *Log) Commit(tx TxID) error {
+	if err := l.mark(recCommit, tx); err != nil {
+		return err
+	}
+	l.Flush()
+	l.stats.Commits++
+	return nil
+}
+
+// Abort appends an abort record. The caller must have undone the
+// transaction's changes and logged the compensating operations first
+// (CLR-style): recovery redoes an aborted transaction's records — original
+// operations and compensations, netting out — and never undoes them, so a
+// later transaction's changes to the same keys cannot be clobbered.
+func (l *Log) Abort(tx TxID) error {
+	if err := l.mark(recAbort, tx); err != nil {
+		return err
+	}
+	l.Flush()
+	l.stats.Aborts++
+	return nil
+}
+
+func (l *Log) mark(kind byte, tx TxID) error {
+	payload := make([]byte, markHdr)
+	payload[0] = kind
+	binary.LittleEndian.PutUint64(payload[1:], uint64(l.nextLSN))
+	binary.LittleEndian.PutUint64(payload[9:], uint64(tx))
+	if err := l.append(payload); err != nil {
+		return err
+	}
+	l.nextLSN++
+	l.stats.Records++
+	return nil
+}
+
+// append writes a length-and-checksum-prefixed record at the head plus a
+// zero sentinel behind it, without flushing.
+func (l *Log) append(payload []byte) error {
+	need := int64(prefixSize+len(payload)) + 4 // record + sentinel
+	if l.head+need > l.size {
+		return fmt.Errorf("wal: record of %d bytes at offset %d: %w", len(payload), l.head, ErrLogFull)
+	}
+	var prefix [prefixSize]byte
+	binary.LittleEndian.PutUint32(prefix[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(prefix[4:], crc32.ChecksumIEEE(payload))
+	l.dev.WriteAt(prefix[:], l.off+l.head)
+	l.dev.WriteAt(payload, l.off+l.head+prefixSize)
+	l.head += prefixSize + int64(len(payload))
+	var sentinel [4]byte
+	l.dev.WriteAt(sentinel[:], l.off+l.head)
+	return nil
+}
+
+// Flush makes all appended records durable. On commit this is the paper's
+// clwb of the log entry's cache lines followed by an sfence.
+func (l *Log) Flush() {
+	if l.head == l.flushedTo {
+		return
+	}
+	l.dev.Flush(l.off+l.flushedTo, int(l.head-l.flushedTo)+4)
+	l.flushedTo = l.head
+	l.stats.Flushes++
+}
+
+// Truncate discards the whole log. Callers must guarantee that every
+// logged change is durable elsewhere first.
+func (l *Log) Truncate() {
+	var sentinel [4]byte
+	l.dev.Persist(sentinel[:], l.off)
+	l.head = 0
+	l.flushedTo = 0
+	l.stats.Truncates++
+}
+
+// Bytes returns the current size of the log contents.
+func (l *Log) Bytes() int64 { return l.head }
+
+// Capacity returns the size of the log region.
+func (l *Log) Capacity() int64 { return l.size }
+
+// Stats returns a snapshot of the activity counters.
+func (l *Log) Stats() Stats { return l.stats }
+
+// Recover scans the log, repeats history through h.Redo, rolls back loser
+// transactions through h.Undo, and positions the log for new appends after
+// the scanned records. A torn record at the tail (incomplete size prefix
+// or checksum mismatch) cleanly terminates the scan: it can only belong to
+// a transaction whose commit record was never flushed.
+func (l *Log) Recover(h Handler) (RecoveryStats, error) {
+	var (
+		records   []Record
+		committed = make(map[TxID]bool)
+		aborted   = make(map[TxID]bool)
+		seen      = make(map[TxID]bool)
+		stats     RecoveryStats
+		pos       int64
+		maxLSN    LSN
+		maxTx     TxID
+	)
+	for pos+prefixSize <= l.size {
+		var prefix [prefixSize]byte
+		l.dev.ReadAt(prefix[:], l.off+pos)
+		n := int64(binary.LittleEndian.Uint32(prefix[0:]))
+		if n == 0 || pos+prefixSize+n > l.size {
+			break
+		}
+		payload := make([]byte, n)
+		l.dev.ReadAt(payload, l.off+pos+prefixSize)
+		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(prefix[4:]) {
+			break // torn tail
+		}
+		kind := payload[0]
+		lsn := LSN(binary.LittleEndian.Uint64(payload[1:]))
+		tx := TxID(binary.LittleEndian.Uint64(payload[9:]))
+		if lsn > maxLSN {
+			maxLSN = lsn
+		}
+		if tx > maxTx {
+			maxTx = tx
+		}
+		seen[tx] = true
+		switch kind {
+		case recUpdate:
+			if n < updateHdr {
+				return stats, fmt.Errorf("wal: truncated update record at %d", pos)
+			}
+			pid := binary.LittleEndian.Uint64(payload[17:])
+			pageOff := int(binary.LittleEndian.Uint32(payload[25:]))
+			nb := int(binary.LittleEndian.Uint32(payload[29:]))
+			na := int(binary.LittleEndian.Uint32(payload[33:]))
+			if int64(updateHdr+nb+na) != n {
+				return stats, fmt.Errorf("wal: corrupt update record at %d", pos)
+			}
+			records = append(records, Record{
+				LSN:    lsn,
+				Tx:     tx,
+				PID:    pid,
+				Off:    pageOff,
+				Before: payload[37 : 37+nb],
+				After:  payload[37+nb : 37+nb+na],
+			})
+		case recCommit:
+			committed[tx] = true
+		case recAbort:
+			aborted[tx] = true
+		default:
+			return stats, fmt.Errorf("wal: unknown record type %d at %d", kind, pos)
+		}
+		pos += prefixSize + n
+	}
+
+	stats.Records = len(records)
+	for tx := range seen {
+		switch {
+		case committed[tx]:
+			stats.Committed++
+		case aborted[tx]:
+			stats.Aborted++
+		default:
+			stats.Losers++
+		}
+	}
+
+	// Redo phase: repeat history in log order.
+	for _, r := range records {
+		if err := h.Redo(r); err != nil {
+			return stats, fmt.Errorf("wal: redo lsn %d: %w", r.LSN, err)
+		}
+		stats.Redone++
+	}
+	// Undo phase: roll back in-flight losers in reverse order. Aborted
+	// transactions are skipped: their compensations were redone above.
+	for i := len(records) - 1; i >= 0; i-- {
+		r := records[i]
+		if committed[r.Tx] || aborted[r.Tx] {
+			continue
+		}
+		if err := h.Undo(r); err != nil {
+			return stats, fmt.Errorf("wal: undo lsn %d: %w", r.LSN, err)
+		}
+		stats.Undone++
+	}
+
+	l.head = pos
+	l.flushedTo = pos
+	l.nextLSN = maxLSN + 1
+	l.nextTx = maxTx + 1
+	return stats, nil
+}

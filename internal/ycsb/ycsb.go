@@ -1,0 +1,338 @@
+// Package ycsb implements the YCSB key-value benchmark as configured in
+// the paper's evaluation (§5.2): a single table whose rows have a numeric
+// primary key and ten string fields of 100 bytes each, accessed with
+// Zipf-distributed keys (z = 1, non-clustered popular keys) and uniformly
+// chosen fields.
+//
+// Three workloads generalize YCSB's predefined mixes exactly as the paper
+// does:
+//
+//   - YCSB-RO: 100% point lookups (YCSB workload C),
+//   - YCSB-R/W: x% field updates, (100-x)% lookups (mixing A and C),
+//   - YCSB-SCAN: 100% range scans of random length 1-100 (workload E
+//     without inserts).
+//
+// Every operation runs as one transaction against an engine, matching the
+// paper's OLTP-style single-operation transactions.
+package ycsb
+
+import (
+	"fmt"
+
+	"nvmstore/internal/btree"
+	"nvmstore/internal/engine"
+	"nvmstore/internal/zipfian"
+)
+
+// Schema constants from the YCSB specification.
+const (
+	// Fields is the number of string fields per row.
+	Fields = 10
+	// FieldSize is the size of each field in bytes.
+	FieldSize = 100
+	// RowSize is the payload size of one row.
+	RowSize = Fields * FieldSize
+	// TableID is the tree id of the YCSB table.
+	TableID = 1
+)
+
+// RowBytes returns the storage footprint of n rows once loaded into a
+// B-tree at the paper's 0.66 fill factor: ten rows per 16 kB leaf page
+// (plus its slot header), which the paper calls the data size.
+func RowBytes(n int) int64 {
+	return int64(n) * 1645
+}
+
+// RowsForDataSize returns how many rows fit in the given data size with a
+// few percent of headroom for inner pages, so that a data set sized to a
+// device capacity actually fits on it.
+func RowsForDataSize(bytes int64) int {
+	return int(bytes / 1700)
+}
+
+// Workload drives YCSB operations against one engine.
+type Workload struct {
+	e     *engine.Engine
+	table *btree.Tree
+	n     uint64
+	keys  *zipfian.Generator
+	buf   []byte
+
+	zipfLatest *latestDist
+
+	// Ops counts completed operations.
+	Ops int64
+}
+
+// Load creates the YCSB table in e and bulk-loads n rows at the paper's
+// 0.66 fill factor. Row i has key i; field f of row i holds a
+// deterministic pattern.
+func Load(e *engine.Engine, n int, layout btree.LeafLayout) (*Workload, error) {
+	return LoadFill(e, n, layout, 0.66)
+}
+
+// LoadFill is Load with an explicit B-tree fill factor; the scan overhead
+// experiment of §5.4.2 loads at a fill factor of 1.0.
+func LoadFill(e *engine.Engine, n int, layout btree.LeafLayout, fill float64) (*Workload, error) {
+	t, err := e.CreateTree(TableID, RowSize, layout)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]byte, RowSize)
+	err = t.BulkLoad(n,
+		func(i int) uint64 { return uint64(i) },
+		func(i int, dst []byte) {
+			FillRow(uint64(i), row)
+			copy(dst, row)
+		},
+		fill)
+	if err != nil {
+		return nil, fmt.Errorf("ycsb: bulk load: %w", err)
+	}
+	if err := e.Checkpoint(); err != nil {
+		return nil, err
+	}
+	return Attach(e, n)
+}
+
+// Attach builds a workload over an already-loaded engine (for example
+// after a restart).
+func Attach(e *engine.Engine, n int) (*Workload, error) {
+	t := e.Tree(TableID)
+	if t == nil {
+		return nil, fmt.Errorf("ycsb: engine has no YCSB table")
+	}
+	return &Workload{
+		e:     e,
+		table: t,
+		n:     uint64(n),
+		keys:  zipfian.New(uint64(n), zipfian.Theta1, 0x5943534221),
+		buf:   make([]byte, RowSize),
+	}, nil
+}
+
+// FillRow writes row key's deterministic content into dst (RowSize bytes).
+func FillRow(key uint64, dst []byte) {
+	for f := 0; f < Fields; f++ {
+		FillField(key, f, dst[f*FieldSize:(f+1)*FieldSize])
+	}
+}
+
+// FillField writes the deterministic content of one field.
+func FillField(key uint64, field int, dst []byte) {
+	seed := key*Fields + uint64(field)
+	for i := range dst {
+		dst[i] = byte(seed>>uint(8*(i%4))) + byte(i)
+	}
+}
+
+// Table returns the YCSB table tree.
+func (w *Workload) Table() *btree.Tree { return w.table }
+
+// Rows returns the number of loaded rows.
+func (w *Workload) Rows() int { return int(w.n) }
+
+// gen returns the Zipf key generator, rebuilding it when inserts grew the
+// key space.
+func (w *Workload) gen() *zipfian.Generator {
+	if w.keys == nil {
+		w.keys = zipfian.New(w.n, zipfian.Theta1, 0x5943534221)
+	}
+	return w.keys
+}
+
+// Lookup runs one YCSB-RO transaction: read one uniformly chosen field of
+// one Zipf-chosen row.
+func (w *Workload) Lookup() error {
+	key := w.gen().NextScrambled()
+	field := int(w.gen().Uint64n(Fields))
+	w.e.Begin()
+	found, err := w.table.LookupField(key, field*FieldSize, FieldSize, w.buf)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("ycsb: key %d missing", key)
+	}
+	if err := w.e.Commit(); err != nil {
+		return err
+	}
+	w.Ops++
+	return nil
+}
+
+// Update runs one update transaction: overwrite one uniformly chosen
+// field of one Zipf-chosen row.
+func (w *Workload) Update() error {
+	key := w.gen().NextScrambled()
+	field := int(w.gen().Uint64n(Fields))
+	// New field content varies with the op counter so updates are not
+	// no-ops.
+	FillField(key+uint64(w.Ops), field, w.buf[:FieldSize])
+	w.e.Begin()
+	found, err := w.table.UpdateField(key, field*FieldSize, w.buf[:FieldSize])
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("ycsb: key %d missing", key)
+	}
+	if err := w.e.Commit(); err != nil {
+		return err
+	}
+	w.Ops++
+	return nil
+}
+
+// Scan runs one YCSB-SCAN transaction: from a Zipf-chosen start key, read
+// one uniformly chosen field of each of 1-100 consecutive rows.
+func (w *Workload) Scan() error {
+	key := w.gen().NextScrambled()
+	length := int(w.gen().Uint64n(100)) + 1
+	field := int(w.gen().Uint64n(Fields))
+	w.e.Begin()
+	err := w.table.Scan(key, length, field*FieldSize, FieldSize, func(k uint64, fieldBytes []byte) bool {
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.e.Commit(); err != nil {
+		return err
+	}
+	w.Ops++
+	return nil
+}
+
+// ScanRange runs one scan transaction with a fixed range length, as used
+// by the overhead analysis of §5.4.2.
+func (w *Workload) ScanRange(length int) error {
+	key := w.gen().NextScrambled()
+	field := int(w.gen().Uint64n(Fields))
+	w.e.Begin()
+	err := w.table.Scan(key, length, field*FieldSize, FieldSize, func(uint64, []byte) bool {
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if err := w.e.Commit(); err != nil {
+		return err
+	}
+	w.Ops++
+	return nil
+}
+
+// FullScan reads every row's first field once (a full table scan).
+func (w *Workload) FullScan() error {
+	w.e.Begin()
+	if err := w.table.Scan(0, 0, 0, FieldSize, func(uint64, []byte) bool {
+		return true
+	}); err != nil {
+		return err
+	}
+	if err := w.e.Commit(); err != nil {
+		return err
+	}
+	w.Ops++
+	return nil
+}
+
+// Mixed runs one YCSB-R/W transaction: an update with probability
+// writePct/100, otherwise a lookup.
+func (w *Workload) Mixed(writePct int) error {
+	if int(w.gen().Uint64n(100)) < writePct {
+		return w.Update()
+	}
+	return w.Lookup()
+}
+
+// Insert adds a new row past the current end of the key space (YCSB's
+// ordered insert, used by workloads D and E).
+func (w *Workload) Insert() error {
+	key := w.n
+	FillRow(key, w.buf)
+	w.e.Begin()
+	if err := w.table.Insert(key, w.buf); err != nil {
+		return err
+	}
+	if err := w.e.Commit(); err != nil {
+		return err
+	}
+	w.n = key + 1
+	w.keys = nil // key-space size changed: rebuild lazily
+	w.Ops++
+	return nil
+}
+
+// latest returns a key skewed toward the most recently inserted rows,
+// YCSB's "latest" distribution.
+func (w *Workload) latest() uint64 {
+	if w.zipfLatest == nil || w.zipfLatest.n != w.n {
+		w.zipfLatest = &latestDist{n: w.n, gen: zipfian.New(w.n, zipfian.Theta1, 0x1A7E57)}
+	}
+	return w.n - 1 - w.zipfLatest.gen.Next()
+}
+
+// latestDist caches a Zipf generator over the current key-space size.
+type latestDist struct {
+	n   uint64
+	gen *zipfian.Generator
+}
+
+// ReadLatest looks up one field of a recently inserted row.
+func (w *Workload) ReadLatest() error {
+	key := w.latest()
+	field := int(key % Fields)
+	w.e.Begin()
+	found, err := w.table.LookupField(key, field*FieldSize, FieldSize, w.buf)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("ycsb: latest key %d missing", key)
+	}
+	if err := w.e.Commit(); err != nil {
+		return err
+	}
+	w.Ops++
+	return nil
+}
+
+// Preset identifies one of YCSB's five standard workload mixes. The
+// paper's YCSB-RO, YCSB-R/W, and YCSB-SCAN generalize these (§5.2).
+type Preset byte
+
+// The standard presets.
+const (
+	PresetA Preset = 'A' // 50% update, 50% read
+	PresetB Preset = 'B' // 5% update, 95% read
+	PresetC Preset = 'C' // 100% read (the paper's YCSB-RO)
+	PresetD Preset = 'D' // 5% insert, 95% read-latest
+	PresetE Preset = 'E' // 5% insert, 95% scan
+)
+
+// Run executes one transaction of the given standard workload.
+func (w *Workload) Run(p Preset) error {
+	r := int(w.gen().Uint64n(100))
+	switch p {
+	case PresetA:
+		return w.Mixed(50)
+	case PresetB:
+		return w.Mixed(5)
+	case PresetC:
+		return w.Lookup()
+	case PresetD:
+		if r < 5 {
+			return w.Insert()
+		}
+		return w.ReadLatest()
+	case PresetE:
+		if r < 5 {
+			return w.Insert()
+		}
+		return w.Scan()
+	default:
+		return fmt.Errorf("ycsb: unknown preset %q", p)
+	}
+}

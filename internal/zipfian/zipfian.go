@@ -1,0 +1,109 @@
+// Package zipfian generates Zipf-distributed keys using the algorithm of
+// Gray et al., "Quickly generating billion-record synthetic databases"
+// (SIGMOD 1994) — the same generator the paper cites for its YCSB setup
+// ("Zipf-distributed (z = 1, non clustered popular keys)").
+//
+// Next returns ranks: rank 0 is the most popular. NextScrambled spreads
+// the popular ranks uniformly over the key space ("non clustered popular
+// keys") by hashing the rank, as YCSB's scrambled Zipfian does.
+//
+// A theta of exactly 1 makes Gray's closed form singular; following YCSB,
+// the canonical "z = 1" workload uses theta = 0.99 (the Theta1 constant).
+package zipfian
+
+import "math"
+
+// Theta1 is the skew used for the paper's "z = 1" workloads.
+const Theta1 = 0.99
+
+// Generator produces Zipf-distributed ranks in [0, n). It embeds its own
+// deterministic random stream, so two generators with the same parameters
+// and seed produce identical sequences. Not safe for concurrent use.
+type Generator struct {
+	n     uint64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+	state uint64
+}
+
+// New creates a generator over [0, n) with skew theta in (0, 1). It
+// precomputes zeta(n), which is O(n) but done once.
+func New(n uint64, theta float64, seed uint64) *Generator {
+	if n == 0 {
+		panic("zipfian: empty key space")
+	}
+	if theta <= 0 || theta >= 1 {
+		panic("zipfian: theta must be in (0, 1); use Theta1 for z=1")
+	}
+	zetan := zeta(n, theta)
+	g := &Generator{
+		n:     n,
+		theta: theta,
+		alpha: 1 / (1 - theta),
+		zetan: zetan,
+		eta:   (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/zetan),
+		state: seed*2862933555777941757 + 3037000493,
+	}
+	return g
+}
+
+func zeta(n uint64, theta float64) float64 {
+	sum := 0.0
+	for i := uint64(1); i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// rand64 is SplitMix64 over the generator state.
+func (g *Generator) rand64() uint64 {
+	g.state += 0x9e3779b97f4a7c15
+	z := g.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (g *Generator) Float64() float64 {
+	return float64(g.rand64()>>11) / (1 << 53)
+}
+
+// Uint64n returns a uniform value in [0, n).
+func (g *Generator) Uint64n(n uint64) uint64 {
+	return g.rand64() % n
+}
+
+// Next returns the next Zipf-distributed rank in [0, n); rank 0 is the
+// most popular.
+func (g *Generator) Next() uint64 {
+	u := g.Float64()
+	uz := u * g.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, g.theta) {
+		return 1
+	}
+	r := uint64(float64(g.n) * math.Pow(g.eta*u-g.eta+1, g.alpha))
+	if r >= g.n {
+		r = g.n - 1
+	}
+	return r
+}
+
+// NextScrambled returns a Zipf-distributed key in [0, n) with the popular
+// keys scattered across the key space instead of clustered at 0.
+func (g *Generator) NextScrambled() uint64 {
+	return scramble(g.Next()) % g.n
+}
+
+// scramble is a fixed SplitMix64 hash (independent of the random stream).
+func scramble(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

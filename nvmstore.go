@@ -1,0 +1,394 @@
+// Package nvmstore is a storage engine for the DRAM / NVM / SSD memory
+// hierarchy, reproducing "Managing Non-Volatile Memory in Database Systems"
+// (van Renen et al., SIGMOD 2018).
+//
+// A Store is a transactional key-value engine over B+-trees whose storage
+// layer is one of the paper's five architectures, selected by Architecture:
+// a pure main-memory engine, a traditional SSD buffer manager, a
+// page-grained NVM buffer manager, an engine working on NVM in place, or
+// the paper's three-tier design in which DRAM and NVM are both caches over
+// SSD, NVM-resident pages are loaded one cache line at a time, hot tuples
+// of cold pages live in 1 KB mini pages, and hot page references are
+// swizzled into direct pointers.
+//
+// The NVM and SSD devices are simulated (the paper itself had to rely on
+// Intel's emulation platform): latency is charged to a virtual clock
+// (Store.SimulatedTime) rather than slept, per-cache-line wear is counted,
+// and power failures can be injected (Store.CrashRestart), after which the
+// write-ahead log repeats committed work and rolls back losers.
+//
+// A minimal session:
+//
+//	store, _ := nvmstore.Open(nvmstore.Options{
+//		Architecture: nvmstore.ThreeTier,
+//		DRAMBytes:    64 << 20,
+//		NVMBytes:     320 << 20,
+//		SSDBytes:     16 << 30,
+//	})
+//	table, _ := store.CreateTable(1, 128)
+//	store.Begin()
+//	table.Insert(42, make([]byte, 128))
+//	store.Commit()
+//
+// Stores are not safe for concurrent use: like the paper's evaluation, the
+// engines are single-threaded (multi-threading is discussed as future work
+// in the paper's Appendix A.1).
+package nvmstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"nvmstore/internal/btree"
+	"nvmstore/internal/core"
+	"nvmstore/internal/engine"
+	"nvmstore/internal/wal"
+)
+
+// Architecture selects the storage layout, one of the five designs the
+// paper evaluates.
+type Architecture int
+
+const (
+	// ThreeTier is the paper's contribution: DRAM and NVM as caches over
+	// SSD with cache-line-grained pages, mini pages, and pointer
+	// swizzling.
+	ThreeTier Architecture = iota
+	// MainMemory keeps all pages in DRAM; capacity is bounded by
+	// Options.DRAMBytes and there is no page-based persistence.
+	MainMemory
+	// NVMDirect works on NVM in place, flushing every modification.
+	NVMDirect
+	// BasicNVMBuffer is a page-grained DRAM buffer pool over NVM
+	// (FOEDUS-style).
+	BasicNVMBuffer
+	// SSDBuffer is a traditional buffer manager: DRAM over SSD.
+	SSDBuffer
+)
+
+// String returns the paper's name for the architecture.
+func (a Architecture) String() string { return a.topology().String() }
+
+func (a Architecture) topology() core.Topology {
+	switch a {
+	case MainMemory:
+		return core.MemOnly
+	case NVMDirect:
+		return core.DirectNVM
+	case BasicNVMBuffer:
+		return core.DRAMNVM
+	case SSDBuffer:
+		return core.DRAMSSD
+	default:
+		return core.ThreeTier
+	}
+}
+
+// LeafLayout selects how table leaves store entries.
+type LeafLayout = btree.LeafLayout
+
+// Leaf layouts: sorted arrays with binary search (the default), or the
+// open-addressing hash layout of §5.5 that trades scan speed for fewer
+// NVM accesses per point lookup.
+const (
+	LayoutSorted = btree.LayoutSorted
+	LayoutHash   = btree.LayoutHash
+)
+
+// Errors surfaced by the store. Capacity and duplicate-key conditions can
+// be tested with errors.Is.
+var (
+	ErrCapacity     = core.ErrCapacity
+	ErrDuplicateKey = btree.ErrDuplicateKey
+	ErrNoTx         = engine.ErrNoTransaction
+)
+
+// Options configures a Store. Capacities the chosen architecture does not
+// use may be zero.
+type Options struct {
+	// Architecture selects the storage layout (default ThreeTier).
+	Architecture Architecture
+	// DRAMBytes bounds the DRAM buffer pool; zero means unlimited
+	// (the usual setting for MainMemory).
+	DRAMBytes int64
+	// NVMBytes is the simulated NVM capacity for pages; the log region
+	// is reserved on top.
+	NVMBytes int64
+	// SSDBytes is the simulated SSD capacity.
+	SSDBytes int64
+	// WALBytes sizes the NVM log region (default 16 MB).
+	WALBytes int64
+
+	// NVMReadLatency and NVMWriteLatency configure the simulated device
+	// (default 500 ns each, the paper's midpoint; the hardware sweep in
+	// the paper covers 165-1800 ns).
+	NVMReadLatency  time.Duration
+	NVMWriteLatency time.Duration
+
+	// StrictPersistence makes NVM writes that were never flushed vanish
+	// on CrashRestart — the adversarial model for recovery testing.
+	StrictPersistence bool
+
+	// DebugChecks enables the paper's §A.6 debugging mode: on eviction,
+	// every clean cache line is verified against its persistent copy.
+	DebugChecks bool
+}
+
+// Store is a single-threaded transactional storage engine.
+type Store struct {
+	e *engine.Engine
+}
+
+// Open creates a store with fresh simulated devices.
+func Open(opts Options) (*Store, error) {
+	cfg := engine.DefaultConfig(opts.Architecture.topology(), opts.DRAMBytes, opts.NVMBytes, opts.SSDBytes)
+	cfg.WALBytes = opts.WALBytes
+	cfg.NVMReadLatency = opts.NVMReadLatency
+	cfg.NVMWriteLatency = opts.NVMWriteLatency
+	cfg.StrictPersistence = opts.StrictPersistence
+	cfg.DebugChecks = opts.DebugChecks
+	e, err := engine.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{e: e}, nil
+}
+
+// Architecture returns the store's storage layout.
+func (s *Store) Architecture() string { return s.e.Topology().String() }
+
+// CreateTable creates a table of fixed-size rows keyed by uint64. The id
+// must be unique within the store and is how the table is found again
+// after a restart.
+func (s *Store) CreateTable(id uint64, rowSize int) (*Table, error) {
+	return s.CreateTableLayout(id, rowSize, LayoutSorted)
+}
+
+// CreateTableLayout is CreateTable with an explicit leaf layout.
+func (s *Store) CreateTableLayout(id uint64, rowSize int, layout LeafLayout) (*Table, error) {
+	t, err := s.e.CreateTree(id, rowSize, layout)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t, s: s}, nil
+}
+
+// Table returns the table with the given id, or nil if it does not exist
+// (tables reappear automatically after restarts).
+func (s *Store) Table(id uint64) *Table {
+	t := s.e.Tree(id)
+	if t == nil {
+		return nil
+	}
+	return &Table{t: t, s: s}
+}
+
+// Begin starts a transaction. Transactions are explicit: modifications
+// outside Begin/Commit fail with ErrNoTx.
+func (s *Store) Begin() { s.e.Begin() }
+
+// Commit makes the running transaction durable (the log tail is flushed
+// to NVM).
+func (s *Store) Commit() error { return s.e.Commit() }
+
+// Rollback undoes the running transaction.
+func (s *Store) Rollback() error { return s.e.Rollback() }
+
+// Update runs fn inside a transaction, committing on success and rolling
+// back when fn returns an error.
+func (s *Store) Update(fn func() error) error {
+	s.Begin()
+	if err := fn(); err != nil {
+		if rbErr := s.Rollback(); rbErr != nil {
+			return errors.Join(err, rbErr)
+		}
+		return err
+	}
+	return s.Commit()
+}
+
+// Checkpoint forces all dirty pages to persistent storage and truncates
+// the write-ahead log.
+func (s *Store) Checkpoint() error { return s.e.Checkpoint() }
+
+// CleanRestart simulates an orderly shutdown and restart: all volatile
+// state is dropped and the page mapping table is rebuilt by scanning the
+// NVM page headers (§4.4). On the three-tier architecture the NVM cache
+// survives warm — the property the paper's restart experiment measures.
+func (s *Store) CleanRestart() error { return s.e.CleanRestart() }
+
+// RecoveryStats summarizes a crash recovery.
+type RecoveryStats = wal.RecoveryStats
+
+// CrashRestart simulates a power failure and restart: DRAM is lost,
+// unflushed NVM lines revert (with Options.StrictPersistence), and the
+// write-ahead log is replayed. Not supported on MainMemory, whose pages
+// have no persistent home.
+func (s *Store) CrashRestart() (RecoveryStats, error) { return s.e.CrashRestart() }
+
+// SimulatedTime returns the accumulated simulated device time. Combined
+// with wall time it yields the throughput figures the benchmark harness
+// reports.
+func (s *Store) SimulatedTime() time.Duration { return s.e.Clock().Elapsed() }
+
+// Metrics is a snapshot of engine and device counters.
+type Metrics struct {
+	// Buffer manager event counters (fixes, evictions, admissions, ...).
+	Buffer core.Stats
+	// Log activity (records, commits, flushes, truncations).
+	Log wal.Stats
+	// NVMLinesRead counts cache lines read from NVM (including CPU-cache
+	// hits); NVMLinesFlushed counts lines made durable.
+	NVMLinesRead    int64
+	NVMLinesFlushed int64
+	// NVMTotalWrites is the total cache-line write (wear) count across
+	// the device — the endurance measure of the paper's Figure 16.
+	NVMTotalWrites int64
+	// SSDPagesRead and SSDPagesWritten count SSD traffic.
+	SSDPagesRead    int64
+	SSDPagesWritten int64
+}
+
+// WearProfile summarizes the per-cache-line write distribution of the
+// simulated NVM device — the endurance measure of the paper's Figure 16.
+// Buffer-managed architectures both reduce and level wear; the in-place
+// architecture concentrates it on hot lines.
+type WearProfile struct {
+	// TotalWrites is the number of cache-line writes the device absorbed.
+	TotalWrites int64
+	// LinesTouched is the number of distinct lines written at least once.
+	LinesTouched int
+	// MaxPerLine is the write count of the hottest line.
+	MaxPerLine uint32
+	// MedianPerLine is the write count of the median touched line.
+	MedianPerLine uint32
+}
+
+// WearProfile computes the NVM wear distribution.
+func (s *Store) WearProfile() WearProfile {
+	counts := s.e.Manager().NVM().WearCounts()
+	touched := make([]uint32, 0, len(counts))
+	var p WearProfile
+	for _, c := range counts {
+		if c > 0 {
+			touched = append(touched, c)
+			p.TotalWrites += int64(c)
+			if c > p.MaxPerLine {
+				p.MaxPerLine = c
+			}
+		}
+	}
+	p.LinesTouched = len(touched)
+	if len(touched) > 0 {
+		sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+		p.MedianPerLine = touched[len(touched)/2]
+	}
+	return p
+}
+
+// ResetWear zeroes the NVM wear counters (for before/after comparisons).
+func (s *Store) ResetWear() { s.e.Manager().NVM().ResetWear() }
+
+// Metrics returns a snapshot of the store's counters.
+func (s *Store) Metrics() Metrics {
+	m := Metrics{
+		Buffer: s.e.Manager().Stats(),
+		Log:    s.e.Log().Stats(),
+	}
+	nvmStats := s.e.Manager().NVM().Stats()
+	m.NVMLinesRead = nvmStats.LinesRead
+	m.NVMLinesFlushed = nvmStats.LinesFlushed
+	m.NVMTotalWrites = s.e.Manager().NVM().TotalWrites()
+	if ssd := s.e.Manager().SSD(); ssd != nil {
+		st := ssd.Stats()
+		m.SSDPagesRead = st.PagesRead
+		m.SSDPagesWritten = st.PagesWritten
+	}
+	return m
+}
+
+// Table is a B+-tree of fixed-size rows keyed by uint64.
+type Table struct {
+	t *btree.Tree
+	s *Store
+}
+
+// RowSize returns the fixed row size in bytes.
+func (t *Table) RowSize() int { return t.t.PayloadSize() }
+
+// Insert adds a row; it fails with ErrDuplicateKey if the key exists and
+// with ErrNoTx outside a transaction.
+func (t *Table) Insert(key uint64, row []byte) error { return t.t.Insert(key, row) }
+
+// Lookup copies the row for key into buf (RowSize bytes) and reports
+// whether it was found.
+func (t *Table) Lookup(key uint64, buf []byte) (bool, error) { return t.t.Lookup(key, buf) }
+
+// LookupField copies n bytes at byte offset off of key's row into buf.
+// On NVM-backed architectures only the probed keys and the requested
+// field are transferred — the paper's cache-line-grained fast path.
+func (t *Table) LookupField(key uint64, off, n int, buf []byte) (bool, error) {
+	return t.t.LookupField(key, off, n, buf)
+}
+
+// UpdateField overwrites part of key's row, logging before and after
+// images for recovery.
+func (t *Table) UpdateField(key uint64, off int, val []byte) (bool, error) {
+	return t.t.UpdateField(key, off, val)
+}
+
+// Delete removes a row and reports whether it existed.
+func (t *Table) Delete(key uint64) (bool, error) { return t.t.Delete(key) }
+
+// Scan visits rows with key >= from in ascending order, passing fieldLen
+// bytes at fieldOff of each row; it stops after limit rows (limit <= 0
+// means all) or when fn returns false. The field slice is only valid
+// during the callback.
+func (t *Table) Scan(from uint64, limit int, fieldOff, fieldLen int, fn func(key uint64, field []byte) bool) error {
+	return t.t.Scan(from, limit, fieldOff, fieldLen, fn)
+}
+
+// Count scans the table and returns the number of rows.
+func (t *Table) Count() (int, error) { return t.t.Count() }
+
+// BulkLoad fills an empty table with n rows in ascending key order at the
+// given leaf fill factor (0 < fill <= 1), bypassing the log; call
+// Store.Checkpoint afterwards to make the load durable. It must not run
+// inside a transaction.
+func (t *Table) BulkLoad(n int, keyAt func(i int) uint64, rowAt func(i int, dst []byte), fill float64) error {
+	if t.s.e.InTx() {
+		return fmt.Errorf("nvmstore: bulk load inside a transaction")
+	}
+	return t.t.BulkLoad(n, keyAt, rowAt, fill)
+}
+
+// SaveSnapshot checkpoints the store and writes its entire durable state
+// (NVM and SSD content) to path, so a simulated store can outlive the
+// process. Load it with LoadSnapshot on a store opened with the same
+// Options. Must not run inside a transaction.
+func (s *Store) SaveSnapshot(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.e.SaveSnapshot(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadSnapshot replaces the store's state with a snapshot written by
+// SaveSnapshot on a store with the same Options. Tables reappear under
+// their ids.
+func (s *Store) LoadSnapshot(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.e.LoadSnapshot(f)
+}
