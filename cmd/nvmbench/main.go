@@ -5,32 +5,46 @@
 //
 //	nvmbench -list
 //	nvmbench -experiment fig8
+//	nvmbench -experiment figA1 -threads 4
 //	nvmbench -experiment all -scale 16 -ops 30000
 //
 // Capacities follow the paper's DRAM:NVM:SSD = 2:10:50 proportions, scaled
 // by -scale (megabytes per "paper gigabyte"). Output is one aligned text
 // table per experiment, with one column per system line of the original
-// figure.
+// figure; -json additionally writes BENCH_<experiment>.json files for
+// external plotting.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nvmstore/internal/bench"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run holds the real main body so deferred cleanup (notably stopping the
+// CPU profile) executes before the process exits.
+func run() int {
 	var (
 		experiment = flag.String("experiment", "", "experiment id (see -list), or \"all\"")
 		list       = flag.Bool("list", false, "list available experiments")
 		scaleMB    = flag.Int64("scale", 16, "megabytes per paper-gigabyte of capacity")
 		ops        = flag.Int("ops", 30000, "measured operations per data point")
 		warmup     = flag.Int("warmup", 0, "warm-up operations per data point (default: same as -ops)")
+		threads    = flag.Int("threads", 4, "maximum shard count for multi-threaded experiments (figA1)")
 		quick      = flag.Bool("quick", false, "fewer sweep points for a fast smoke run")
 		format     = flag.String("format", "table", "output format: table, csv, or chart")
+		jsonDir    = flag.String("json", "", "also write BENCH_<experiment>.json files to this directory")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,18 +52,33 @@ func main() {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("  %-6s %s\n", e.ID, e.Description)
 		}
-		return
+		return 0
 	}
 	if *experiment == "" {
 		fmt.Fprintln(os.Stderr, "nvmbench: pick an experiment with -experiment <id> or -experiment all (-list shows ids)")
-		os.Exit(2)
+		return 2
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nvmbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	opts := bench.Options{
-		Scale:  *scaleMB << 20,
-		Ops:    *ops,
-		Warmup: *warmup,
-		Quick:  *quick,
+		Scale:   *scaleMB << 20,
+		Ops:     *ops,
+		Warmup:  *warmup,
+		Threads: *threads,
+		Quick:   *quick,
 	}
 	var runs []bench.Experiment
 	if *experiment == "all" {
@@ -58,16 +87,18 @@ func main() {
 		exp, err := bench.Lookup(*experiment)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		runs = []bench.Experiment{exp}
 	}
+	exitCode := 0
 	for _, exp := range runs {
 		start := time.Now()
 		res, err := exp.Run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nvmbench: %s: %v\n", exp.ID, err)
-			os.Exit(1)
+			exitCode = 1
+			break
 		}
 		switch *format {
 		case "csv":
@@ -77,6 +108,30 @@ func main() {
 		default:
 			res.Format(os.Stdout)
 		}
+		if *jsonDir != "" {
+			path, err := res.SaveJSON(*jsonDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nvmbench: %s: %v\n", exp.ID, err)
+				exitCode = 1
+				break
+			}
+			fmt.Printf("(wrote %s)\n", path)
+		}
 		fmt.Printf("(%s finished in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmbench: -memprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "nvmbench: -memprofile: %v\n", err)
+			return 2
+		}
+	}
+	return exitCode
 }

@@ -40,6 +40,10 @@ type Options struct {
 	Warmup int
 	// Quick shrinks sweeps to fewer points for smoke runs.
 	Quick bool
+	// Threads is the maximum shard count the multi-threaded experiments
+	// sweep to (default 4). Each thread is an independent shard-per-core
+	// engine instance, per Appendix A.1.
+	Threads int
 }
 
 func (o *Options) applyDefaults() {
@@ -51,6 +55,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.Warmup == 0 {
 		o.Warmup = o.Ops
+	}
+	if o.Threads == 0 {
+		o.Threads = 4
 	}
 }
 

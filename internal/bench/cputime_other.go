@@ -1,0 +1,9 @@
+//go:build !unix
+
+package bench
+
+import "time"
+
+// processCPUTime is unavailable on this platform; the parallel driver
+// falls back to wall time (treating the host as a single core).
+func processCPUTime() time.Duration { return -1 }

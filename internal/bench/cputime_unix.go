@@ -1,0 +1,21 @@
+//go:build unix
+
+package bench
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns the CPU time (user + system) the process has
+// consumed so far, or a negative duration if the platform cannot report
+// it. The parallel driver charges each shard its share of CPU rather
+// than global wall time, so a run on a machine with fewer cores than
+// shards still measures what shard-per-core hardware would deliver.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return -1
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

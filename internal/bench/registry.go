@@ -29,6 +29,7 @@ func Experiments() []Experiment {
 		{"fig15", "update-ratio sweep, appendix A.3 (Figure 15)", Fig15},
 		{"fig16", "NVM wear, appendix A.4 (Figure 16)", Fig16},
 		{"fig17", "restart ramp-up, appendix A.5 (Figure 17)", Fig17},
+		{"figA1", "multi-threaded scalability, appendix A.1 (threads sweep)", FigA1},
 		{"ablation", "NVM admission-set ablation (not in the paper)", AblationAdmission},
 	}
 }

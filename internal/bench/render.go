@@ -1,9 +1,12 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 )
@@ -17,6 +20,46 @@ func (r Result) FormatCSV(w io.Writer) {
 			fmt.Fprintf(w, "%s,%q,%g,%g\n", r.ID, s.Name, s.X[i], s.Y[i])
 		}
 	}
+}
+
+// jsonResult is the machine-readable form of a Result: each series maps
+// its name to a list of [x, y] points.
+type jsonResult struct {
+	Experiment string                  `json:"experiment"`
+	Title      string                  `json:"title"`
+	XLabel     string                  `json:"xlabel"`
+	YLabel     string                  `json:"ylabel"`
+	Series     map[string][][2]float64 `json:"series"`
+	Notes      []string                `json:"notes,omitempty"`
+}
+
+// SaveJSON writes the result to BENCH_<experiment>.json in dir and
+// returns the path written.
+func (r Result) SaveJSON(dir string) (string, error) {
+	out := jsonResult{
+		Experiment: r.ID,
+		Title:      r.Title,
+		XLabel:     r.XLabel,
+		YLabel:     r.YLabel,
+		Series:     make(map[string][][2]float64, len(r.Series)),
+		Notes:      r.Notes,
+	}
+	for _, s := range r.Series {
+		pts := make([][2]float64, len(s.X))
+		for i := range s.X {
+			pts[i] = [2]float64{s.X[i], s.Y[i]}
+		}
+		out.Series[s.Name] = pts
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.ID+".json")
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 // Chart renders the result as an ASCII chart (log-scaled Y, one mark per

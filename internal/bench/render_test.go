@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveJSON(t *testing.T) {
+	res := Result{
+		ID:     "figX",
+		Title:  "test figure",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "A", X: []float64{1, 2}, Y: []float64{10, 20}},
+			{Name: "B", X: []float64{1}, Y: []float64{5}},
+		},
+		Notes: []string{"a note"},
+	}
+	dir := t.TempDir()
+	path, err := res.SaveJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := filepath.Join(dir, "BENCH_figX.json"); path != want {
+		t.Fatalf("path = %q, want %q", path, want)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Experiment string                  `json:"experiment"`
+		XLabel     string                  `json:"xlabel"`
+		Series     map[string][][2]float64 `json:"series"`
+		Notes      []string                `json:"notes"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if got.Experiment != "figX" || got.XLabel != "x" {
+		t.Fatalf("metadata = %+v", got)
+	}
+	if len(got.Series) != 2 {
+		t.Fatalf("series = %v", got.Series)
+	}
+	if a := got.Series["A"]; len(a) != 2 || a[1] != [2]float64{2, 20} {
+		t.Fatalf("series A = %v", a)
+	}
+	if len(got.Notes) != 1 || got.Notes[0] != "a note" {
+		t.Fatalf("notes = %v", got.Notes)
+	}
+}

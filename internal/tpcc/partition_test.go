@@ -1,0 +1,98 @@
+package tpcc
+
+import (
+	"testing"
+
+	"nvmstore/internal/core"
+	"nvmstore/internal/engine"
+)
+
+func newShardWorkload(t *testing.T, warehouses, shards, index int) *Workload {
+	t.Helper()
+	cfg := engine.DefaultConfig(core.ThreeTier,
+		256*(core.PageSize+2*core.LineSize),
+		4096*(core.PageSize+core.LineSize),
+		16384*core.PageSize)
+	cfg.WALBytes = 4 << 20
+	cfg.CPUCacheBytes = -1
+	e, err := engine.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewPartition(e, testScale(warehouses), shards, index)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestOwnedWarehousesPartition(t *testing.T) {
+	const warehouses, shards = 7, 3
+	seen := make(map[int]int)
+	for i := 0; i < shards; i++ {
+		whs := ownedWarehouses(warehouses, shards, i)
+		if len(whs) == 0 {
+			t.Fatalf("shard %d owns no warehouses", i)
+		}
+		for _, wh := range whs {
+			if prev, dup := seen[wh]; dup {
+				t.Fatalf("warehouse %d owned by shards %d and %d", wh, prev, i)
+			}
+			seen[wh] = i
+		}
+	}
+	if len(seen) != warehouses {
+		t.Fatalf("shards cover %d warehouses, want %d", len(seen), warehouses)
+	}
+}
+
+func TestPartitionedTransactionsAndConsistency(t *testing.T) {
+	const warehouses, shards = 4, 2
+	for index := 0; index < shards; index++ {
+		w := newShardWorkload(t, warehouses, shards, index)
+		for i := 0; i < 200; i++ {
+			if err := w.NextTransaction(); err != nil {
+				t.Fatalf("shard %d tx %d: %v", index, i, err)
+			}
+		}
+		if err := w.VerifyConsistency(); err != nil {
+			t.Fatalf("shard %d: %v", index, err)
+		}
+	}
+}
+
+func TestPartitionSingleShardMatchesUnpartitioned(t *testing.T) {
+	// A 1-shard partition must draw exactly the single-threaded random
+	// sequence: run the same mix on both and compare the mix counters.
+	a := newWorkload(t, core.ThreeTier, 2)
+	b := newShardWorkload(t, 2, 1, 0)
+	for i := 0; i < 150; i++ {
+		if err := a.NextTransaction(); err != nil {
+			t.Fatalf("unpartitioned tx %d: %v", i, err)
+		}
+		if err := b.NextTransaction(); err != nil {
+			t.Fatalf("1-shard tx %d: %v", i, err)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("transaction mix diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	cfg := engine.DefaultConfig(core.ThreeTier,
+		256*(core.PageSize+2*core.LineSize),
+		4096*(core.PageSize+core.LineSize),
+		16384*core.PageSize)
+	cfg.WALBytes = 4 << 20
+	e, err := engine.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPartition(e, testScale(2), 2, 5); err == nil {
+		t.Fatal("index outside [0, shards) should be rejected")
+	}
+	if _, err := NewPartition(e, testScale(2), 4, 3); err == nil {
+		t.Fatal("a shard with no warehouses should be rejected")
+	}
+}

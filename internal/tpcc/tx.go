@@ -31,6 +31,13 @@ func errNotFound(table string, key uint64) error {
 	return fmt.Errorf("tpcc: %s row %#x missing", table, key)
 }
 
+// homeW picks a uniformly random home warehouse among those the shard
+// owns. Unpartitioned, this is the specification's uniform(1, W) draw
+// (same random stream, same value).
+func (w *Workload) homeW() int {
+	return w.whs[w.rng.intn(len(w.whs))]
+}
+
 // NewOrder runs the New-Order transaction: enter an order of 5-15 lines,
 // updating the district's order counter and each line's stock. One
 // percent of orders carry an invalid item and roll back, per the
@@ -38,7 +45,7 @@ func errNotFound(table string, key uint64) error {
 func (w *Workload) NewOrder() error {
 	r := &w.rng
 	cfg := w.cfg
-	wh := r.uniform(1, cfg.Warehouses)
+	wh := w.homeW()
 	d := r.uniform(1, districtsPerWarehouse)
 	c := r.nuRand(1023, cID, 1, cfg.CustomersPerDistrict)
 	olCnt := r.uniform(5, 15)
@@ -137,9 +144,9 @@ func (w *Workload) NewOrder() error {
 		}
 
 		supplyW := wh
-		if cfg.Warehouses > 1 && r.intn(100) == 0 {
+		if len(w.whs) > 1 && r.intn(100) == 0 {
 			for supplyW == wh {
-				supplyW = r.uniform(1, cfg.Warehouses)
+				supplyW = w.homeW()
 			}
 			orow[orAllLocal] = 0
 		}
@@ -249,13 +256,13 @@ func (w *Workload) customerByName(wh, d, nameIdx int) (int, error) {
 func (w *Workload) Payment() error {
 	r := &w.rng
 	cfg := w.cfg
-	wh := r.uniform(1, cfg.Warehouses)
+	wh := w.homeW()
 	d := r.uniform(1, districtsPerWarehouse)
 	// 15% of payments come through a remote warehouse.
 	cw, cd := wh, d
-	if cfg.Warehouses > 1 && r.intn(100) < 15 {
+	if len(w.whs) > 1 && r.intn(100) < 15 {
 		for cw == wh {
-			cw = r.uniform(1, cfg.Warehouses)
+			cw = w.homeW()
 		}
 		cd = r.uniform(1, districtsPerWarehouse)
 	}
@@ -353,7 +360,7 @@ func (w *Workload) Payment() error {
 func (w *Workload) OrderStatus() error {
 	r := &w.rng
 	cfg := w.cfg
-	wh := r.uniform(1, cfg.Warehouses)
+	wh := w.homeW()
 	d := r.uniform(1, districtsPerWarehouse)
 
 	w.e.Begin()
@@ -433,8 +440,7 @@ func (w *Workload) OrderStatus() error {
 // and delivery dates, and credit the customer.
 func (w *Workload) Delivery() error {
 	r := &w.rng
-	cfg := w.cfg
-	wh := r.uniform(1, cfg.Warehouses)
+	wh := w.homeW()
 	carrier := byte(r.uniform(1, 10))
 	w.now++
 
@@ -517,8 +523,7 @@ func (w *Workload) Delivery() error {
 // threshold.
 func (w *Workload) StockLevel() error {
 	r := &w.rng
-	cfg := w.cfg
-	wh := r.uniform(1, cfg.Warehouses)
+	wh := w.homeW()
 	d := r.uniform(1, districtsPerWarehouse)
 	threshold := int32(r.uniform(10, 20))
 

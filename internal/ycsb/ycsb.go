@@ -21,6 +21,7 @@ import (
 
 	"nvmstore/internal/btree"
 	"nvmstore/internal/engine"
+	"nvmstore/internal/shard"
 	"nvmstore/internal/zipfian"
 )
 
@@ -50,12 +51,86 @@ func RowsForDataSize(bytes int64) int {
 	return int(bytes / 1700)
 }
 
+// DefaultSeed is the base seed of the YCSB random streams. Sharded
+// workers derive their per-shard seed from it (shard.SeedFor), so runs
+// are reproducible at any thread count.
+const DefaultSeed = 0x5943534221
+
+// Partition names one shard of a hash-partitioned key space, the
+// shard-per-core model of the paper's Appendix A.1. The zero value is the
+// unpartitioned (single-threaded) workload.
+type Partition struct {
+	// Shards is the total shard count; 0 or 1 means unpartitioned.
+	Shards int
+	// Index is this shard in [0, Shards).
+	Index int
+}
+
+// Owns reports whether the partition owns key.
+func (p Partition) Owns(key uint64) bool {
+	return p.Shards <= 1 || shard.Of(key, p.Shards) == p.Index
+}
+
+// KeyStream is the deterministic random stream of one YCSB worker: a
+// scrambled-Zipf key sequence restricted to the worker's partition, plus
+// the uniform draws for field choices and workload mixes. Two streams
+// with the same (n, seed, partition) produce identical sequences. Not
+// safe for concurrent use — one stream per shard worker.
+type KeyStream struct {
+	gen  *zipfian.Generator
+	part Partition
+	// owned, for a partitioned stream, lists the shard's keys in global
+	// popularity order, so one Zipf draw over len(owned) ranks yields the
+	// global distribution restricted to this shard — without paying for
+	// rejection sampling on every operation.
+	owned []uint64
+}
+
+// NewKeyStream creates a stream over the global key space [0, n) seeded
+// from (seed, partition index). An unpartitioned stream uses the base
+// seed directly, so a 1-shard run draws exactly the single-threaded
+// sequence.
+func NewKeyStream(n uint64, seed uint64, p Partition) *KeyStream {
+	if p.Shards <= 1 {
+		return &KeyStream{gen: zipfian.New(n, zipfian.Theta1, seed), part: p}
+	}
+	owned := make([]uint64, 0, int(n)/p.Shards+16)
+	for r := uint64(0); r < n; r++ {
+		if k := zipfian.KeyAt(r, n); p.Owns(k) {
+			owned = append(owned, k)
+		}
+	}
+	if len(owned) == 0 {
+		panic(fmt.Sprintf("ycsb: shard %d/%d owns no keys of %d", p.Index, p.Shards, n))
+	}
+	return &KeyStream{
+		gen:   zipfian.New(uint64(len(owned)), zipfian.Theta1, shard.SeedFor(seed, p.Index)),
+		part:  p,
+		owned: owned,
+	}
+}
+
+// Next returns the next Zipf-distributed key owned by the partition. A
+// shard draws a Zipf rank over its own keys ordered by global popularity,
+// which keeps each shard's access skew equal to the global distribution
+// restricted to the keys it owns.
+func (s *KeyStream) Next() uint64 {
+	if s.owned != nil {
+		return s.owned[s.gen.Next()]
+	}
+	return s.gen.NextScrambled()
+}
+
+// Uniform returns a uniform value in [0, m).
+func (s *KeyStream) Uniform(m uint64) uint64 { return s.gen.Uint64n(m) }
+
 // Workload drives YCSB operations against one engine.
 type Workload struct {
 	e     *engine.Engine
 	table *btree.Tree
 	n     uint64
-	keys  *zipfian.Generator
+	part  Partition
+	keys  *KeyStream
 	buf   []byte
 
 	zipfLatest *latestDist
@@ -74,30 +149,65 @@ func Load(e *engine.Engine, n int, layout btree.LeafLayout) (*Workload, error) {
 // LoadFill is Load with an explicit B-tree fill factor; the scan overhead
 // experiment of §5.4.2 loads at a fill factor of 1.0.
 func LoadFill(e *engine.Engine, n int, layout btree.LeafLayout, fill float64) (*Workload, error) {
+	return LoadPartitionFill(e, n, layout, fill, Partition{})
+}
+
+// LoadPartition creates the YCSB table in e and bulk-loads the subset of
+// the global key space [0, n) owned by partition p — one shard of the
+// Appendix A.1 shard-per-core layout. The workload's key stream is seeded
+// from (DefaultSeed, p.Index) and only ever draws owned keys.
+func LoadPartition(e *engine.Engine, n int, layout btree.LeafLayout, p Partition) (*Workload, error) {
+	return LoadPartitionFill(e, n, layout, 0.66, p)
+}
+
+// LoadPartitionFill is LoadPartition with an explicit fill factor.
+func LoadPartitionFill(e *engine.Engine, n int, layout btree.LeafLayout, fill float64, p Partition) (*Workload, error) {
 	t, err := e.CreateTree(TableID, RowSize, layout)
 	if err != nil {
 		return nil, err
 	}
 	row := make([]byte, RowSize)
-	err = t.BulkLoad(n,
-		func(i int) uint64 { return uint64(i) },
-		func(i int, dst []byte) {
-			FillRow(uint64(i), row)
-			copy(dst, row)
-		},
-		fill)
+	if p.Shards <= 1 {
+		err = t.BulkLoad(n,
+			func(i int) uint64 { return uint64(i) },
+			func(i int, dst []byte) {
+				FillRow(uint64(i), row)
+				copy(dst, row)
+			},
+			fill)
+	} else {
+		owned := make([]uint64, 0, n/p.Shards+n/(8*p.Shards)+16)
+		for k := uint64(0); k < uint64(n); k++ {
+			if p.Owns(k) {
+				owned = append(owned, k)
+			}
+		}
+		err = t.BulkLoad(len(owned),
+			func(i int) uint64 { return owned[i] },
+			func(i int, dst []byte) {
+				FillRow(owned[i], row)
+				copy(dst, row)
+			},
+			fill)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("ycsb: bulk load: %w", err)
 	}
 	if err := e.Checkpoint(); err != nil {
 		return nil, err
 	}
-	return Attach(e, n)
+	return AttachPartition(e, n, p)
 }
 
 // Attach builds a workload over an already-loaded engine (for example
 // after a restart).
 func Attach(e *engine.Engine, n int) (*Workload, error) {
+	return AttachPartition(e, n, Partition{})
+}
+
+// AttachPartition is Attach for one shard of a partitioned load: n is the
+// global key-space size, of which the engine holds partition p's share.
+func AttachPartition(e *engine.Engine, n int, p Partition) (*Workload, error) {
 	t := e.Tree(TableID)
 	if t == nil {
 		return nil, fmt.Errorf("ycsb: engine has no YCSB table")
@@ -106,7 +216,8 @@ func Attach(e *engine.Engine, n int) (*Workload, error) {
 		e:     e,
 		table: t,
 		n:     uint64(n),
-		keys:  zipfian.New(uint64(n), zipfian.Theta1, 0x5943534221),
+		part:  p,
+		keys:  NewKeyStream(uint64(n), DefaultSeed, p),
 		buf:   make([]byte, RowSize),
 	}, nil
 }
@@ -129,14 +240,19 @@ func FillField(key uint64, field int, dst []byte) {
 // Table returns the YCSB table tree.
 func (w *Workload) Table() *btree.Tree { return w.table }
 
-// Rows returns the number of loaded rows.
+// Rows returns the size of the global key space (all shards together for
+// a partitioned workload).
 func (w *Workload) Rows() int { return int(w.n) }
 
-// gen returns the Zipf key generator, rebuilding it when inserts grew the
-// key space.
-func (w *Workload) gen() *zipfian.Generator {
+// Partition returns the workload's shard assignment (the zero Partition
+// for a single-threaded workload).
+func (w *Workload) Partition() Partition { return w.part }
+
+// gen returns the worker's key stream, rebuilding it when inserts grew
+// the key space.
+func (w *Workload) gen() *KeyStream {
 	if w.keys == nil {
-		w.keys = zipfian.New(w.n, zipfian.Theta1, 0x5943534221)
+		w.keys = NewKeyStream(w.n, DefaultSeed, w.part)
 	}
 	return w.keys
 }
@@ -144,8 +260,8 @@ func (w *Workload) gen() *zipfian.Generator {
 // Lookup runs one YCSB-RO transaction: read one uniformly chosen field of
 // one Zipf-chosen row.
 func (w *Workload) Lookup() error {
-	key := w.gen().NextScrambled()
-	field := int(w.gen().Uint64n(Fields))
+	key := w.gen().Next()
+	field := int(w.gen().Uniform(Fields))
 	w.e.Begin()
 	found, err := w.table.LookupField(key, field*FieldSize, FieldSize, w.buf)
 	if err != nil {
@@ -164,8 +280,8 @@ func (w *Workload) Lookup() error {
 // Update runs one update transaction: overwrite one uniformly chosen
 // field of one Zipf-chosen row.
 func (w *Workload) Update() error {
-	key := w.gen().NextScrambled()
-	field := int(w.gen().Uint64n(Fields))
+	key := w.gen().Next()
+	field := int(w.gen().Uniform(Fields))
 	// New field content varies with the op counter so updates are not
 	// no-ops.
 	FillField(key+uint64(w.Ops), field, w.buf[:FieldSize])
@@ -187,9 +303,9 @@ func (w *Workload) Update() error {
 // Scan runs one YCSB-SCAN transaction: from a Zipf-chosen start key, read
 // one uniformly chosen field of each of 1-100 consecutive rows.
 func (w *Workload) Scan() error {
-	key := w.gen().NextScrambled()
-	length := int(w.gen().Uint64n(100)) + 1
-	field := int(w.gen().Uint64n(Fields))
+	key := w.gen().Next()
+	length := int(w.gen().Uniform(100)) + 1
+	field := int(w.gen().Uniform(Fields))
 	w.e.Begin()
 	err := w.table.Scan(key, length, field*FieldSize, FieldSize, func(k uint64, fieldBytes []byte) bool {
 		return true
@@ -207,8 +323,8 @@ func (w *Workload) Scan() error {
 // ScanRange runs one scan transaction with a fixed range length, as used
 // by the overhead analysis of §5.4.2.
 func (w *Workload) ScanRange(length int) error {
-	key := w.gen().NextScrambled()
-	field := int(w.gen().Uint64n(Fields))
+	key := w.gen().Next()
+	field := int(w.gen().Uniform(Fields))
 	w.e.Begin()
 	err := w.table.Scan(key, length, field*FieldSize, FieldSize, func(uint64, []byte) bool {
 		return true
@@ -241,15 +357,19 @@ func (w *Workload) FullScan() error {
 // Mixed runs one YCSB-R/W transaction: an update with probability
 // writePct/100, otherwise a lookup.
 func (w *Workload) Mixed(writePct int) error {
-	if int(w.gen().Uint64n(100)) < writePct {
+	if int(w.gen().Uniform(100)) < writePct {
 		return w.Update()
 	}
 	return w.Lookup()
 }
 
 // Insert adds a new row past the current end of the key space (YCSB's
-// ordered insert, used by workloads D and E).
+// ordered insert, used by workloads D and E). Not supported on a
+// partitioned workload: the appended key belongs to an arbitrary shard.
 func (w *Workload) Insert() error {
+	if w.part.Shards > 1 {
+		return fmt.Errorf("ycsb: Insert on a partitioned workload (shard %d/%d)", w.part.Index, w.part.Shards)
+	}
 	key := w.n
 	FillRow(key, w.buf)
 	w.e.Begin()
@@ -280,8 +400,12 @@ type latestDist struct {
 	gen *zipfian.Generator
 }
 
-// ReadLatest looks up one field of a recently inserted row.
+// ReadLatest looks up one field of a recently inserted row. Like Insert,
+// it is only supported on unpartitioned workloads.
 func (w *Workload) ReadLatest() error {
+	if w.part.Shards > 1 {
+		return fmt.Errorf("ycsb: ReadLatest on a partitioned workload (shard %d/%d)", w.part.Index, w.part.Shards)
+	}
 	key := w.latest()
 	field := int(key % Fields)
 	w.e.Begin()
@@ -314,7 +438,7 @@ const (
 
 // Run executes one transaction of the given standard workload.
 func (w *Workload) Run(p Preset) error {
-	r := int(w.gen().Uint64n(100))
+	r := int(w.gen().Uniform(100))
 	switch p {
 	case PresetA:
 		return w.Mixed(50)

@@ -97,7 +97,14 @@ func (g *Generator) Next() uint64 {
 // NextScrambled returns a Zipf-distributed key in [0, n) with the popular
 // keys scattered across the key space instead of clustered at 0.
 func (g *Generator) NextScrambled() uint64 {
-	return scramble(g.Next()) % g.n
+	return KeyAt(g.Next(), g.n)
+}
+
+// KeyAt maps a popularity rank to its scrambled key in [0, n): the key
+// NextScrambled returns when Next draws that rank. It lets partitioned
+// workloads enumerate the key space in popularity order.
+func KeyAt(rank, n uint64) uint64 {
+	return scramble(rank) % n
 }
 
 // scramble is a fixed SplitMix64 hash (independent of the random stream).

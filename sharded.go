@@ -1,0 +1,468 @@
+package nvmstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"nvmstore/internal/shard"
+)
+
+// ShardedStore is the scale-up path sketched in the paper's Appendix A.1:
+// the key space is hash-partitioned across N independent single-threaded
+// Stores, each with its own buffer manager, write-ahead log, and
+// simulated NVM/SSD devices (shard-per-core). Shards share nothing; a
+// transaction lives entirely inside one shard.
+//
+// Unlike a plain Store, a ShardedStore is safe for concurrent use: each
+// shard carries its own lock, so goroutines operating on different shards
+// proceed in parallel while operations on the same shard serialize —
+// exactly the contention profile of one worker thread per shard.
+//
+// Time in a parallel run is hybrid, like the single-threaded benchmarks:
+// wall (CPU) time is measured once by the caller, while each shard's
+// virtual device clock advances independently. The simulated component of
+// a parallel region is the slowest shard's clock (MaxSimulatedTime), not
+// the sum: the other shards' device waits happen concurrently.
+type ShardedStore struct {
+	shards []*Store
+	slots  []shardSlot
+}
+
+// shardSlot holds one shard's lock and operation counter, padded so that
+// adjacent shards' hot state does not share a cache line (false sharing).
+type shardSlot struct {
+	mu  sync.Mutex
+	ops int64
+	_   [112]byte
+}
+
+// OpenSharded creates a sharded store of n independent single-threaded
+// shards. The capacities in opts (DRAM, NVM, SSD, WAL) are totals for the
+// whole store and are split evenly across shards; zero capacities stay
+// zero (unlimited / unused), and each shard gets the default WAL size if
+// none is set. OpenSharded(1, opts) behaves exactly like Open(opts).
+func OpenSharded(n int, opts Options) (*ShardedStore, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("nvmstore: sharded store needs at least 1 shard, got %d", n)
+	}
+	per := opts
+	per.DRAMBytes = splitCapacity(opts.DRAMBytes, n)
+	per.NVMBytes = splitCapacity(opts.NVMBytes, n)
+	per.SSDBytes = splitCapacity(opts.SSDBytes, n)
+	per.WALBytes = splitCapacity(opts.WALBytes, n)
+	s := &ShardedStore{
+		shards: make([]*Store, n),
+		slots:  make([]shardSlot, n),
+	}
+	for i := range s.shards {
+		st, err := Open(per)
+		if err != nil {
+			return nil, fmt.Errorf("nvmstore: open shard %d/%d: %w", i, n, err)
+		}
+		s.shards[i] = st
+	}
+	return s, nil
+}
+
+// splitCapacity divides a total capacity across n shards, preserving the
+// "zero means unlimited/default" convention.
+func splitCapacity(total int64, n int) int64 {
+	if total == 0 || n <= 1 {
+		return total
+	}
+	return total / int64(n)
+}
+
+// NumShards returns the shard count.
+func (s *ShardedStore) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the shard owning key — the same hash partitioning the
+// workload drivers route by.
+func (s *ShardedStore) ShardFor(key uint64) int { return shard.Of(key, len(s.shards)) }
+
+// Shard returns shard i's underlying single-threaded Store without
+// locking: the caller must be that shard's only user (the shard-per-core
+// worker model). For synchronized access use WithShard.
+func (s *ShardedStore) Shard(i int) *Store { return s.shards[i] }
+
+// WithShard runs fn with shard i's store while holding its lock, so it is
+// safe to call from any goroutine.
+func (s *ShardedStore) WithShard(i int, fn func(*Store) error) error {
+	slot := &s.slots[i]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	return fn(s.shards[i])
+}
+
+// onShard is WithShard plus the per-shard op counter.
+func (s *ShardedStore) onShard(i int, fn func(*Store) error) error {
+	slot := &s.slots[i]
+	slot.mu.Lock()
+	defer slot.mu.Unlock()
+	slot.ops++
+	return fn(s.shards[i])
+}
+
+// Ops returns the total number of routed table operations.
+func (s *ShardedStore) Ops() int64 {
+	var total int64
+	for i := range s.slots {
+		slot := &s.slots[i]
+		slot.mu.Lock()
+		total += slot.ops
+		slot.mu.Unlock()
+	}
+	return total
+}
+
+// ShardOps returns the per-shard routed-operation counts — the balance
+// check for the hash partitioning.
+func (s *ShardedStore) ShardOps() []int64 {
+	counts := make([]int64, len(s.slots))
+	for i := range s.slots {
+		slot := &s.slots[i]
+		slot.mu.Lock()
+		counts[i] = slot.ops
+		slot.mu.Unlock()
+	}
+	return counts
+}
+
+// CreateTable creates the table on every shard; rows are routed to their
+// owning shard by key hash.
+func (s *ShardedStore) CreateTable(id uint64, rowSize int) (*ShardedTable, error) {
+	return s.CreateTableLayout(id, rowSize, LayoutSorted)
+}
+
+// CreateTableLayout is CreateTable with an explicit leaf layout.
+func (s *ShardedStore) CreateTableLayout(id uint64, rowSize int, layout LeafLayout) (*ShardedTable, error) {
+	for i := range s.shards {
+		err := s.WithShard(i, func(st *Store) error {
+			_, err := st.CreateTableLayout(id, rowSize, layout)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("nvmstore: create table %d on shard %d: %w", id, i, err)
+		}
+	}
+	return &ShardedTable{s: s, id: id, rowSize: rowSize}, nil
+}
+
+// Table returns the sharded table with the given id, or nil if shard 0
+// does not know it (tables reappear automatically after restarts).
+func (s *ShardedStore) Table(id uint64) *ShardedTable {
+	t := s.shards[0].Table(id)
+	if t == nil {
+		return nil
+	}
+	return &ShardedTable{s: s, id: id, rowSize: t.RowSize()}
+}
+
+// Checkpoint checkpoints every shard.
+func (s *ShardedStore) Checkpoint() error {
+	for i := range s.shards {
+		if err := s.WithShard(i, (*Store).Checkpoint); err != nil {
+			return fmt.Errorf("nvmstore: checkpoint shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CleanRestart restarts every shard in an orderly fashion.
+func (s *ShardedStore) CleanRestart() error {
+	for i := range s.shards {
+		if err := s.WithShard(i, (*Store).CleanRestart); err != nil {
+			return fmt.Errorf("nvmstore: clean restart shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CrashRestartShard power-fails and recovers one shard: that shard's DRAM
+// is lost and its log replayed, while the other shards keep running —
+// per-shard recovery is the fault-isolation benefit of the shared-nothing
+// layout.
+func (s *ShardedStore) CrashRestartShard(i int) (RecoveryStats, error) {
+	var stats RecoveryStats
+	err := s.WithShard(i, func(st *Store) error {
+		var err error
+		stats, err = st.CrashRestart()
+		return err
+	})
+	return stats, err
+}
+
+// CrashRestart power-fails and recovers every shard, summing the
+// per-shard recovery statistics.
+func (s *ShardedStore) CrashRestart() (RecoveryStats, error) {
+	var total RecoveryStats
+	for i := range s.shards {
+		stats, err := s.CrashRestartShard(i)
+		if err != nil {
+			return total, fmt.Errorf("nvmstore: crash restart shard %d: %w", i, err)
+		}
+		total.Records += stats.Records
+		total.Committed += stats.Committed
+		total.Aborted += stats.Aborted
+		total.Losers += stats.Losers
+		total.Redone += stats.Redone
+		total.Undone += stats.Undone
+	}
+	return total, nil
+}
+
+// MaxSimulatedTime returns the slowest shard's accumulated simulated
+// device time — the simulated component of the parallel hybrid-time
+// model: shards run concurrently, so their device waits overlap and only
+// the longest one extends a parallel run.
+func (s *ShardedStore) MaxSimulatedTime() time.Duration {
+	var max time.Duration
+	for _, st := range s.shards {
+		if d := st.SimulatedTime(); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// TotalSimulatedTime returns the sum of all shards' simulated device
+// time — the aggregate device work, used for IO accounting rather than
+// elapsed-time math.
+func (s *ShardedStore) TotalSimulatedTime() time.Duration {
+	var total time.Duration
+	for _, st := range s.shards {
+		total += st.SimulatedTime()
+	}
+	return total
+}
+
+// CombinedTime implements the parallel hybrid-time model: a parallel
+// region that took wall CPU time costs wall plus the slowest shard's
+// simulated device time. With one shard this is exactly the
+// single-threaded wall + simulated model.
+func (s *ShardedStore) CombinedTime(wall time.Duration) time.Duration {
+	return wall + s.MaxSimulatedTime()
+}
+
+// Metrics returns the sum of all shards' counters.
+func (s *ShardedStore) Metrics() Metrics {
+	var total Metrics
+	for _, st := range s.shards {
+		m := st.Metrics()
+		total.Buffer.Fixes += m.Buffer.Fixes
+		total.Buffer.SwizzleHits += m.Buffer.SwizzleHits
+		total.Buffer.TableHits += m.Buffer.TableHits
+		total.Buffer.Swizzles += m.Buffer.Swizzles
+		total.Buffer.SSDLoads += m.Buffer.SSDLoads
+		total.Buffer.NVMPageLoads += m.Buffer.NVMPageLoads
+		total.Buffer.LinesLoaded += m.Buffer.LinesLoaded
+		total.Buffer.MiniAllocs += m.Buffer.MiniAllocs
+		total.Buffer.FullAllocs += m.Buffer.FullAllocs
+		total.Buffer.MiniPromotions += m.Buffer.MiniPromotions
+		total.Buffer.DRAMEvictions += m.Buffer.DRAMEvictions
+		total.Buffer.NVMAdmissions += m.Buffer.NVMAdmissions
+		total.Buffer.NVMDenials += m.Buffer.NVMDenials
+		total.Buffer.NVMEvictions += m.Buffer.NVMEvictions
+		total.Buffer.DirectFixes += m.Buffer.DirectFixes
+		total.Log.Records += m.Log.Records
+		total.Log.Commits += m.Log.Commits
+		total.Log.Aborts += m.Log.Aborts
+		total.Log.Flushes += m.Log.Flushes
+		total.Log.Truncates += m.Log.Truncates
+		total.NVMLinesRead += m.NVMLinesRead
+		total.NVMLinesFlushed += m.NVMLinesFlushed
+		total.NVMTotalWrites += m.NVMTotalWrites
+		total.SSDPagesRead += m.SSDPagesRead
+		total.SSDPagesWritten += m.SSDPagesWritten
+	}
+	return total
+}
+
+// WearProfile computes the NVM wear distribution over all shards'
+// devices together, as if they were one larger device.
+func (s *ShardedStore) WearProfile() WearProfile {
+	var touched []uint32
+	var p WearProfile
+	for _, st := range s.shards {
+		for _, c := range st.e.Manager().NVM().WearCounts() {
+			if c > 0 {
+				touched = append(touched, c)
+				p.TotalWrites += int64(c)
+				if c > p.MaxPerLine {
+					p.MaxPerLine = c
+				}
+			}
+		}
+	}
+	p.LinesTouched = len(touched)
+	if len(touched) > 0 {
+		sort.Slice(touched, func(a, b int) bool { return touched[a] < touched[b] })
+		p.MedianPerLine = touched[len(touched)/2]
+	}
+	return p
+}
+
+// ShardedTable routes fixed-size rows keyed by uint64 across the store's
+// shards. Each operation runs as one transaction on the owning shard
+// under that shard's lock, so the table is safe for concurrent use.
+type ShardedTable struct {
+	s       *ShardedStore
+	id      uint64
+	rowSize int
+}
+
+// RowSize returns the fixed row size in bytes.
+func (t *ShardedTable) RowSize() int { return t.rowSize }
+
+// shardTable resolves the table on shard st; resolved per operation so
+// handles stay valid across shard restarts.
+func (t *ShardedTable) shardTable(st *Store) (*Table, error) {
+	tab := st.Table(t.id)
+	if tab == nil {
+		return nil, fmt.Errorf("nvmstore: table %d missing on shard", t.id)
+	}
+	return tab, nil
+}
+
+// Insert adds a row on the owning shard, as one transaction.
+func (t *ShardedTable) Insert(key uint64, row []byte) error {
+	return t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+		tab, err := t.shardTable(st)
+		if err != nil {
+			return err
+		}
+		return st.Update(func() error { return tab.Insert(key, row) })
+	})
+}
+
+// Lookup copies the row for key into buf and reports whether it exists.
+func (t *ShardedTable) Lookup(key uint64, buf []byte) (bool, error) {
+	var found bool
+	err := t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+		tab, err := t.shardTable(st)
+		if err != nil {
+			return err
+		}
+		return st.Update(func() error {
+			var err error
+			found, err = tab.Lookup(key, buf)
+			return err
+		})
+	})
+	return found, err
+}
+
+// LookupField copies n bytes at byte offset off of key's row into buf.
+func (t *ShardedTable) LookupField(key uint64, off, n int, buf []byte) (bool, error) {
+	var found bool
+	err := t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+		tab, err := t.shardTable(st)
+		if err != nil {
+			return err
+		}
+		return st.Update(func() error {
+			var err error
+			found, err = tab.LookupField(key, off, n, buf)
+			return err
+		})
+	})
+	return found, err
+}
+
+// UpdateField overwrites part of key's row on the owning shard, as one
+// transaction.
+func (t *ShardedTable) UpdateField(key uint64, off int, val []byte) (bool, error) {
+	var found bool
+	err := t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+		tab, err := t.shardTable(st)
+		if err != nil {
+			return err
+		}
+		return st.Update(func() error {
+			var err error
+			found, err = tab.UpdateField(key, off, val)
+			return err
+		})
+	})
+	return found, err
+}
+
+// Delete removes a row and reports whether it existed.
+func (t *ShardedTable) Delete(key uint64) (bool, error) {
+	var found bool
+	err := t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+		tab, err := t.shardTable(st)
+		if err != nil {
+			return err
+		}
+		return st.Update(func() error {
+			var err error
+			found, err = tab.Delete(key)
+			return err
+		})
+	})
+	return found, err
+}
+
+// Scan visits rows with key >= from in ascending global key order,
+// passing fieldLen bytes at fieldOff of each row; it stops after limit
+// rows (limit <= 0 means all) or when fn returns false. Hash partitioning
+// scatters consecutive keys across shards, so the scan collects each
+// shard's range (one read transaction per shard, shards visited one at a
+// time) and merges the results before invoking fn.
+func (t *ShardedTable) Scan(from uint64, limit int, fieldOff, fieldLen int, fn func(key uint64, field []byte) bool) error {
+	type entry struct {
+		key   uint64
+		field []byte
+	}
+	var all []entry
+	for i := range t.s.shards {
+		err := t.s.onShard(i, func(st *Store) error {
+			tab, err := t.shardTable(st)
+			if err != nil {
+				return err
+			}
+			return st.Update(func() error {
+				return tab.Scan(from, limit, fieldOff, fieldLen, func(key uint64, field []byte) bool {
+					all = append(all, entry{key, append([]byte(nil), field...)})
+					return true
+				})
+			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].key < all[b].key })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	for _, e := range all {
+		if !fn(e.key, e.field) {
+			break
+		}
+	}
+	return nil
+}
+
+// Count returns the total number of rows across all shards.
+func (t *ShardedTable) Count() (int, error) {
+	total := 0
+	for i := range t.s.shards {
+		err := t.s.onShard(i, func(st *Store) error {
+			tab, err := t.shardTable(st)
+			if err != nil {
+				return err
+			}
+			n, err := tab.Count()
+			total += n
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,311 @@
+package nvmstore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func openShardedStore(t *testing.T, shards int) *ShardedStore {
+	t.Helper()
+	s, err := OpenSharded(shards, Options{
+		Architecture:      ThreeTier,
+		DRAMBytes:         32 << 20,
+		NVMBytes:          256 << 20,
+		SSDBytes:          1 << 30,
+		WALBytes:          4 << 20,
+		StrictPersistence: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func shardedRow(key uint64, size int) []byte {
+	row := make([]byte, size)
+	for i := range row {
+		row[i] = byte(key>>uint(8*(i%8))) + byte(i)
+	}
+	return row
+}
+
+func TestShardedBasicOps(t *testing.T) {
+	s := openShardedStore(t, 4)
+	table, err := s.CreateTable(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 500
+	for k := uint64(0); k < rows; k++ {
+		if err := table.Insert(k, shardedRow(k, 64)); err != nil {
+			t.Fatalf("insert %d: %v", k, err)
+		}
+	}
+	if n, err := table.Count(); err != nil || n != rows {
+		t.Fatalf("Count = %d, %v; want %d", n, err, rows)
+	}
+	buf := make([]byte, 64)
+	for k := uint64(0); k < rows; k++ {
+		found, err := table.Lookup(k, buf)
+		if err != nil || !found {
+			t.Fatalf("lookup %d: found=%v err=%v", k, found, err)
+		}
+		if !bytes.Equal(buf, shardedRow(k, 64)) {
+			t.Fatalf("row %d content mismatch", k)
+		}
+	}
+	// Scan must return the hash-scattered keys in global order.
+	var prev uint64
+	seen := 0
+	err = table.Scan(0, 0, 0, 8, func(k uint64, field []byte) bool {
+		if seen > 0 && k <= prev {
+			t.Fatalf("scan out of order: %d after %d", k, prev)
+		}
+		prev = k
+		seen++
+		return true
+	})
+	if err != nil || seen != rows {
+		t.Fatalf("scan visited %d rows, err %v; want %d", seen, err, rows)
+	}
+	// Every shard should own a reasonable slice of the key space.
+	for i, ops := range s.ShardOps() {
+		if ops == 0 {
+			t.Fatalf("shard %d received no operations", i)
+		}
+	}
+}
+
+func TestShardedScanLimitAndDelete(t *testing.T) {
+	s := openShardedStore(t, 3)
+	table, err := s.CreateTable(1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 100; k++ {
+		if err := table.Insert(k, shardedRow(k, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []uint64
+	if err := table.Scan(40, 10, 0, 4, func(k uint64, _ []byte) bool {
+		got = append(got, k)
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != 40 || got[9] != 49 {
+		t.Fatalf("scan(40, limit 10) = %v", got)
+	}
+	if found, err := table.Delete(40); err != nil || !found {
+		t.Fatalf("delete: found=%v err=%v", found, err)
+	}
+	if found, _ := table.Lookup(40, make([]byte, 32)); found {
+		t.Fatal("deleted key still visible")
+	}
+	if n, _ := table.Count(); n != 99 {
+		t.Fatalf("Count after delete = %d, want 99", n)
+	}
+}
+
+// TestShardedConcurrent drives goroutines hammering the same sharded
+// table with inserts, lookups, field updates, and scans. Run under
+// `go test -race` this checks the per-shard locking.
+func TestShardedConcurrent(t *testing.T) {
+	s := openShardedStore(t, 4)
+	table, err := s.CreateTable(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		perW    = 300
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < perW; i++ {
+				k := uint64(wk*perW + i)
+				if err := table.Insert(k, shardedRow(k, 64)); err != nil {
+					errs[wk] = fmt.Errorf("insert %d: %w", k, err)
+					return
+				}
+				if found, err := table.Lookup(k, buf); err != nil || !found {
+					errs[wk] = fmt.Errorf("lookup %d: found=%v err=%v", k, found, err)
+					return
+				}
+				if _, err := table.UpdateField(k, 8, []byte{0xAB, 0xCD}); err != nil {
+					errs[wk] = fmt.Errorf("update %d: %w", k, err)
+					return
+				}
+				if i%64 == 0 {
+					if err := table.Scan(k, 16, 0, 8, func(uint64, []byte) bool { return true }); err != nil {
+						errs[wk] = fmt.Errorf("scan from %d: %w", k, err)
+						return
+					}
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for wk, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", wk, err)
+		}
+	}
+	if n, err := table.Count(); err != nil || n != workers*perW {
+		t.Fatalf("Count = %d, %v; want %d", n, err, workers*perW)
+	}
+	if s.Ops() == 0 {
+		t.Fatal("op counters did not advance")
+	}
+}
+
+// TestShardedCrashOneShard kills one shard in the middle of a transaction
+// and verifies per-shard recovery: the victim's committed rows and every
+// other shard's data survive, while the in-flight transaction is undone.
+func TestShardedCrashOneShard(t *testing.T) {
+	s := openShardedStore(t, 4)
+	table, err := s.CreateTable(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 400
+	for k := uint64(0); k < rows; k++ {
+		if err := table.Insert(k, shardedRow(k, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Open a transaction on the victim shard and leave it uncommitted
+	// mid-flight: insert a row the crash must roll back.
+	const victim = 2
+	var loserKey uint64
+	for k := uint64(rows); ; k++ {
+		if s.ShardFor(k) == victim {
+			loserKey = k
+			break
+		}
+	}
+	err = s.WithShard(victim, func(st *Store) error {
+		st.Begin()
+		vt := st.Table(1)
+		if vt == nil {
+			return fmt.Errorf("victim shard lost table 1")
+		}
+		return vt.Insert(loserKey, shardedRow(loserKey, 64))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stats, err := s.CrashRestartShard(victim)
+	if err != nil {
+		t.Fatalf("crash restart shard %d: %v", victim, err)
+	}
+	// The in-flight records were never flushed (no commit), so recovery
+	// replays only the victim's committed transactions.
+	if stats.Committed == 0 {
+		t.Fatalf("recovery replayed no committed transactions: %+v", stats)
+	}
+
+	// The in-flight insert must be gone; all committed rows must survive
+	// on every shard, including the recovered one.
+	buf := make([]byte, 64)
+	if found, _ := table.Lookup(loserKey, buf); found {
+		t.Fatalf("uncommitted key %d survived the crash", loserKey)
+	}
+	for k := uint64(0); k < rows; k++ {
+		found, err := table.Lookup(k, buf)
+		if err != nil || !found {
+			t.Fatalf("key %d (shard %d) lost after shard-%d crash: found=%v err=%v",
+				k, s.ShardFor(k), victim, found, err)
+		}
+		if !bytes.Equal(buf, shardedRow(k, 64)) {
+			t.Fatalf("key %d content corrupted after recovery", k)
+		}
+	}
+	// The surviving shards keep accepting writes.
+	if err := table.Insert(rows+1000, shardedRow(rows+1000, 64)); err != nil {
+		t.Fatalf("insert after per-shard recovery: %v", err)
+	}
+}
+
+func TestShardedWholeStoreCrash(t *testing.T) {
+	s := openShardedStore(t, 3)
+	table, err := s.CreateTable(1, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 300
+	for k := uint64(0); k < rows; k++ {
+		if err := table.Insert(k, shardedRow(k, 48)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := s.CrashRestart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Committed == 0 {
+		t.Fatalf("recovery replayed no committed transactions: %+v", stats)
+	}
+	if n, err := table.Count(); err != nil || n != rows {
+		t.Fatalf("Count after crash = %d, %v; want %d", n, err, rows)
+	}
+}
+
+func TestShardedMetricsAggregate(t *testing.T) {
+	s := openShardedStore(t, 2)
+	table, err := s.CreateTable(1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 200; k++ {
+		if err := table.Insert(k, shardedRow(k, 32)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := s.Metrics()
+	if m.Log.Commits < 200 {
+		t.Fatalf("aggregated commits = %d, want >= 200", m.Log.Commits)
+	}
+	if m.Buffer.Fixes == 0 {
+		t.Fatal("aggregated buffer fixes = 0")
+	}
+	var perShard int64
+	for i := 0; i < s.NumShards(); i++ {
+		perShard += s.Shard(i).Metrics().Log.Commits
+	}
+	if m.Log.Commits != perShard {
+		t.Fatalf("aggregate commits %d != per-shard sum %d", m.Log.Commits, perShard)
+	}
+}
+
+func TestOpenShardedValidation(t *testing.T) {
+	if _, err := OpenSharded(0, Options{Architecture: ThreeTier}); err == nil {
+		t.Fatal("OpenSharded(0) should fail")
+	}
+	s, err := OpenSharded(1, Options{
+		Architecture: ThreeTier,
+		DRAMBytes:    8 << 20,
+		NVMBytes:     64 << 20,
+		SSDBytes:     256 << 20,
+		WALBytes:     1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 1 {
+		t.Fatalf("NumShards = %d", s.NumShards())
+	}
+	if s.ShardFor(12345) != 0 {
+		t.Fatal("single shard must own every key")
+	}
+}
