@@ -7,32 +7,101 @@
 //	nvmbench -experiment fig8
 //	nvmbench -experiment figA1 -threads 4
 //	nvmbench -experiment all -scale 16 -ops 30000
+//	nvmbench -experiment figA1 -threads 4 -json -trace -http :6060
 //
 // Capacities follow the paper's DRAM:NVM:SSD = 2:10:50 proportions, scaled
 // by -scale (megabytes per "paper gigabyte"). Output is one aligned text
 // table per experiment, with one column per system line of the original
-// figure; -json additionally writes BENCH_<experiment>.json files for
-// external plotting.
+// figure; -json additionally writes BENCH_<id>.json files for external
+// plotting.
+//
+// Observability: -obs records per-tier latency histograms (printed as a
+// table after each experiment and embedded in the JSON output); -trace
+// additionally captures page-lifecycle events and writes them to
+// TRACE_<id>.jsonl; -http serves expvar, net/http/pprof, and a /metrics
+// JSON snapshot (refreshed once a second and after each experiment) for
+// the duration of the run. -json and -trace accept a bare flag (current
+// directory) or -json=dir / -trace=dir.
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 	"time"
 
 	"nvmstore/internal/bench"
+	"nvmstore/internal/obs"
 )
 
 func main() {
 	os.Exit(run())
 }
 
+// dirFlag is an output-directory flag that may be given bare (meaning
+// the current directory), as -flag=dir, or negated with -flag=false.
+// An empty dir means the output is disabled.
+type dirFlag struct{ dir string }
+
+func (f *dirFlag) String() string   { return f.dir }
+func (f *dirFlag) IsBoolFlag() bool { return true }
+func (f *dirFlag) Set(s string) error {
+	switch s {
+	case "true":
+		f.dir = "."
+	case "false":
+		f.dir = ""
+	default:
+		f.dir = s
+	}
+	return nil
+}
+
+// traceRingCap is the per-engine lifecycle-event ring size under
+// -trace: the most recent 64k events per shard, ~2 MB each.
+const traceRingCap = 1 << 16
+
+// liveMetrics is the state behind the -http /metrics endpoint: the
+// merged latency view of whatever experiment is currently running.
+type liveMetrics struct {
+	live *obs.Live
+	sink *bench.ObsSink
+
+	mu    sync.Mutex
+	phase string
+}
+
+func (lm *liveMetrics) setPhase(p string) {
+	lm.mu.Lock()
+	lm.phase = p
+	lm.mu.Unlock()
+	lm.publish()
+}
+
+// publish refreshes the /metrics snapshot. Histogram reads are atomic,
+// so this is safe while worker goroutines are mid-benchmark.
+func (lm *liveMetrics) publish() {
+	lm.mu.Lock()
+	phase := lm.phase
+	lm.mu.Unlock()
+	lm.live.Publish(struct {
+		Phase   string    `json:"phase"`
+		Updated string    `json:"updated"`
+		Latency []obs.Row `json:"latency"`
+	}{phase, time.Now().Format(time.RFC3339), lm.sink.Rows()})
+}
+
 // run holds the real main body so deferred cleanup (notably stopping the
 // CPU profile) executes before the process exits.
 func run() int {
+	var jsonDir, traceDir dirFlag
 	var (
 		experiment = flag.String("experiment", "", "experiment id (see -list), or \"all\"")
 		list       = flag.Bool("list", false, "list available experiments")
@@ -42,10 +111,13 @@ func run() int {
 		threads    = flag.Int("threads", 4, "maximum shard count for multi-threaded experiments (figA1)")
 		quick      = flag.Bool("quick", false, "fewer sweep points for a fast smoke run")
 		format     = flag.String("format", "table", "output format: table, csv, or chart")
-		jsonDir    = flag.String("json", "", "also write BENCH_<experiment>.json files to this directory")
+		observe    = flag.Bool("obs", false, "record per-tier latency histograms")
+		httpAddr   = flag.String("http", "", "serve expvar, pprof, and /metrics on this address during the run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
+	flag.Var(&jsonDir, "json", "write BENCH_<id>.json files (bare flag: current directory, or -json=dir)")
+	flag.Var(&traceDir, "trace", "record lifecycle events and write TRACE_<id>.jsonl (bare flag: current directory, or -trace=dir)")
 	flag.Parse()
 
 	if *list {
@@ -80,6 +152,38 @@ func run() int {
 		Threads: *threads,
 		Quick:   *quick,
 	}
+	// -trace implies -obs (events without histograms would be half a
+	// picture); -http implies -obs so /metrics has something to show.
+	if *observe || traceDir.dir != "" || *httpAddr != "" {
+		sink := &bench.ObsSink{}
+		if traceDir.dir != "" {
+			sink.TraceCap = traceRingCap
+		}
+		opts.Obs = sink
+	}
+
+	var live *liveMetrics
+	if *httpAddr != "" {
+		live = &liveMetrics{live: new(obs.Live), sink: opts.Obs}
+		http.Handle("/metrics", live.live)
+		expvar.Publish("nvmstore_latency", expvar.Func(func() any {
+			return opts.Obs.Rows()
+		}))
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "nvmbench: -http: %v\n", err)
+			}
+		}()
+		ticker := time.NewTicker(time.Second)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				live.publish()
+			}
+		}()
+		fmt.Printf("(serving /metrics, /debug/vars, and /debug/pprof/ on %s)\n", *httpAddr)
+	}
+
 	var runs []bench.Experiment
 	if *experiment == "all" {
 		runs = bench.Experiments()
@@ -93,6 +197,9 @@ func run() int {
 	}
 	exitCode := 0
 	for _, exp := range runs {
+		if live != nil {
+			live.setPhase(exp.ID)
+		}
 		start := time.Now()
 		res, err := exp.Run(opts)
 		if err != nil {
@@ -105,17 +212,31 @@ func run() int {
 			res.FormatCSV(os.Stdout)
 		case "chart":
 			res.Chart(os.Stdout, 72, 18)
+			res.FormatLatency(os.Stdout)
 		default:
 			res.Format(os.Stdout)
 		}
-		if *jsonDir != "" {
-			path, err := res.SaveJSON(*jsonDir)
+		if jsonDir.dir != "" {
+			path, err := res.SaveJSON(jsonDir.dir)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "nvmbench: %s: %v\n", exp.ID, err)
 				exitCode = 1
 				break
 			}
 			fmt.Printf("(wrote %s)\n", path)
+		}
+		if traceDir.dir != "" {
+			path := filepath.Join(traceDir.dir, "TRACE_"+res.Tag()+".jsonl")
+			n, err := saveTrace(opts.Obs, path, exp.ID)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nvmbench: %s: %v\n", exp.ID, err)
+				exitCode = 1
+				break
+			}
+			fmt.Printf("(wrote %s, %d events)\n", path, n)
+		}
+		if live != nil {
+			live.publish()
 		}
 		fmt.Printf("(%s finished in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 	}
@@ -134,4 +255,18 @@ func run() int {
 		}
 	}
 	return exitCode
+}
+
+// saveTrace dumps the sink's event rings (all shards, all pids) as
+// JSONL to path.
+func saveTrace(sink *bench.ObsSink, path, label string) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	n, err := sink.WriteTrace(f, label, 0)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return n, err
 }

@@ -23,6 +23,7 @@ import (
 
 	"nvmstore/internal/core"
 	"nvmstore/internal/engine"
+	"nvmstore/internal/obs"
 	"nvmstore/internal/simclock"
 )
 
@@ -44,6 +45,12 @@ type Options struct {
 	// sweep to (default 4). Each thread is an independent shard-per-core
 	// engine instance, per Appendix A.1.
 	Threads int
+	// Obs, when non-nil, installs a latency/event recorder into every
+	// engine the experiments build. Merged histograms land in
+	// Result.Latency; lifecycle traces stay in the sink until dumped.
+	// Recording costs a few percent of throughput — leave nil for clean
+	// performance runs.
+	Obs *ObsSink
 }
 
 func (o *Options) applyDefaults() {
@@ -79,6 +86,21 @@ type Result struct {
 	YLabel string
 	Series []Series
 	Notes  []string
+	// FileTag, when set, replaces ID in output file names. Experiments
+	// whose results depend on an option outside the sweep (figA1 and
+	// -threads) set it so repeated runs do not overwrite each other.
+	FileTag string
+	// Latency is the merged per-operation latency table recorded when
+	// the run had Options.Obs installed; nil otherwise.
+	Latency []obs.Row
+}
+
+// Tag returns the file-name tag: FileTag if set, else the ID.
+func (r Result) Tag() string {
+	if r.FileTag != "" {
+		return r.FileTag
+	}
+	return r.ID
 }
 
 // Format writes the result as an aligned text table with one column per
@@ -134,6 +156,7 @@ func (r Result) Format(w io.Writer) {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+	r.FormatLatency(w)
 }
 
 func trimFloat(v float64) string {
@@ -214,6 +237,9 @@ func buildEngine(o Options, topo core.Topology, dram, nvmBytes, ssdBytes int64, 
 	// checkpoint stalls.
 	cfg.WALBytes = 96 << 20
 	cfg.CPUCacheBytes = cpuCacheFor(o)
+	if o.Obs != nil {
+		cfg.Recorder = o.Obs.newCollector()
+	}
 	if mutate != nil {
 		mutate(&cfg)
 	}

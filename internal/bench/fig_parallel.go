@@ -299,6 +299,9 @@ func FigA1(o Options) (Result, error) {
 		Title:  "Appendix A.1: YCSB read-only scalability (data = 1 unit, DRAM-resident)",
 		XLabel: "threads",
 		YLabel: "lookups/s",
+		// Different -threads runs measure different sweeps; keep their
+		// output files apart instead of silently overwriting.
+		FileTag: fmt.Sprintf("figA1_t%d", o.Threads),
 	}
 	for _, topo := range []core.Topology{core.ThreeTier, core.DirectNVM, core.DRAMSSD} {
 		s := Series{Name: topo.String()}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"io"
+	"sync"
+
+	"nvmstore/internal/obs"
+)
+
+// ObsSink aggregates observability data across every engine an
+// experiment builds. Experiments construct engines freely — one per
+// shard, one per sweep point — so the sink hands each engine its own
+// collector and merges them on demand. Install one via Options.Obs;
+// leave it nil for clean performance runs.
+type ObsSink struct {
+	// TraceCap is the per-engine lifecycle-event ring capacity. Zero
+	// records histograms only.
+	TraceCap int
+
+	mu         sync.Mutex
+	collectors []*obs.Collector
+}
+
+// newCollector registers a fresh per-engine collector. Safe to call
+// from the concurrent engine builders.
+func (s *ObsSink) newCollector() *obs.Collector {
+	c := obs.NewCollector(s.TraceCap)
+	s.mu.Lock()
+	s.collectors = append(s.collectors, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Snapshot merges the latency histograms of every engine registered so
+// far. Histogram counters are atomic, so this is safe to call while a
+// run is still in flight (the live /metrics refresher does).
+func (s *ObsSink) Snapshot() *obs.Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := &obs.Snapshot{}
+	for _, c := range s.collectors {
+		total.Merge(c.Snapshot())
+	}
+	return total
+}
+
+// Rows returns the merged per-operation latency table.
+func (s *ObsSink) Rows() []obs.Row { return s.Snapshot().Rows() }
+
+// WriteTrace dumps every engine's event ring as JSONL, tagging each
+// line with the experiment label and the engine's registration index as
+// its shard. Unlike Snapshot, this must not run concurrently with the
+// workload: the rings are single-writer.
+func (s *ObsSink) WriteTrace(w io.Writer, label string, pid uint64) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := 0
+	for i, c := range s.collectors {
+		tr := c.Trace()
+		if tr == nil {
+			continue
+		}
+		n, err := tr.WriteJSONL(w, label, i, pid)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// Reset drops every registered collector, starting a fresh phase.
+func (s *ObsSink) Reset() {
+	s.mu.Lock()
+	s.collectors = nil
+	s.mu.Unlock()
+}

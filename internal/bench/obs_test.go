@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvmstore/internal/obs"
+)
+
+// TestObsSinkThroughExperiment runs figA1 at tiny scale with a recorder
+// installed and checks every observability surface: merged latency rows
+// on the result, the rendered per-tier table, the thread-suffixed JSON
+// file embedding the latency section, and a parseable JSONL trace.
+func TestObsSinkThroughExperiment(t *testing.T) {
+	o := tinyOptions()
+	o.Threads = 2
+	o.Obs = &ObsSink{TraceCap: 4096}
+	exp, err := Lookup("figA1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Latency) == 0 {
+		t.Fatal("instrumented run attached no latency rows")
+	}
+	hit := false
+	for _, row := range res.Latency {
+		if row.Op == "dram.hit" && row.Count > 0 {
+			hit = true
+		}
+		if row.P50 > row.P99 || row.P99 > row.Max {
+			t.Errorf("%s: quantiles not monotonic: %+v", row.Op, row)
+		}
+	}
+	if !hit {
+		t.Errorf("lookup workload recorded no dram.hit samples: %+v", res.Latency)
+	}
+
+	var sb strings.Builder
+	res.Format(&sb)
+	for _, want := range []string{"per-tier latency", "p50", "p99", "dram.hit"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("formatted output missing %q:\n%s", want, sb.String())
+		}
+	}
+
+	dir := t.TempDir()
+	path, err := res.SaveJSON(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base := filepath.Base(path); base != "BENCH_figA1_t2.json" {
+		t.Errorf("json file = %q, want thread-suffixed BENCH_figA1_t2.json", base)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Latency []obs.Row `json:"latency"`
+	}
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(got.Latency) != len(res.Latency) {
+		t.Errorf("json latency rows = %d, want %d", len(got.Latency), len(res.Latency))
+	}
+
+	var buf bytes.Buffer
+	n, err := o.Obs.WriteTrace(&buf, "figA1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("trace rings empty after instrumented run")
+	}
+	lines := bytes.Split(bytes.TrimSpace(buf.Bytes()), []byte("\n"))
+	if len(lines) != n {
+		t.Fatalf("WriteTrace reported %d events, emitted %d lines", n, len(lines))
+	}
+	for i, line := range lines {
+		var ev struct {
+			Experiment string `json:"experiment"`
+			Shard      *int   `json:"shard"`
+			Event      string `json:"event"`
+			Tier       string `json:"tier"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("trace line %d invalid: %v\n%s", i, err, line)
+		}
+		if ev.Experiment != "figA1" || ev.Shard == nil || ev.Event == "" || ev.Tier == "" {
+			t.Fatalf("trace line %d incomplete: %s", i, line)
+		}
+	}
+}
+
+// TestObsSinkReset checks that the per-experiment wrapper starts each
+// run with an empty sink: collectors from a previous experiment must
+// not leak into the next result.
+func TestObsSinkReset(t *testing.T) {
+	sink := &ObsSink{}
+	c := sink.newCollector()
+	c.Latency(obs.OpDRAMHit, 1)
+	if len(sink.Rows()) == 0 {
+		t.Fatal("seeded sink has no rows")
+	}
+	sink.Reset()
+	if rows := sink.Rows(); len(rows) != 0 {
+		t.Fatalf("rows after reset: %+v", rows)
+	}
+}

@@ -15,9 +15,26 @@ type Experiment struct {
 	Run         Runner
 }
 
+// instrument wraps a runner with the observability bookkeeping: the
+// sink starts each experiment empty (collectors belong to engines the
+// previous experiment already discarded) and the merged latency table
+// is attached to the result afterwards.
+func instrument(run Runner) Runner {
+	return func(o Options) (Result, error) {
+		if o.Obs != nil {
+			o.Obs.Reset()
+		}
+		res, err := run(o)
+		if o.Obs != nil && err == nil {
+			res.Latency = o.Obs.Rows()
+		}
+		return res, err
+	}
+}
+
 // Experiments lists every reproducible table and figure in paper order.
 func Experiments() []Experiment {
-	return []Experiment{
+	exps := []Experiment{
 		{"fig8", "YCSB-RO throughput vs data size, five architectures (Figure 8)", Fig8},
 		{"fig9", "TPC-C throughput vs warehouses, five architectures (Figure 9)", Fig9},
 		{"fig10", "performance drill-down of the proposed optimizations (Figure 10)", Fig10},
@@ -32,6 +49,10 @@ func Experiments() []Experiment {
 		{"figA1", "multi-threaded scalability, appendix A.1 (threads sweep)", FigA1},
 		{"ablation", "NVM admission-set ablation (not in the paper)", AblationAdmission},
 	}
+	for i := range exps {
+		exps[i].Run = instrument(exps[i].Run)
+	}
+	return exps
 }
 
 // Lookup returns the experiment with the given id.

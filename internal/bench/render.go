@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"nvmstore/internal/obs"
 )
 
 // FormatCSV writes the result as CSV: one row per (series, x, y) triple,
@@ -31,10 +33,13 @@ type jsonResult struct {
 	YLabel     string                  `json:"ylabel"`
 	Series     map[string][][2]float64 `json:"series"`
 	Notes      []string                `json:"notes,omitempty"`
+	Latency    []obs.Row               `json:"latency,omitempty"`
 }
 
-// SaveJSON writes the result to BENCH_<experiment>.json in dir and
-// returns the path written.
+// SaveJSON writes the result to BENCH_<tag>.json in dir and returns the
+// path written. The tag is the experiment id, or Result.FileTag when
+// the experiment sets one (figA1 suffixes the thread count so sweeps at
+// different -threads keep all their points).
 func (r Result) SaveJSON(dir string) (string, error) {
 	out := jsonResult{
 		Experiment: r.ID,
@@ -43,6 +48,7 @@ func (r Result) SaveJSON(dir string) (string, error) {
 		YLabel:     r.YLabel,
 		Series:     make(map[string][][2]float64, len(r.Series)),
 		Notes:      r.Notes,
+		Latency:    r.Latency,
 	}
 	for _, s := range r.Series {
 		pts := make([][2]float64, len(s.X))
@@ -55,11 +61,28 @@ func (r Result) SaveJSON(dir string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, "BENCH_"+r.ID+".json")
+	path := filepath.Join(dir, "BENCH_"+r.Tag()+".json")
 	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
 		return "", err
 	}
 	return path, nil
+}
+
+// FormatLatency prints the per-operation latency table recorded during
+// the run — one row per instrumented tier boundary, quantiles in
+// simulated nanoseconds. No-op when the run had no recorder.
+func (r Result) FormatLatency(w io.Writer) {
+	if len(r.Latency) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "-- %s per-tier latency (simulated ns) --\n", r.ID)
+	fmt.Fprintf(w, "%-13s %12s %9s %9s %9s %9s %9s\n",
+		"op", "count", "p50", "p90", "p99", "max", "mean")
+	for _, row := range r.Latency {
+		fmt.Fprintf(w, "%-13s %12d %9d %9d %9d %9d %9d\n",
+			row.Op, row.Count, row.P50, row.P90, row.P99, row.Max, row.Mean)
+	}
+	fmt.Fprintln(w)
 }
 
 // Chart renders the result as an ASCII chart (log-scaled Y, one mark per

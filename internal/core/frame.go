@@ -3,6 +3,8 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+
+	"nvmstore/internal/obs"
 )
 
 // frameKind distinguishes the three in-memory representations of a page.
@@ -192,13 +194,23 @@ func (f *Frame) ensureLines(m *Manager, a, b int) {
 		panic("core: partial page without NVM backing")
 	}
 	base := m.slotDataOff(f.nvmSlot)
+	var t0 int64
+	if m.rec != nil {
+		t0 = m.clk.Ns()
+	}
+	loaded := 0
 	f.resident.clearRuns(a, b, func(from, to int) {
 		off := from * LineSize
 		end := (to + 1) * LineSize
 		m.nvm.ReadAt(f.data[off:end], base+int64(off))
 		f.resident.setRange(from, to)
 		m.stats.LinesLoaded += int64(to - from + 1)
+		loaded += to - from + 1
 	})
+	if m.rec != nil && loaded > 0 {
+		m.rec.Latency(obs.OpNVMLineLoad, m.clk.Ns()-t0)
+		m.trace(f.pid, f.idx, obs.EvLineLoad, obs.TierNVM, uint32(loaded))
+	}
 	if f.resident.full() {
 		f.fullyResident = true
 	}
@@ -293,6 +305,14 @@ func (f *Frame) miniEnsure(m *Manager, line uint8) {
 	// Load the line from the NVM backing.
 	base := m.slotDataOff(f.nvmSlot)
 	dst := f.data[pos*LineSize : (pos+1)*LineSize]
+	var t0 int64
+	if m.rec != nil {
+		t0 = m.clk.Ns()
+	}
 	m.nvm.ReadAt(dst, base+int64(line)*LineSize)
 	m.stats.LinesLoaded++
+	if m.rec != nil {
+		m.rec.Latency(obs.OpNVMLineLoad, m.clk.Ns()-t0)
+		m.trace(f.pid, f.idx, obs.EvLineLoad, obs.TierNVM, 1)
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nvmstore/internal/nvm"
+	"nvmstore/internal/obs"
 	"nvmstore/internal/simclock"
 	"nvmstore/internal/ssd"
 )
@@ -113,6 +114,12 @@ type Config struct {
 	// frames are poisoned, and on eviction every resident-but-clean
 	// cache line is verified against its NVM backing.
 	DebugChecks bool
+
+	// Recorder, when non-nil, receives latency samples at every tier
+	// boundary and page-lifecycle events (see internal/obs). It is also
+	// installed on the manager's NVM and SSD devices. Nil disables all
+	// recording at the cost of one nil check per boundary.
+	Recorder obs.Recorder
 }
 
 func (c *Config) applyDefaults() {
@@ -237,6 +244,8 @@ type Manager struct {
 
 	stats   Stats
 	scratch []byte
+	rec     obs.Recorder
+	obsHits int64 // DRAM hits batched for the recorder, see recordHit
 
 	// writeBarrier, when set, runs before any dirty page content reaches
 	// persistent storage. Engines install the WAL's Flush here so the
@@ -269,6 +278,7 @@ func New(cfg Config) (*Manager, error) {
 		dramCap: cfg.DRAMBytes,
 		nextPID: 1,
 		scratch: make([]byte, PageSize),
+		rec:     cfg.Recorder,
 	}
 	m.nvmSlots = cfg.NVMBytes / slotSize
 	m.slotsOff = cfg.WALBytes + superSize
@@ -284,6 +294,9 @@ func New(cfg Config) (*Manager, error) {
 		nvmCfg.CPUCacheBytes = 0
 	}
 	m.nvm = nvm.New(nvmCfg, m.clk)
+	if m.rec != nil {
+		m.nvm.SetRecorder(m.rec)
+	}
 	if cfg.SSDBytes > 0 {
 		m.ssdPages = cfg.SSDBytes / PageSize
 		m.ssd = ssd.New(ssd.Config{
@@ -292,6 +305,9 @@ func New(cfg Config) (*Manager, error) {
 			ReadLatency:  cfg.SSDReadLatency,
 			WriteLatency: cfg.SSDWriteLatency,
 		}, m.clk)
+		if m.rec != nil {
+			m.ssd.SetRecorder(m.rec)
+		}
 	}
 	if cfg.Topology == ThreeTier {
 		m.nvmDir = make([]nvmSlotMeta, m.nvmSlots)
@@ -323,10 +339,65 @@ func (m *Manager) Config() Config { return m.cfg }
 func (m *Manager) WALRegion() (off, size int64) { return 0, m.cfg.WALBytes }
 
 // Stats returns a snapshot of the event counters.
+//
+// Synchronization contract: a Manager is single-threaded, and Stats (like
+// every other method) must only be called while no operation is running on
+// the owning engine. Under the sharded driver that means holding the
+// shard's lock — the counters are plain int64 fields, and reading them
+// concurrently with an operation on another goroutine is a data race, not
+// just a torn snapshot. ShardedStore.Metrics takes the shard locks for
+// exactly this reason.
 func (m *Manager) Stats() Stats { return m.stats }
 
-// ResetStats zeroes the event counters.
+// ResetStats zeroes the event counters. The same synchronization contract
+// as Stats applies.
 func (m *Manager) ResetStats() { m.stats = Stats{} }
+
+// recordHit counts one DRAM hit for the dram.hit histogram. Hits are
+// the hottest instrumented path — one per fix — and always cost zero
+// simulated time, so they batch in a plain counter and flush in bulk
+// instead of paying an atomic per fix. Callers hold the m.rec != nil
+// guard.
+func (m *Manager) recordHit() {
+	m.obsHits++
+	if m.obsHits >= obs.ZeroFlush {
+		m.rec.LatencyZeros(obs.OpDRAMHit, m.obsHits)
+		m.obsHits = 0
+	}
+}
+
+// SyncObs flushes batched observability counters (the manager's DRAM
+// hits and the NVM device's CPU-cached reads) into the recorder so a
+// snapshot taken now is complete. Same contract as Stats: call only
+// while the manager is idle.
+func (m *Manager) SyncObs() {
+	if m.rec == nil {
+		return
+	}
+	if m.obsHits > 0 {
+		m.rec.LatencyZeros(obs.OpDRAMHit, m.obsHits)
+		m.obsHits = 0
+	}
+	if m.nvm != nil {
+		m.nvm.SyncObs()
+	}
+}
+
+// trace emits a page-lifecycle event when a recorder is installed,
+// stamping it with the current simulated time.
+func (m *Manager) trace(pid PageID, frame int32, kind obs.EventKind, tier obs.Tier, detail uint32) {
+	if m.rec == nil {
+		return
+	}
+	m.rec.Event(obs.Event{
+		SimNs:  m.clk.Ns(),
+		PID:    uint64(pid),
+		Frame:  frame,
+		Kind:   kind,
+		Tier:   tier,
+		Detail: detail,
+	})
+}
 
 // DRAMUsed returns the bytes currently charged against the DRAM budget.
 func (m *Manager) DRAMUsed() int64 { return m.dramUsed }
@@ -402,6 +473,7 @@ func (m *Manager) Allocate() (Handle, error) {
 		m.writeSlotHeader(slot, pid, false)
 		f := m.directFrame(pid, slot)
 		m.stats.DirectFixes++
+		m.trace(pid, -1, obs.EvAlloc, obs.TierNVM, 0)
 		return Handle{f, m}, nil
 	case DRAMNVM:
 		slot := int64(pid - 1)
@@ -434,6 +506,7 @@ func (m *Manager) initAllocated(f *Frame) {
 	f.pins = 1
 	f.referenced = true
 	m.table[f.pid] = dramLoc(f.idx)
+	m.trace(f.pid, f.idx, obs.EvAlloc, obs.TierDRAM, 0)
 }
 
 // takePID hands out the next page identifier, enforcing the topology's
@@ -496,6 +569,9 @@ func (m *Manager) fix(ref Ref, parent *Frame, wordOff int, holder *Ref, mode Acc
 		f.pins++
 		f.referenced = true
 		m.stats.SwizzleHits++
+		if m.rec != nil {
+			m.recordHit()
+		}
 		return Handle{f, m}, nil
 	}
 	pid := ref.PageID()
@@ -513,6 +589,9 @@ func (m *Manager) fix(ref Ref, parent *Frame, wordOff int, holder *Ref, mode Acc
 			f.pins++
 			f.referenced = true
 			m.stats.TableHits++
+			if m.rec != nil {
+				m.recordHit()
+			}
 			m.maybeSwizzle(f, parent, wordOff, holder)
 			return Handle{f, m}, nil
 		}
@@ -570,14 +649,23 @@ func (m *Manager) loadFromNVM(pid PageID, slot int64, mode AccessMode) (*Frame, 
 	}
 	f.nvmSlot = slot
 	if kind == kindFull && !m.cfg.CacheLineGrained {
+		t0 := m.clk.Ns()
 		m.nvm.ReadAt(f.data, m.slotDataOff(slot))
 		f.resident.setRange(0, LinesPerPage-1)
 		f.fullyResident = true
 		m.stats.NVMPageLoads++
+		if m.rec != nil {
+			m.rec.Latency(obs.OpNVMPageLoad, m.clk.Ns()-t0)
+		}
 	}
 	f.pins = 1
 	f.referenced = true
 	m.table[pid] = dramLoc(f.idx)
+	var mini uint32
+	if kind == kindMini {
+		mini = 1
+	}
+	m.trace(pid, f.idx, obs.EvLoad, obs.TierNVM, mini)
 	return f, nil
 }
 
@@ -597,6 +685,7 @@ func (m *Manager) loadFromSSD(pid PageID) (*Frame, error) {
 	f.referenced = true
 	m.table[pid] = dramLoc(f.idx)
 	m.stats.SSDLoads++
+	m.trace(pid, f.idx, obs.EvLoad, obs.TierSSD, 0)
 	return f, nil
 }
 
@@ -611,14 +700,19 @@ func (m *Manager) maybeSwizzle(f *Frame, parent *Frame, wordOff int, holder *Ref
 		f.parent = parent
 		f.parentOff = int32(wordOff)
 		m.stats.Swizzles++
+		m.trace(f.pid, f.idx, obs.EvSwizzle, obs.TierDRAM, 0)
 	case holder != nil:
 		*holder = swizzledRef(f.idx)
 		f.rootHolder = holder
 		m.stats.Swizzles++
+		m.trace(f.pid, f.idx, obs.EvSwizzle, obs.TierDRAM, 0)
 	}
 }
 
 func (m *Manager) unswizzle(f *Frame) {
+	if f.swizzled() {
+		m.trace(f.pid, f.idx, obs.EvUnswizzle, obs.TierDRAM, 0)
+	}
 	switch {
 	case f.parent != nil:
 		if got := getRef(f.parent.data, int(f.parentOff)); !got.Swizzled() || got.frameIndex() != f.idx {
@@ -802,6 +896,7 @@ func (m *Manager) FreePage(h Handle) {
 		panic(fmt.Sprintf("core: freeing page %d with swizzled children", f.pid))
 	}
 	pid := f.pid
+	m.trace(pid, f.idx, obs.EvFree, obs.TierDRAM, 0)
 	if f.kind == kindDirect {
 		m.clearSlotHeader(f.nvmSlot)
 		f.pins = 0
@@ -941,6 +1036,10 @@ func (m *Manager) evictOne() error {
 // NVM backing that is thrown out of DRAM either moves into the NVM cache
 // (if the admission set has seen it recently) or goes back to SSD.
 func (m *Manager) evictFrame(f *Frame) {
+	var t0 int64
+	if m.rec != nil {
+		t0 = m.clk.Ns()
+	}
 	if f.swizzled() {
 		m.unswizzle(f)
 	}
@@ -955,6 +1054,7 @@ func (m *Manager) evictFrame(f *Frame) {
 	case DRAMSSD:
 		if f.anyDirty {
 			m.ssd.WritePage(int64(f.pid-1), f.data)
+			m.trace(f.pid, f.idx, obs.EvWriteback, obs.TierSSD, 0)
 		}
 		delete(m.table, f.pid)
 	case DRAMNVM:
@@ -979,19 +1079,27 @@ func (m *Manager) evictFrame(f *Frame) {
 				// NVM completely pinned by cached pages: fall back to SSD.
 				if f.anyDirty {
 					m.ssd.WritePage(int64(f.pid-1), f.data)
+					m.trace(f.pid, f.idx, obs.EvWriteback, obs.TierSSD, 0)
 				}
 				delete(m.table, f.pid)
 				m.stats.NVMDenials++
+				m.trace(f.pid, f.idx, obs.EvDeny, obs.TierNVM, 0)
 			}
 		} else {
 			if f.anyDirty {
 				m.ssd.WritePage(int64(f.pid-1), f.data)
+				m.trace(f.pid, f.idx, obs.EvWriteback, obs.TierSSD, 0)
 			}
 			delete(m.table, f.pid)
 			m.stats.NVMDenials++
+			m.trace(f.pid, f.idx, obs.EvDeny, obs.TierNVM, 0)
 		}
 	}
+	m.trace(f.pid, f.idx, obs.EvEvict, obs.TierDRAM, 0)
 	m.dropFrame(f)
+	if m.rec != nil {
+		m.rec.Latency(obs.OpDRAMEvict, m.clk.Ns()-t0)
+	}
 }
 
 // writeBackToNVM writes the frame's dirty content to its NVM slot and
@@ -1002,6 +1110,14 @@ func (m *Manager) writeBackToNVM(f *Frame) bool {
 	if !f.anyDirty {
 		return false
 	}
+	written := m.nvmWriteBack(f)
+	if written {
+		m.trace(f.pid, f.idx, obs.EvWriteback, obs.TierNVM, 0)
+	}
+	return written
+}
+
+func (m *Manager) nvmWriteBack(f *Frame) bool {
 	base := m.slotDataOff(f.nvmSlot)
 	if f.kind == kindMini {
 		i := 0
@@ -1043,11 +1159,19 @@ func (m *Manager) admitToNVM(f *Frame, slot int64) {
 	if !f.fullyResident {
 		panic(fmt.Sprintf("core: admitting partially resident page %d", f.pid))
 	}
+	var t0 int64
+	if m.rec != nil {
+		t0 = m.clk.Ns()
+	}
 	base := m.slotDataOff(slot)
 	m.nvm.WriteAt(f.data, base)
 	m.nvm.Flush(base, PageSize)
 	m.writeSlotHeader(slot, f.pid, f.anyDirty)
 	m.nvmDir[slot] = nvmSlotMeta{pid: f.pid, referenced: true, dirtyWrtSSD: f.anyDirty}
+	if m.rec != nil {
+		m.rec.Latency(obs.OpNVMAdmit, m.clk.Ns()-t0)
+		m.trace(f.pid, f.idx, obs.EvAdmit, obs.TierNVM, uint32(slot))
+	}
 }
 
 // allocNVMSlot returns a free NVM page slot, evicting one (§4.2,
@@ -1098,14 +1222,24 @@ func (m *Manager) evictNVMSlot() (int64, error) {
 			e.referenced = false
 			continue
 		}
+		var t0 int64
+		if m.rec != nil {
+			t0 = m.clk.Ns()
+		}
 		if e.dirtyWrtSSD {
 			m.nvm.ReadAt(m.scratch, m.slotDataOff(slot))
 			m.ssd.WritePage(int64(e.pid-1), m.scratch)
+			m.trace(e.pid, -1, obs.EvWriteback, obs.TierSSD, uint32(slot))
 		}
+		pid := e.pid
 		delete(m.table, e.pid)
 		m.clearSlotHeader(slot)
 		*e = nvmSlotMeta{}
 		m.stats.NVMEvictions++
+		if m.rec != nil {
+			m.rec.Latency(obs.OpNVMEvict, m.clk.Ns()-t0)
+			m.trace(pid, -1, obs.EvEvict, obs.TierNVM, uint32(slot))
+		}
 		return slot, nil
 	}
 	return 0, ErrNVMFull
@@ -1115,6 +1249,10 @@ func (m *Manager) evictNVMSlot() (int64, error) {
 // lines, masks, backing, and swizzling state move to a freshly allocated
 // full frame; the mini page becomes a forwarding wrapper until unfixed.
 func (m *Manager) promoteMini(f *Frame) {
+	var t0 int64
+	if m.rec != nil {
+		t0 = m.clk.Ns()
+	}
 	full, err := m.newFrame(kindFull, f.pid)
 	if err != nil {
 		// Promotion happens mid-access where no error can be returned;
@@ -1146,6 +1284,10 @@ func (m *Manager) promoteMini(f *Frame) {
 	m.table[f.pid] = dramLoc(full.idx)
 	f.promoted = full
 	m.stats.MiniPromotions++
+	if m.rec != nil {
+		m.rec.Latency(obs.OpMiniPromote, m.clk.Ns()-t0)
+		m.trace(f.pid, full.idx, obs.EvPromote, obs.TierDRAM, uint32(f.count))
+	}
 }
 
 // Slot header helpers. The header occupies the first cache line of each

@@ -125,6 +125,9 @@ func Open(cfg core.Config) (*Engine, error) {
 		CheckpointFraction: 0.8,
 	}
 	m.SetWriteBarrier(e.log.Flush)
+	if cfg.Recorder != nil {
+		e.log.SetRecorder(cfg.Recorder, m.Clock())
+	}
 	return e, nil
 }
 

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"nvmstore/internal/obs"
 	"nvmstore/internal/simclock"
 )
 
@@ -119,6 +120,41 @@ type Device struct {
 	// Crash injection (FailAfterFlushes).
 	failArmed bool
 	failIn    int64
+
+	rec obs.Recorder
+	// zeroReads batches fully CPU-cached ReadAt/Touch calls — the hot
+	// case — so they cost a plain increment instead of an atomic; see
+	// recordRead and SyncObs.
+	zeroReads int64
+}
+
+// SetRecorder installs an observability recorder. Every ReadAt/Touch
+// records its charged latency as obs.OpNVMRead (zero on CPU-cache hits)
+// and every Flush as obs.OpNVMFlush. A nil recorder (the default) disables
+// recording.
+func (d *Device) SetRecorder(r obs.Recorder) { d.rec = r }
+
+// recordRead records one read's charged latency. Callers hold the
+// d.rec != nil guard.
+func (d *Device) recordRead(ns int64) {
+	if ns > 0 {
+		d.rec.Latency(obs.OpNVMRead, ns)
+		return
+	}
+	d.zeroReads++
+	if d.zeroReads >= obs.ZeroFlush {
+		d.rec.LatencyZeros(obs.OpNVMRead, d.zeroReads)
+		d.zeroReads = 0
+	}
+}
+
+// SyncObs flushes the batched zero-cost read count into the recorder.
+// Call only while the device's owning engine is idle.
+func (d *Device) SyncObs() {
+	if d.rec != nil && d.zeroReads > 0 {
+		d.rec.LatencyZeros(obs.OpNVMRead, d.zeroReads)
+		d.zeroReads = 0
+	}
 }
 
 // New creates a device with the given configuration, charging all device
@@ -202,8 +238,13 @@ func (d *Device) ReadAt(p []byte, off int64) {
 	d.stats.ReadOps++
 	d.stats.LinesRead += count
 	d.stats.LinesReadCharged += misses
+	var ns int64
 	if misses > 0 {
-		d.clk.AdvanceNs(int64(d.cfg.ReadLatency) + (misses-1)*int64(d.cfg.LineTransfer))
+		ns = int64(d.cfg.ReadLatency) + (misses-1)*int64(d.cfg.LineTransfer)
+		d.clk.AdvanceNs(ns)
+	}
+	if d.rec != nil {
+		d.recordRead(ns)
 	}
 	copy(p, d.data[off:off+int64(len(p))])
 }
@@ -226,8 +267,13 @@ func (d *Device) Touch(off int64, n int) {
 	d.stats.ReadOps++
 	d.stats.LinesRead += count
 	d.stats.LinesReadCharged += misses
+	var ns int64
 	if misses > 0 {
-		d.clk.AdvanceNs(int64(d.cfg.ReadLatency) + (misses-1)*int64(d.cfg.LineTransfer))
+		ns = int64(d.cfg.ReadLatency) + (misses-1)*int64(d.cfg.LineTransfer)
+		d.clk.AdvanceNs(ns)
+	}
+	if d.rec != nil {
+		d.recordRead(ns)
 	}
 }
 
@@ -312,7 +358,11 @@ func (d *Device) Flush(off int64, n int) {
 	}
 	d.stats.FlushOps++
 	d.stats.LinesFlushed += count
-	d.clk.AdvanceNs(int64(d.cfg.WriteLatency) + (count-1)*int64(d.cfg.LineTransfer))
+	ns := int64(d.cfg.WriteLatency) + (count-1)*int64(d.cfg.LineTransfer)
+	d.clk.AdvanceNs(ns)
+	if d.rec != nil {
+		d.rec.Latency(obs.OpNVMFlush, ns)
+	}
 }
 
 // Persist is shorthand for WriteAt followed by Flush of the same range: a

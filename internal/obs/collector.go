@@ -1,0 +1,109 @@
+package obs
+
+// Collector is the standard Recorder: one lock-free histogram per Op plus
+// an optional lifecycle-event ring. One Collector serves one engine
+// (shard); per-shard Collectors are aggregated by merging snapshots.
+type Collector struct {
+	hist  [NumOps]Histogram
+	trace *Trace
+}
+
+// NewCollector returns a Collector. traceCap > 0 also enables the
+// lifecycle-event ring, retaining the most recent traceCap events;
+// traceCap <= 0 records latencies only.
+func NewCollector(traceCap int) *Collector {
+	c := &Collector{}
+	if traceCap > 0 {
+		c.trace = NewTrace(traceCap)
+	}
+	return c
+}
+
+// Latency implements Recorder.
+func (c *Collector) Latency(op Op, ns int64) {
+	c.hist[op].Record(ns)
+}
+
+// LatencyZeros implements Recorder.
+func (c *Collector) LatencyZeros(op Op, n int64) {
+	c.hist[op].RecordZeros(n)
+}
+
+// Event implements Recorder. Without a ring (traceCap <= 0) events are
+// dropped.
+func (c *Collector) Event(e Event) {
+	if c.trace != nil {
+		c.trace.Append(e)
+	}
+}
+
+// Trace returns the event ring, or nil when tracing is disabled. The ring
+// is single-writer; read it only while the owning engine is quiesced.
+func (c *Collector) Trace() *Trace { return c.trace }
+
+// Snapshot copies every histogram. Safe to call while the engine records.
+func (c *Collector) Snapshot() *Snapshot {
+	s := &Snapshot{}
+	for op := range c.hist {
+		s.Ops[op] = c.hist[op].Snapshot()
+	}
+	return s
+}
+
+// Reset zeroes every histogram (the event ring is left alone; its Total
+// keeps counting). Like Histogram.Reset, callers quiesce writers first.
+func (c *Collector) Reset() {
+	for op := range c.hist {
+		c.hist[op].Reset()
+	}
+}
+
+// Snapshot is a point-in-time copy of a Collector's histograms, mergeable
+// across shards.
+type Snapshot struct {
+	Ops [NumOps]HistSnapshot `json:"-"`
+}
+
+// Merge folds other into s.
+func (s *Snapshot) Merge(other *Snapshot) {
+	if other == nil {
+		return
+	}
+	for op := range s.Ops {
+		s.Ops[op].Merge(other.Ops[op])
+	}
+}
+
+// Row is one operation's latency summary, in simulated nanoseconds.
+type Row struct {
+	Op    string `json:"op"`
+	Count int64  `json:"count"`
+	P50   int64  `json:"p50_ns"`
+	P90   int64  `json:"p90_ns"`
+	P99   int64  `json:"p99_ns"`
+	Max   int64  `json:"max_ns"`
+	Mean  int64  `json:"mean_ns"`
+}
+
+// Rows summarizes every operation that recorded at least one sample, in
+// Op declaration order (storage hierarchy top to bottom).
+func (s *Snapshot) Rows() []Row {
+	var rows []Row
+	for op := Op(0); op < NumOps; op++ {
+		h := &s.Ops[op]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		rows = append(rows, Row{
+			Op:    op.String(),
+			Count: n,
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max,
+			Mean:  h.Mean(),
+		})
+	}
+	return rows
+}

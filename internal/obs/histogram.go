@@ -1,0 +1,155 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the number of power-of-two latency buckets. Bucket 0 holds
+// exactly-zero samples (operations that charged no device time); bucket k
+// holds samples in [2^(k-1), 2^k). 63 buckets cover every positive int64,
+// so nothing is ever dropped.
+const NumBuckets = 64
+
+// bucketOf returns the histogram bucket for a sample. Negative samples
+// (impossible under a monotonic simulated clock, but cheap to guard) land
+// in bucket 0 with the zeros.
+func bucketOf(ns int64) int {
+	if ns <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(ns))
+}
+
+// Histogram is a lock-free HDR-style latency histogram with power-of-two
+// buckets. Record is wait-free (one atomic add per counter); Snapshot can
+// run concurrently with writers and observes each counter atomically, so a
+// snapshot taken mid-run is internally consistent per bucket (the usual
+// HDR guarantee) without stopping recorders.
+//
+// The zero value is ready to use.
+type Histogram struct {
+	counts [NumBuckets]atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Record adds one sample of ns simulated nanoseconds. Zero samples —
+// the overwhelmingly common case on hit-heavy paths — cost a single
+// atomic add.
+func (h *Histogram) Record(ns int64) {
+	if ns <= 0 {
+		h.counts[0].Add(1)
+		return
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.sum.Add(ns)
+	for {
+		old := h.max.Load()
+		if ns <= old || h.max.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// RecordZeros adds n zero samples with a single atomic add — the bulk
+// flush path for batched hit counting.
+func (h *Histogram) RecordZeros(n int64) {
+	if n > 0 {
+		h.counts[0].Add(n)
+	}
+}
+
+// Snapshot returns a point-in-time copy of the histogram.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Reset zeroes the histogram. Not atomic with respect to concurrent
+// Record calls; callers quiesce writers first (the engine's snapshot
+// contract, see Manager.Stats).
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// HistSnapshot is an immutable copy of a Histogram, mergeable across
+// shards and serializable.
+type HistSnapshot struct {
+	Counts [NumBuckets]int64 `json:"counts"`
+	Sum    int64             `json:"sum"`
+	Max    int64             `json:"max"`
+}
+
+// Merge folds other into s (for aggregating per-shard histograms).
+func (s *HistSnapshot) Merge(other HistSnapshot) {
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Sum += other.Sum
+	if other.Max > s.Max {
+		s.Max = other.Max
+	}
+}
+
+// Count returns the total number of recorded samples.
+func (s *HistSnapshot) Count() int64 {
+	var n int64
+	for i := range s.Counts {
+		n += s.Counts[i]
+	}
+	return n
+}
+
+// Mean returns the average sample in nanoseconds, or 0 when empty.
+func (s *HistSnapshot) Mean() int64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	return s.Sum / n
+}
+
+// Quantile returns the q-quantile (q in [0,1]) in nanoseconds. Within a
+// bucket the value is estimated as the bucket midpoint, clamped to the
+// observed maximum; bucket 0 is exactly zero. Returns 0 when empty.
+func (s *HistSnapshot) Quantile(q float64) int64 {
+	n := s.Count()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q >= 1 {
+		return s.Max // the maximum is tracked exactly
+	}
+	// rank is the 1-based index of the sample we want.
+	rank := int64(q*float64(n-1)) + 1
+	var seen int64
+	for k := range s.Counts {
+		seen += s.Counts[k]
+		if seen >= rank {
+			if k == 0 {
+				return 0
+			}
+			lo := int64(1) << (k - 1)
+			hi := int64(1)<<k - 1
+			mid := lo + (hi-lo)/2
+			if mid > s.Max {
+				return s.Max
+			}
+			return mid
+		}
+	}
+	return s.Max
+}

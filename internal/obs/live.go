@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// Live publishes the most recent metrics snapshot over HTTP as JSON. The
+// bench harness calls Publish after each phase (warmup done, data point
+// measured); an http.Server routes /metrics here. Publish marshals
+// eagerly so ServeHTTP only copies bytes — a slow or stalled reader never
+// blocks the benchmark.
+type Live struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// Publish replaces the current snapshot. v is marshaled immediately;
+// marshal errors are reported as the snapshot itself so they surface to
+// whoever is watching.
+func (l *Live) Publish(v any) {
+	buf, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		buf = fmt.Appendf(nil, "{%q:%q}", "error", err.Error())
+	}
+	buf = append(buf, '\n')
+	l.mu.Lock()
+	l.data = buf
+	l.mu.Unlock()
+}
+
+// ServeHTTP implements http.Handler for the /metrics endpoint.
+func (l *Live) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	l.mu.Lock()
+	buf := l.data
+	l.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if buf == nil {
+		w.Write([]byte("{}\n"))
+		return
+	}
+	w.Write(buf)
+}

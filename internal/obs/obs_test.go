@@ -1,0 +1,318 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count() != 0 {
+		t.Fatalf("empty count = %d", s.Count())
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("empty p50 = %d", got)
+	}
+	if got := s.Quantile(1); got != 0 {
+		t.Fatalf("empty p100 = %d", got)
+	}
+	if got := s.Mean(); got != 0 {
+		t.Fatalf("empty mean = %d", got)
+	}
+}
+
+func TestHistogramZeroSamples(t *testing.T) {
+	// Zero-latency operations (DRAM hits, WAL appends) land in bucket 0
+	// and every quantile is exactly zero.
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Record(0)
+	}
+	s := h.Snapshot()
+	if s.Count() != 100 || s.Counts[0] != 100 {
+		t.Fatalf("count = %d, bucket0 = %d", s.Count(), s.Counts[0])
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("q%.2f = %d, want 0", q, got)
+		}
+	}
+}
+
+func TestHistogramSingleBucket(t *testing.T) {
+	// All samples in one bucket: every quantile is the bucket estimate,
+	// clamped to the true max.
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Record(600) // bucket [512, 1024)
+	}
+	s := h.Snapshot()
+	if s.Count() != 1000 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Max != 600 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+		got := s.Quantile(q)
+		// The bucket midpoint (767) exceeds the observed max, so the
+		// estimate must clamp to exactly 600.
+		if got != 600 {
+			t.Fatalf("q%.2f = %d, want 600", q, got)
+		}
+	}
+	if m := s.Mean(); m != 600 {
+		t.Fatalf("mean = %d, want 600", m)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	// 90 fast samples (~100ns) and 10 slow (~1e6ns): p50 must sit in the
+	// fast bucket, p99 in the slow one. Power-of-two buckets only give
+	// order-of-magnitude positions, so assert bucket membership.
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Record(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Record(1_000_000)
+	}
+	s := h.Snapshot()
+	p50, p99 := s.Quantile(0.50), s.Quantile(0.99)
+	if bucketOf(p50) != bucketOf(100) {
+		t.Fatalf("p50 = %d, want in bucket of 100", p50)
+	}
+	if bucketOf(p99) != bucketOf(1_000_000) {
+		t.Fatalf("p99 = %d, want in bucket of 1e6", p99)
+	}
+	if s.Max != 1_000_000 {
+		t.Fatalf("max = %d", s.Max)
+	}
+	if got := s.Quantile(1); got != 1_000_000 {
+		t.Fatalf("p100 = %d, want clamped to max", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 50; i++ {
+		a.Record(100)
+	}
+	for i := 0; i < 50; i++ {
+		b.Record(1_000_000)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count() != 100 {
+		t.Fatalf("merged count = %d", sa.Count())
+	}
+	if sa.Max != 1_000_000 {
+		t.Fatalf("merged max = %d", sa.Max)
+	}
+	if sa.Sum != 50*100+50*1_000_000 {
+		t.Fatalf("merged sum = %d", sa.Sum)
+	}
+	// Merging an empty snapshot is a no-op.
+	var empty Histogram
+	before := sa
+	sa.Merge(empty.Snapshot())
+	if sa != before {
+		t.Fatal("merge of empty snapshot changed the result")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5)
+	s := h.Snapshot()
+	if s.Counts[0] != 1 {
+		t.Fatalf("negative sample not clamped to bucket 0: %v", s.Counts[:2])
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(int64(i%1000 + 1))
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count() != goroutines*per {
+		t.Fatalf("count = %d, want %d", s.Count(), goroutines*per)
+	}
+	if s.Max != 1000 {
+		t.Fatalf("max = %d", s.Max)
+	}
+}
+
+func TestTraceWraparound(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 1; i <= 10; i++ {
+		tr.Append(Event{SimNs: int64(i), PID: uint64(i), Kind: EvLoad})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d", tr.Total())
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	ev := tr.Events()
+	// The ring must retain exactly the newest 4 events, oldest first.
+	want := []int64{7, 8, 9, 10}
+	for i, e := range ev {
+		if e.SimNs != want[i] {
+			t.Fatalf("events[%d].SimNs = %d, want %d (all: %+v)", i, e.SimNs, want[i], ev)
+		}
+	}
+}
+
+func TestTracePartialFill(t *testing.T) {
+	tr := NewTrace(8)
+	tr.Append(Event{SimNs: 1})
+	tr.Append(Event{SimNs: 2})
+	if tr.Len() != 2 || tr.Total() != 2 {
+		t.Fatalf("len = %d, total = %d", tr.Len(), tr.Total())
+	}
+	ev := tr.Events()
+	if len(ev) != 2 || ev[0].SimNs != 1 || ev[1].SimNs != 2 {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestTraceEventsFor(t *testing.T) {
+	tr := NewTrace(16)
+	tr.Append(Event{PID: 1, Kind: EvLoad})
+	tr.Append(Event{PID: 2, Kind: EvLoad})
+	tr.Append(Event{PID: 1, Kind: EvEvict})
+	got := tr.EventsFor(1)
+	if len(got) != 2 || got[0].Kind != EvLoad || got[1].Kind != EvEvict {
+		t.Fatalf("EventsFor(1) = %+v", got)
+	}
+}
+
+func TestTraceWriteJSONL(t *testing.T) {
+	tr := NewTrace(16)
+	tr.Append(Event{SimNs: 100, PID: 7, Frame: 3, Kind: EvLoad, Tier: TierNVM, Detail: 1})
+	tr.Append(Event{SimNs: 200, PID: 8, Frame: -1, Kind: EvEvict, Tier: TierDRAM})
+
+	var buf bytes.Buffer
+	n, err := tr.WriteJSONL(&buf, "figA1", 2, 0)
+	if err != nil || n != 2 {
+		t.Fatalf("n = %d, err = %v", n, err)
+	}
+	// Every line must be valid JSON with the documented fields.
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %d not JSON: %v: %s", lines, err, sc.Text())
+		}
+		for _, k := range []string{"experiment", "shard", "simNs", "pid", "frame", "event", "tier", "detail"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("line %d missing %q: %s", lines, k, sc.Text())
+			}
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("lines = %d", lines)
+	}
+
+	// pid filter.
+	buf.Reset()
+	n, err = tr.WriteJSONL(&buf, "", -1, 7)
+	if err != nil || n != 1 {
+		t.Fatalf("filtered n = %d, err = %v", n, err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &m); err != nil {
+		t.Fatalf("filtered line not JSON: %v", err)
+	}
+	if m["pid"].(float64) != 7 || m["event"].(string) != "load" || m["tier"].(string) != "nvm" {
+		t.Fatalf("filtered line = %v", m)
+	}
+	if _, ok := m["experiment"]; ok {
+		t.Fatal("empty label must omit the experiment field")
+	}
+}
+
+func TestCollectorRows(t *testing.T) {
+	c := NewCollector(0)
+	c.Latency(OpSSDRead, 50_000)
+	c.Latency(OpSSDRead, 60_000)
+	c.Latency(OpDRAMHit, 0)
+	// Event without a ring must be a safe no-op.
+	c.Event(Event{Kind: EvLoad})
+	if c.Trace() != nil {
+		t.Fatal("traceCap 0 must disable the ring")
+	}
+
+	rows := c.Snapshot().Rows()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Rows come in Op declaration order: dram.hit before ssd.read.
+	if rows[0].Op != "dram.hit" || rows[0].Count != 1 {
+		t.Fatalf("rows[0] = %+v", rows[0])
+	}
+	if rows[1].Op != "ssd.read" || rows[1].Count != 2 || rows[1].Max != 60_000 {
+		t.Fatalf("rows[1] = %+v", rows[1])
+	}
+}
+
+func TestCollectorSnapshotMerge(t *testing.T) {
+	a, b := NewCollector(0), NewCollector(0)
+	a.Latency(OpNVMLineLoad, 500)
+	b.Latency(OpNVMLineLoad, 700)
+	b.Latency(OpWALFlush, 900)
+	sa := a.Snapshot()
+	sa.Merge(b.Snapshot())
+	sa.Merge(nil) // nil merge is a no-op
+	if n := sa.Ops[OpNVMLineLoad].Count(); n != 2 {
+		t.Fatalf("merged lineload count = %d", n)
+	}
+	if n := sa.Ops[OpWALFlush].Count(); n != 1 {
+		t.Fatalf("merged walflush count = %d", n)
+	}
+	if m := sa.Ops[OpNVMLineLoad].Max; m != 700 {
+		t.Fatalf("merged max = %d", m)
+	}
+}
+
+func TestNames(t *testing.T) {
+	for op := Op(0); op < NumOps; op++ {
+		if op.String() == "" || op.String() == "op?" {
+			t.Fatalf("op %d has no name", op)
+		}
+	}
+	kinds := []EventKind{EvAlloc, EvFree, EvLoad, EvLineLoad, EvPromote,
+		EvSwizzle, EvUnswizzle, EvWriteback, EvAdmit, EvDeny, EvEvict}
+	for _, k := range kinds {
+		if k.String() == "" || k.String() == "event?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	for _, tier := range []Tier{TierDRAM, TierNVM, TierSSD} {
+		if tier.String() == "tier?" {
+			t.Fatalf("tier %d has no name", tier)
+		}
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	Nop.Latency(OpSSDRead, 100)
+	Nop.Event(Event{Kind: EvLoad})
+}

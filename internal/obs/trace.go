@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Trace is a fixed-capacity ring buffer of page-lifecycle events. Append
+// is a plain struct copy into preallocated storage — zero allocations,
+// no locks — which makes it safe to leave enabled on hot paths.
+//
+// The ring is single-writer: each engine (shard) owns one Trace. Reads
+// (Events, WriteJSONL) are not synchronized with the writer; callers
+// quiesce the shard first, exactly like Stats snapshots. When the ring
+// wraps, the oldest events are overwritten and Total keeps counting.
+type Trace struct {
+	buf  []Event
+	next uint64 // total events ever appended; next%cap is the write slot
+}
+
+// NewTrace returns a ring holding the most recent cap events (min 1).
+func NewTrace(cap int) *Trace {
+	if cap < 1 {
+		cap = 1
+	}
+	return &Trace{buf: make([]Event, cap)}
+}
+
+// Append records one event, overwriting the oldest when full.
+func (t *Trace) Append(e Event) {
+	t.buf[t.next%uint64(len(t.buf))] = e
+	t.next++
+}
+
+// Total returns how many events were ever appended (including ones the
+// ring has since overwritten).
+func (t *Trace) Total() uint64 { return t.next }
+
+// Len returns how many events are currently retained.
+func (t *Trace) Len() int {
+	if t.next < uint64(len(t.buf)) {
+		return int(t.next)
+	}
+	return len(t.buf)
+}
+
+// Events returns the retained events in append order (oldest first). The
+// slice is freshly allocated; the ring keeps recording into its own
+// storage.
+func (t *Trace) Events() []Event {
+	n := t.Len()
+	out := make([]Event, 0, n)
+	start := t.next - uint64(n)
+	for i := uint64(0); i < uint64(n); i++ {
+		out = append(out, t.buf[(start+i)%uint64(len(t.buf))])
+	}
+	return out
+}
+
+// EventsFor returns the retained events for one page, oldest first.
+func (t *Trace) EventsFor(pid uint64) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.PID == pid {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteJSONL writes the retained events as JSON Lines, oldest first. When
+// pid is nonzero only that page's events are written. label and shard,
+// when set (nonempty / >= 0), are added to every line so traces from
+// several shards or experiments can share a file. Returns the number of
+// events written.
+//
+// The schema per line is:
+//
+//	{"simNs":1234,"pid":7,"frame":3,"event":"load","tier":"nvm","detail":1}
+func (t *Trace) WriteJSONL(w io.Writer, label string, shard int, pid uint64) (int, error) {
+	bw := bufio.NewWriter(w)
+	n := 0
+	for _, e := range t.Events() {
+		if pid != 0 && e.PID != pid {
+			continue
+		}
+		bw.WriteByte('{')
+		if label != "" {
+			fmt.Fprintf(bw, "%q:%q,", "experiment", label)
+		}
+		if shard >= 0 {
+			fmt.Fprintf(bw, "%q:%d,", "shard", shard)
+		}
+		// Names and strings here contain no characters needing JSON
+		// escaping, so the lines are built directly.
+		fmt.Fprintf(bw, `"simNs":%d,"pid":%d,"frame":%d,"event":%q,"tier":%q,"detail":%d}`+"\n",
+			e.SimNs, e.PID, e.Frame, e.Kind.String(), e.Tier.String(), e.Detail)
+		n++
+	}
+	return n, bw.Flush()
+}

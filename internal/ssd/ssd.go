@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"nvmstore/internal/obs"
 	"nvmstore/internal/simclock"
 )
 
@@ -56,7 +57,13 @@ type Device struct {
 	clk   *simclock.Clock
 	pages map[int64][]byte
 	stats Stats
+	rec   obs.Recorder
 }
+
+// SetRecorder installs an observability recorder: every ReadPage records
+// its charged latency as obs.OpSSDRead and every WritePage as
+// obs.OpSSDWrite. A nil recorder (the default) disables recording.
+func (d *Device) SetRecorder(r obs.Recorder) { d.rec = r }
 
 // New creates a device. It panics on a non-positive page size or capacity,
 // or a nil clock, since those indicate programming errors.
@@ -97,6 +104,9 @@ func (d *Device) ReadPage(slot int64, p []byte) {
 	}
 	d.stats.PagesRead++
 	d.clk.Advance(d.cfg.ReadLatency)
+	if d.rec != nil {
+		d.rec.Latency(obs.OpSSDRead, int64(d.cfg.ReadLatency))
+	}
 	if src, ok := d.pages[slot]; ok {
 		copy(p, src)
 		return
@@ -116,6 +126,9 @@ func (d *Device) WritePage(slot int64, p []byte) {
 	}
 	d.stats.PagesWritten++
 	d.clk.Advance(d.cfg.WriteLatency)
+	if d.rec != nil {
+		d.rec.Latency(obs.OpSSDWrite, int64(d.cfg.WriteLatency))
+	}
 	dst, ok := d.pages[slot]
 	if !ok {
 		dst = make([]byte, d.cfg.PageSize)

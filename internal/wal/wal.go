@@ -30,6 +30,8 @@ import (
 	"hash/crc32"
 
 	"nvmstore/internal/nvm"
+	"nvmstore/internal/obs"
+	"nvmstore/internal/simclock"
 )
 
 // TxID identifies a transaction. Zero is never a valid transaction id.
@@ -98,6 +100,19 @@ type Log struct {
 	nextTx  TxID
 
 	stats Stats
+
+	rec obs.Recorder
+	clk *simclock.Clock
+}
+
+// SetRecorder installs an observability recorder, charging flush time to
+// obs.OpWALFlush (measured on clk, the engine's virtual clock) and
+// counting appended records under obs.OpWALAppend. Appends record zero
+// latency by design: WriteAt models a store into the CPU cache, and the
+// NVM cost is paid at flush time. A nil recorder disables recording.
+func (l *Log) SetRecorder(r obs.Recorder, clk *simclock.Clock) {
+	l.rec = r
+	l.clk = clk
 }
 
 // Stats counts log activity.
@@ -211,6 +226,9 @@ func (l *Log) append(payload []byte) error {
 	l.head += prefixSize + int64(len(payload))
 	var sentinel [4]byte
 	l.dev.WriteAt(sentinel[:], l.off+l.head)
+	if l.rec != nil {
+		l.rec.Latency(obs.OpWALAppend, 0)
+	}
 	return nil
 }
 
@@ -220,7 +238,14 @@ func (l *Log) Flush() {
 	if l.head == l.flushedTo {
 		return
 	}
+	var t0 int64
+	if l.rec != nil {
+		t0 = l.clk.Ns()
+	}
 	l.dev.Flush(l.off+l.flushedTo, int(l.head-l.flushedTo)+4)
+	if l.rec != nil {
+		l.rec.Latency(obs.OpWALFlush, l.clk.Ns()-t0)
+	}
 	l.flushedTo = l.head
 	l.stats.Flushes++
 }

@@ -38,6 +38,7 @@ package nvmstore
 import (
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
@@ -45,6 +46,7 @@ import (
 	"nvmstore/internal/btree"
 	"nvmstore/internal/core"
 	"nvmstore/internal/engine"
+	"nvmstore/internal/obs"
 	"nvmstore/internal/wal"
 )
 
@@ -135,11 +137,22 @@ type Options struct {
 	// DebugChecks enables the paper's §A.6 debugging mode: on eviction,
 	// every clean cache line is verified against its persistent copy.
 	DebugChecks bool
+
+	// Observe enables the observability layer: per-tier latency
+	// histograms recorded at every storage boundary, surfaced through
+	// Metrics().Latency. Costs a few percent of throughput; off by
+	// default.
+	Observe bool
+	// TraceEvents, when positive, additionally retains the most recent N
+	// page-lifecycle events (load/promote/swizzle/evict/writeback, ...)
+	// in a ring, dumpable as JSON Lines with WriteTrace. Implies Observe.
+	TraceEvents int
 }
 
 // Store is a single-threaded transactional storage engine.
 type Store struct {
-	e *engine.Engine
+	e         *engine.Engine
+	collector *obs.Collector
 }
 
 // Open creates a store with fresh simulated devices.
@@ -150,11 +163,16 @@ func Open(opts Options) (*Store, error) {
 	cfg.NVMWriteLatency = opts.NVMWriteLatency
 	cfg.StrictPersistence = opts.StrictPersistence
 	cfg.DebugChecks = opts.DebugChecks
+	var collector *obs.Collector
+	if opts.Observe || opts.TraceEvents > 0 {
+		collector = obs.NewCollector(opts.TraceEvents)
+		cfg.Recorder = collector
+	}
 	e, err := engine.Open(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Store{e: e}, nil
+	return &Store{e: e, collector: collector}, nil
 }
 
 // Architecture returns the store's storage layout.
@@ -234,6 +252,19 @@ func (s *Store) CrashRestart() (RecoveryStats, error) { return s.e.CrashRestart(
 // reports.
 func (s *Store) SimulatedTime() time.Duration { return s.e.Clock().Elapsed() }
 
+// Residency is the set of per-tier residency gauges: pages and cache
+// lines currently resident per tier, dirty and pin counts.
+type Residency = core.Residency
+
+// LatencySnapshot holds the per-operation latency histograms of a store
+// opened with Options.Observe; see Metrics.Latency.
+type LatencySnapshot = obs.Snapshot
+
+// LatencyRow is one operation's latency summary (count, p50/p90/p99, max,
+// mean — all in simulated nanoseconds), as produced by
+// LatencySnapshot.Rows.
+type LatencyRow = obs.Row
+
 // Metrics is a snapshot of engine and device counters.
 type Metrics struct {
 	// Buffer manager event counters (fixes, evictions, admissions, ...).
@@ -250,6 +281,13 @@ type Metrics struct {
 	// SSDPagesRead and SSDPagesWritten count SSD traffic.
 	SSDPagesRead    int64
 	SSDPagesWritten int64
+	// Residency reports where pages and cache lines currently live in
+	// the hierarchy (instantaneous gauges, not counters).
+	Residency Residency
+	// Latency holds the per-operation latency histograms when the store
+	// was opened with Options.Observe; nil otherwise. Use Latency.Rows()
+	// for percentile summaries.
+	Latency *LatencySnapshot
 }
 
 // WearProfile summarizes the per-cache-line write distribution of the
@@ -307,7 +345,33 @@ func (s *Store) Metrics() Metrics {
 		m.SSDPagesRead = st.PagesRead
 		m.SSDPagesWritten = st.PagesWritten
 	}
+	m.Residency = s.e.Manager().Residency()
+	if s.collector != nil {
+		// Flush the hit counters batched on the hot path so the
+		// snapshot is complete (see Manager.SyncObs).
+		s.e.Manager().SyncObs()
+		m.Latency = s.collector.Snapshot()
+	}
 	return m
+}
+
+// ResetLatency zeroes the latency histograms (a no-op without
+// Options.Observe), so a measurement phase can start clean after warmup.
+func (s *Store) ResetLatency() {
+	if s.collector != nil {
+		s.collector.Reset()
+	}
+}
+
+// WriteTrace writes the retained page-lifecycle events as JSON Lines,
+// oldest first, and returns the number of events written. A nonzero pid
+// filters to that page's events. Without Options.TraceEvents the store
+// retains nothing and WriteTrace writes nothing.
+func (s *Store) WriteTrace(w io.Writer, pid uint64) (int, error) {
+	if s.collector == nil || s.collector.Trace() == nil {
+		return 0, nil
+	}
+	return s.collector.Trace().WriteJSONL(w, "", -1, pid)
 }
 
 // Table is a B+-tree of fixed-size rows keyed by uint64.

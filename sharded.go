@@ -2,10 +2,12 @@ package nvmstore
 
 import (
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"time"
 
+	"nvmstore/internal/obs"
 	"nvmstore/internal/shard"
 )
 
@@ -217,10 +219,17 @@ func (s *ShardedStore) CrashRestart() (RecoveryStats, error) {
 // device time — the simulated component of the parallel hybrid-time
 // model: shards run concurrently, so their device waits overlap and only
 // the longest one extends a parallel run.
+// Like every aggregation method below, it takes each shard's lock while
+// reading that shard: engine state (clocks, counters) is plain data with
+// no internal synchronization, so snapshotting it while a worker operates
+// on the shard would be a data race.
 func (s *ShardedStore) MaxSimulatedTime() time.Duration {
 	var max time.Duration
-	for _, st := range s.shards {
-		if d := st.SimulatedTime(); d > max {
+	for i := range s.shards {
+		s.slots[i].mu.Lock()
+		d := s.shards[i].SimulatedTime()
+		s.slots[i].mu.Unlock()
+		if d > max {
 			max = d
 		}
 	}
@@ -232,8 +241,10 @@ func (s *ShardedStore) MaxSimulatedTime() time.Duration {
 // elapsed-time math.
 func (s *ShardedStore) TotalSimulatedTime() time.Duration {
 	var total time.Duration
-	for _, st := range s.shards {
-		total += st.SimulatedTime()
+	for i := range s.shards {
+		s.slots[i].mu.Lock()
+		total += s.shards[i].SimulatedTime()
+		s.slots[i].mu.Unlock()
 	}
 	return total
 }
@@ -246,11 +257,15 @@ func (s *ShardedStore) CombinedTime(wall time.Duration) time.Duration {
 	return wall + s.MaxSimulatedTime()
 }
 
-// Metrics returns the sum of all shards' counters.
+// Metrics returns the sum of all shards' counters, each shard snapshotted
+// under its lock (see Manager.Stats for the contract). Latency histograms
+// are merged across shards; residency gauges are summed.
 func (s *ShardedStore) Metrics() Metrics {
 	var total Metrics
-	for _, st := range s.shards {
-		m := st.Metrics()
+	for i := range s.shards {
+		s.slots[i].mu.Lock()
+		m := s.shards[i].Metrics()
+		s.slots[i].mu.Unlock()
 		total.Buffer.Fixes += m.Buffer.Fixes
 		total.Buffer.SwizzleHits += m.Buffer.SwizzleHits
 		total.Buffer.TableHits += m.Buffer.TableHits
@@ -276,17 +291,69 @@ func (s *ShardedStore) Metrics() Metrics {
 		total.NVMTotalWrites += m.NVMTotalWrites
 		total.SSDPagesRead += m.SSDPagesRead
 		total.SSDPagesWritten += m.SSDPagesWritten
+		total.Residency.Add(m.Residency)
+		if m.Latency != nil {
+			if total.Latency == nil {
+				total.Latency = &LatencySnapshot{}
+			}
+			total.Latency.Merge(m.Latency)
+		}
 	}
 	return total
 }
+
+// ResetLatency zeroes every shard's latency histograms under its lock.
+func (s *ShardedStore) ResetLatency() {
+	for i := range s.shards {
+		s.slots[i].mu.Lock()
+		s.shards[i].ResetLatency()
+		s.slots[i].mu.Unlock()
+	}
+}
+
+// WriteTrace writes every shard's retained page-lifecycle events as JSON
+// Lines (each line tagged with its shard index), taking each shard's lock
+// while its ring is read, and returns the number of events written. A
+// nonzero pid filters to that page's events. Events are grouped by shard,
+// each group oldest first; page ids are per-shard, so the same pid on
+// different shards names different pages.
+func (s *ShardedStore) WriteTrace(w io.Writer, pid uint64) (int, error) {
+	total := 0
+	for i := range s.shards {
+		s.slots[i].mu.Lock()
+		n, err := s.writeShardTrace(w, i, pid)
+		s.slots[i].mu.Unlock()
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func (s *ShardedStore) writeShardTrace(w io.Writer, i int, pid uint64) (int, error) {
+	c := s.shards[i].collector
+	if c == nil || c.Trace() == nil {
+		return 0, nil
+	}
+	return c.Trace().WriteJSONL(w, "", i, pid)
+}
+
+// Collector returns shard i's recorder, or nil when the store was opened
+// without Options.Observe. Like Shard, it does not lock: read snapshots
+// only while the shard is quiescent or via Metrics.
+func (s *ShardedStore) Collector(i int) *obs.Collector { return s.shards[i].collector }
 
 // WearProfile computes the NVM wear distribution over all shards'
 // devices together, as if they were one larger device.
 func (s *ShardedStore) WearProfile() WearProfile {
 	var touched []uint32
 	var p WearProfile
-	for _, st := range s.shards {
-		for _, c := range st.e.Manager().NVM().WearCounts() {
+	for i := range s.shards {
+		s.slots[i].mu.Lock()
+		counts := s.shards[i].e.Manager().NVM().WearCounts()
+		s.slots[i].mu.Unlock()
+		for _, c := range counts {
 			if c > 0 {
 				touched = append(touched, c)
 				p.TotalWrites += int64(c)

@@ -309,3 +309,95 @@ func TestOpenShardedValidation(t *testing.T) {
 		t.Fatal("single shard must own every key")
 	}
 }
+
+// TestShardedConcurrentMetrics hammers tables from worker goroutines while
+// other goroutines continuously aggregate metrics, wear, simulated time,
+// and traces. Run under -race this verifies that every aggregation path
+// snapshots shard state under the shard lock (the Manager.Stats contract).
+func TestShardedConcurrentMetrics(t *testing.T) {
+	s, err := OpenSharded(4, Options{
+		Architecture: ThreeTier,
+		DRAMBytes:    32 << 20,
+		NVMBytes:     256 << 20,
+		SSDBytes:     1 << 30,
+		WALBytes:     4 << 20,
+		Observe:      true,
+		TraceEvents:  4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := s.CreateTable(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, opsPerWriter = 4, 300
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, 64)
+			for i := 0; i < opsPerWriter; i++ {
+				k := uint64(w*opsPerWriter + i)
+				if err := table.Insert(k, shardedRow(k, 64)); err != nil {
+					t.Errorf("insert %d: %v", k, err)
+					return
+				}
+				if _, err := table.Lookup(k, buf); err != nil {
+					t.Errorf("lookup %d: %v", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Aggregators race against the writers on purpose.
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var sink bytes.Buffer
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m := s.Metrics()
+				if m.Buffer.Fixes < 0 {
+					t.Error("negative fix count")
+				}
+				_ = s.WearProfile()
+				_ = s.MaxSimulatedTime()
+				_ = s.TotalSimulatedTime()
+				sink.Reset()
+				if _, err := s.WriteTrace(&sink, 0); err != nil {
+					t.Errorf("trace: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+
+	m := s.Metrics()
+	if m.Latency == nil {
+		t.Fatal("Observe store returned nil latency snapshot")
+	}
+	if n := m.Latency.Ops[0].Count(); n == 0 {
+		// Op 0 is dram.hit; a lookup-heavy run must have recorded some.
+		t.Error("no dram.hit samples after workload")
+	}
+	if m.Residency.NVMSlots == 0 {
+		t.Error("residency gauges empty")
+	}
+	var buf bytes.Buffer
+	n, err := s.WriteTrace(&buf, 0)
+	if err != nil || n == 0 {
+		t.Fatalf("WriteTrace n=%d err=%v", n, err)
+	}
+}
