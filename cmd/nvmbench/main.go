@@ -8,12 +8,19 @@
 //	nvmbench -experiment figA1 -threads 4
 //	nvmbench -experiment all -scale 16 -ops 30000
 //	nvmbench -experiment figA1 -threads 4 -json -trace -http :6060
+//	nvmbench -remote localhost:7070 -clients 4 -load
 //
 // Capacities follow the paper's DRAM:NVM:SSD = 2:10:50 proportions, scaled
 // by -scale (megabytes per "paper gigabyte"). Output is one aligned text
 // table per experiment, with one column per system line of the original
 // figure; -json additionally writes BENCH_<id>.json files for external
-// plotting.
+// plotting. -seed replaces the base seed of the YCSB random streams, so
+// repeated runs draw different — but individually reproducible — keys.
+//
+// Remote mode (-remote addr) drives the YCSB mix against a running
+// nvmserver over the wire protocol instead of an in-process engine,
+// reporting wire-level round-trip percentiles alongside the server's
+// engine histograms.
 //
 // Observability: -obs records per-tier latency histograms (printed as a
 // table after each experiment and embedded in the JSON output); -trace
@@ -25,11 +32,8 @@
 package main
 
 import (
-	"expvar"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -39,6 +43,7 @@ import (
 
 	"nvmstore/internal/bench"
 	"nvmstore/internal/obs"
+	"nvmstore/internal/remote"
 )
 
 func main() {
@@ -68,34 +73,23 @@ func (f *dirFlag) Set(s string) error {
 // -trace: the most recent 64k events per shard, ~2 MB each.
 const traceRingCap = 1 << 16
 
-// liveMetrics is the state behind the -http /metrics endpoint: the
-// merged latency view of whatever experiment is currently running.
-type liveMetrics struct {
-	live *obs.Live
-	sink *bench.ObsSink
-
+// phaseBox is the shared mutable "what is running right now" behind the
+// -http /metrics snapshot.
+type phaseBox struct {
 	mu    sync.Mutex
 	phase string
 }
 
-func (lm *liveMetrics) setPhase(p string) {
-	lm.mu.Lock()
-	lm.phase = p
-	lm.mu.Unlock()
-	lm.publish()
+func (p *phaseBox) set(s string) {
+	p.mu.Lock()
+	p.phase = s
+	p.mu.Unlock()
 }
 
-// publish refreshes the /metrics snapshot. Histogram reads are atomic,
-// so this is safe while worker goroutines are mid-benchmark.
-func (lm *liveMetrics) publish() {
-	lm.mu.Lock()
-	phase := lm.phase
-	lm.mu.Unlock()
-	lm.live.Publish(struct {
-		Phase   string    `json:"phase"`
-		Updated string    `json:"updated"`
-		Latency []obs.Row `json:"latency"`
-	}{phase, time.Now().Format(time.RFC3339), lm.sink.Rows()})
+func (p *phaseBox) get() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.phase
 }
 
 // run holds the real main body so deferred cleanup (notably stopping the
@@ -110,11 +104,19 @@ func run() int {
 		warmup     = flag.Int("warmup", 0, "warm-up operations per data point (default: same as -ops)")
 		threads    = flag.Int("threads", 4, "maximum shard count for multi-threaded experiments (figA1)")
 		quick      = flag.Bool("quick", false, "fewer sweep points for a fast smoke run")
+		seed       = flag.Uint64("seed", 0, "base seed for the YCSB random streams (0: built-in default)")
 		format     = flag.String("format", "table", "output format: table, csv, or chart")
 		observe    = flag.Bool("obs", false, "record per-tier latency histograms")
 		httpAddr   = flag.String("http", "", "serve expvar, pprof, and /metrics on this address during the run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		remoteAddr = flag.String("remote", "", "drive a running nvmserver at this address instead of in-process engines")
+		clients    = flag.Int("clients", 4, "remote mode: concurrent pipelined client workers")
+		depth      = flag.Int("depth", 16, "remote mode: pipeline depth per worker")
+		rows       = flag.Int("rows", 10000, "remote mode: key-space size")
+		writePct   = flag.Int("writepct", 5, "remote mode: percentage of operations that are PUTs")
+		load       = flag.Bool("load", false, "remote mode: bulk-load the key space before measuring")
 	)
 	flag.Var(&jsonDir, "json", "write BENCH_<id>.json files (bare flag: current directory, or -json=dir)")
 	flag.Var(&traceDir, "trace", "record lifecycle events and write TRACE_<id>.jsonl (bare flag: current directory, or -trace=dir)")
@@ -125,10 +127,6 @@ func run() int {
 			fmt.Printf("  %-6s %s\n", e.ID, e.Description)
 		}
 		return 0
-	}
-	if *experiment == "" {
-		fmt.Fprintln(os.Stderr, "nvmbench: pick an experiment with -experiment <id> or -experiment all (-list shows ids)")
-		return 2
 	}
 
 	if *cpuProfile != "" {
@@ -145,12 +143,32 @@ func run() int {
 		defer pprof.StopCPUProfile()
 	}
 
+	if *remoteAddr != "" {
+		return runRemote(remote.Options{
+			Addr:     *remoteAddr,
+			Clients:  *clients,
+			Depth:    *depth,
+			Rows:     *rows,
+			Load:     *load,
+			WritePct: *writePct,
+			Ops:      *ops,
+			Warmup:   *warmup,
+			Seed:     *seed,
+		}, *format, jsonDir.dir)
+	}
+
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "nvmbench: pick an experiment with -experiment <id> or -experiment all (-list shows ids), or a server with -remote addr")
+		return 2
+	}
+
 	opts := bench.Options{
 		Scale:   *scaleMB << 20,
 		Ops:     *ops,
 		Warmup:  *warmup,
 		Threads: *threads,
 		Quick:   *quick,
+		Seed:    *seed,
 	}
 	// -trace implies -obs (events without histograms would be half a
 	// picture); -http implies -obs so /metrics has something to show.
@@ -162,26 +180,23 @@ func run() int {
 		opts.Obs = sink
 	}
 
-	var live *liveMetrics
+	var phase phaseBox
+	var dbg *obs.DebugServer
 	if *httpAddr != "" {
-		live = &liveMetrics{live: new(obs.Live), sink: opts.Obs}
-		http.Handle("/metrics", live.live)
-		expvar.Publish("nvmstore_latency", expvar.Func(func() any {
-			return opts.Obs.Rows()
-		}))
-		go func() {
-			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "nvmbench: -http: %v\n", err)
-			}
-		}()
-		ticker := time.NewTicker(time.Second)
-		defer ticker.Stop()
-		go func() {
-			for range ticker.C {
-				live.publish()
-			}
-		}()
-		fmt.Printf("(serving /metrics, /debug/vars, and /debug/pprof/ on %s)\n", *httpAddr)
+		var err error
+		dbg, err = obs.StartDebug(*httpAddr, func() any {
+			return struct {
+				Phase   string    `json:"phase"`
+				Updated string    `json:"updated"`
+				Latency []obs.Row `json:"latency"`
+			}{phase.get(), time.Now().Format(time.RFC3339), opts.Obs.Rows()}
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmbench: -http: %v\n", err)
+			return 2
+		}
+		defer dbg.Close()
+		fmt.Printf("(serving /metrics, /debug/vars, and /debug/pprof/ on %s)\n", dbg.Addr())
 	}
 
 	var runs []bench.Experiment
@@ -197,8 +212,9 @@ func run() int {
 	}
 	exitCode := 0
 	for _, exp := range runs {
-		if live != nil {
-			live.setPhase(exp.ID)
+		if dbg != nil {
+			phase.set(exp.ID)
+			dbg.Publish()
 		}
 		start := time.Now()
 		res, err := exp.Run(opts)
@@ -207,15 +223,7 @@ func run() int {
 			exitCode = 1
 			break
 		}
-		switch *format {
-		case "csv":
-			res.FormatCSV(os.Stdout)
-		case "chart":
-			res.Chart(os.Stdout, 72, 18)
-			res.FormatLatency(os.Stdout)
-		default:
-			res.Format(os.Stdout)
-		}
+		emit(res, *format)
 		if jsonDir.dir != "" {
 			path, err := res.SaveJSON(jsonDir.dir)
 			if err != nil {
@@ -235,8 +243,8 @@ func run() int {
 			}
 			fmt.Printf("(wrote %s, %d events)\n", path, n)
 		}
-		if live != nil {
-			live.publish()
+		if dbg != nil {
+			dbg.Publish()
 		}
 		fmt.Printf("(%s finished in %v)\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
 	}
@@ -255,6 +263,40 @@ func run() int {
 		}
 	}
 	return exitCode
+}
+
+// emit prints one result in the chosen format.
+func emit(res bench.Result, format string) {
+	switch format {
+	case "csv":
+		res.FormatCSV(os.Stdout)
+	case "chart":
+		res.Chart(os.Stdout, 72, 18)
+		res.FormatLatency(os.Stdout)
+	default:
+		res.Format(os.Stdout)
+	}
+}
+
+// runRemote drives a running nvmserver and prints the result.
+func runRemote(o remote.Options, format, jsonDir string) int {
+	start := time.Now()
+	res, err := remote.Run(o)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmbench: -remote %s: %v\n", o.Addr, err)
+		return 1
+	}
+	emit(res, format)
+	if jsonDir != "" {
+		path, err := res.SaveJSON(jsonDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmbench: remote: %v\n", err)
+			return 1
+		}
+		fmt.Printf("(wrote %s)\n", path)
+	}
+	fmt.Printf("(remote run finished in %v)\n", time.Since(start).Round(time.Millisecond))
+	return 0
 }
 
 // saveTrace dumps the sink's event rings (all shards, all pids) as

@@ -1,0 +1,159 @@
+// Command nvmserver serves a sharded nvmstore over TCP, speaking the
+// binary protocol of internal/wire. It is the network face of the
+// paper's three-tier storage engine: N shard-per-core stores behind a
+// concurrent, pipelined request layer (internal/server).
+//
+// Usage:
+//
+//	nvmserver                                # 4 three-tier shards on :7070
+//	nvmserver -addr :7070 -shards 8 -arch three-tier -scale 16
+//	nvmserver -obs -http :6060               # with engine histograms + debug HTTP
+//
+// Capacities follow the paper's DRAM:NVM:SSD = 2:10:50 proportions,
+// scaled by -scale (megabytes per "paper gigabyte") and split across
+// the shards. One table (-table, rows of -rowsize bytes) is created at
+// startup; clients address it by id.
+//
+// SIGINT/SIGTERM trigger a graceful drain: the server stops accepting,
+// half-closes every connection, answers everything already in flight,
+// then closes the store (flushing the log tails; -checkpoint-on-close
+// additionally writes back all dirty pages). Every response a client
+// received before the drain is durable.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nvmstore"
+	"nvmstore/internal/obs"
+	"nvmstore/internal/server"
+)
+
+// architectures maps the -arch flag values.
+var architectures = map[string]nvmstore.Architecture{
+	"three-tier":  nvmstore.ThreeTier,
+	"main-memory": nvmstore.MainMemory,
+	"nvm-direct":  nvmstore.NVMDirect,
+	"basic-nvm":   nvmstore.BasicNVMBuffer,
+	"ssd-buffer":  nvmstore.SSDBuffer,
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr       = flag.String("addr", ":7070", "TCP address to serve the wire protocol on")
+		shards     = flag.Int("shards", 4, "number of shard-per-core stores")
+		arch       = flag.String("arch", "three-tier", "storage architecture: three-tier, main-memory, nvm-direct, basic-nvm, or ssd-buffer")
+		scaleMB    = flag.Int64("scale", 16, "megabytes per paper-gigabyte of capacity (DRAM:NVM:SSD = 2:10:50)")
+		tableID    = flag.Uint64("table", 1, "id of the table created at startup")
+		rowSize    = flag.Int("rowsize", 1000, "row size in bytes of the startup table")
+		maxConns   = flag.Int("maxconns", 64, "maximum concurrently served connections")
+		observe    = flag.Bool("obs", false, "record engine latency histograms (reported via STATS and /metrics)")
+		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address")
+		checkpoint = flag.Bool("checkpoint-on-close", false, "write back all dirty pages on shutdown so the next start recovers instantly")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before connections are severed")
+	)
+	flag.Parse()
+	logger := log.New(os.Stderr, "nvmserver: ", log.LstdFlags)
+
+	a, ok := architectures[*arch]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "nvmserver: unknown -arch %q (try three-tier, main-memory, nvm-direct, basic-nvm, ssd-buffer)\n", *arch)
+		return 2
+	}
+	scale := *scaleMB << 20
+	opts := nvmstore.Options{
+		Architecture:      a,
+		DRAMBytes:         2 * scale,
+		NVMBytes:          10 * scale,
+		SSDBytes:          50 * scale,
+		Observe:           *observe,
+		CheckpointOnClose: *checkpoint,
+	}
+	switch a {
+	case nvmstore.MainMemory:
+		opts.DRAMBytes, opts.SSDBytes = 0, 0 // unlimited DRAM, no SSD
+	case nvmstore.NVMDirect:
+		opts.DRAMBytes, opts.SSDBytes = 0, 0
+	case nvmstore.BasicNVMBuffer:
+		opts.SSDBytes = 0
+	}
+	store, err := nvmstore.OpenSharded(*shards, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nvmserver: open store: %v\n", err)
+		return 1
+	}
+	if _, err := store.CreateTable(*tableID, *rowSize); err != nil {
+		fmt.Fprintf(os.Stderr, "nvmserver: create table: %v\n", err)
+		return 1
+	}
+
+	srv := server.New(store, server.Options{
+		MaxConns: *maxConns,
+		Logf:     logger.Printf,
+	})
+
+	if *httpAddr != "" {
+		dbg, err := obs.StartDebug(*httpAddr, func() any { return srv.Stats() })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmserver: -http: %v\n", err)
+			return 1
+		}
+		defer dbg.Close()
+		logger.Printf("debug endpoints on http://%s (/metrics, /debug/vars, /debug/pprof/)", dbg.Addr())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe(*addr) }()
+	logger.Printf("%s: %d × %s shards, table %d (%d-byte rows), serving on %s",
+		store.Shard(0).Architecture(), *shards, fmtBytes(opts.NVMBytes), *tableID, *rowSize, *addr)
+
+	select {
+	case err := <-errc:
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmserver: serve: %v\n", err)
+			return 1
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Printf("draining (budget %v)...", *drain)
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		err := srv.Shutdown(dctx)
+		cancel()
+		if err != nil {
+			logger.Printf("drain incomplete: %v", err)
+		}
+		<-errc // Serve has returned once Shutdown closed the listener
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "nvmserver: close store: %v\n", err)
+		return 1
+	}
+	logger.Printf("store closed; all acknowledged writes durable")
+	return 0
+}
+
+// fmtBytes renders a capacity for the startup banner.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%dGB-NVM", b>>30)
+	case b >= 1<<20:
+		return fmt.Sprintf("%dMB-NVM", b>>20)
+	default:
+		return fmt.Sprintf("%dB-NVM", b)
+	}
+}

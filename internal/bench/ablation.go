@@ -53,6 +53,7 @@ func AblationAdmission(o Options) (Result, error) {
 			if err != nil {
 				return res, fmt.Errorf("ablation %s: %w", pol.name, err)
 			}
+			o.reseed(w)
 			mix := zipfian.New(100, zipfian.Theta1, 77)
 			op := func() error {
 				if int(mix.Uint64n(100)) < share {

@@ -25,6 +25,7 @@ import (
 	"nvmstore/internal/engine"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/simclock"
+	"nvmstore/internal/ycsb"
 )
 
 // Options scales and sizes the experiments.
@@ -45,6 +46,10 @@ type Options struct {
 	// sweep to (default 4). Each thread is an independent shard-per-core
 	// engine instance, per Appendix A.1.
 	Threads int
+	// Seed, when nonzero, replaces the default base seed of the YCSB
+	// random streams (nvmbench -seed), so repeated runs can draw
+	// different — but individually reproducible — key sequences.
+	Seed uint64
 	// Obs, when non-nil, installs a latency/event recorder into every
 	// engine the experiments build. Merged histograms land in
 	// Result.Latency; lifecycle traces stay in the sink until dumped.
@@ -258,6 +263,15 @@ func cpuCacheFor(o Options) int64 {
 		c = 256 << 10
 	}
 	return c
+}
+
+// reseed applies Options.Seed to a freshly built workload; with no
+// -seed the workload keeps its default stream.
+func (o Options) reseed(w *ycsb.Workload) *ycsb.Workload {
+	if o.Seed != 0 {
+		w.Reseed(o.Seed)
+	}
+	return w
 }
 
 // debugChecks enables core's eviction verification in tests.

@@ -15,11 +15,13 @@ import (
 // and measures throughput of op. The warm-up grows with the data size:
 // reaching the three-tier steady state needs every hot page to cycle
 // through DRAM eviction and NVM admission at least twice.
-func ycsbPoint(e *engine.Engine, rows, warmup, ops int, op func(*ycsb.Workload) error) (Measurement, error) {
+func ycsbPoint(o Options, e *engine.Engine, rows int, op func(*ycsb.Workload) error) (Measurement, error) {
+	warmup, ops := o.Warmup, o.Ops
 	w, err := ycsb.Load(e, rows, btree.LayoutSorted)
 	if err != nil {
 		return Measurement{}, err
 	}
+	o.reseed(w)
 	if warmup < rows {
 		warmup = rows
 	}
@@ -56,7 +58,7 @@ func Fig8(o Options) (Result, error) {
 				return res, err
 			}
 			rows := ycsb.RowsForDataSize(size * o.Scale)
-			m, err := ycsbPoint(e, rows, o.Warmup, o.Ops, (*ycsb.Workload).Lookup)
+			m, err := ycsbPoint(o, e, rows, (*ycsb.Workload).Lookup)
 			if errors.Is(err, core.ErrCapacity) {
 				continue // system cannot hold this data size
 			}
@@ -202,7 +204,7 @@ func Fig10(o Options) (Result, error) {
 			return res, err
 		}
 		e.Manager().ResetStats()
-		m, err := ycsbPoint(e, rows, o.Warmup, o.Ops, (*ycsb.Workload).Lookup)
+		m, err := ycsbPoint(o, e, rows, (*ycsb.Workload).Lookup)
 		if err != nil {
 			return res, fmt.Errorf("fig10 step %q: %w", step.name, err)
 		}
@@ -225,7 +227,7 @@ func Fig10(o Options) (Result, error) {
 	if err != nil {
 		return res, err
 	}
-	m, err := ycsbPoint(e, rows, o.Warmup, o.Ops, (*ycsb.Workload).Lookup)
+	m, err := ycsbPoint(o, e, rows, (*ycsb.Workload).Lookup)
 	if err != nil {
 		return res, fmt.Errorf("fig10 direct: %w", err)
 	}
@@ -272,6 +274,7 @@ func ScanOverhead(o Options) (Result, error) {
 		if err != nil {
 			return res, err
 		}
+		o.reseed(w)
 		for j := 0; j < smallScans/2; j++ {
 			if err := w.ScanRange(100); err != nil {
 				return res, err

@@ -237,6 +237,7 @@ func parallelYCSBPoint(o Options, topo core.Topology, rows, threads int) (parall
 				errs[i] = err
 				return
 			}
+			o.reseed(w)
 			engines[i], works[i] = e, w
 		}(i)
 	}

@@ -36,6 +36,7 @@ func Fig12(o Options) (Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("fig12 %v: %w", topo, err)
 		}
+		o.reseed(w)
 		// Reach cache steady state before the sweep starts.
 		for i := 0; i < rows; i++ {
 			if err := w.Lookup(); err != nil {
@@ -90,7 +91,7 @@ func Fig13(o Options) (Result, error) {
 			if err != nil {
 				return res, err
 			}
-			m, err := ycsbPoint(e, rows, o.Warmup, o.Ops, (*ycsb.Workload).Lookup)
+			m, err := ycsbPoint(o, e, rows, (*ycsb.Workload).Lookup)
 			if err != nil {
 				return res, fmt.Errorf("fig13 %v %d%%: %w", topo, ratio, err)
 			}
@@ -134,7 +135,7 @@ func Fig14(o Options) (Result, error) {
 				return res, err
 			}
 			rows := ycsb.RowsForDataSize(size * o.Scale)
-			m, err := ycsbPoint(e, rows, o.Warmup, o.Ops, (*ycsb.Workload).Lookup)
+			m, err := ycsbPoint(o, e, rows, (*ycsb.Workload).Lookup)
 			if err != nil {
 				return res, fmt.Errorf("fig14 %v size %d: %w", topo, size, err)
 			}
@@ -170,6 +171,7 @@ func Fig15(o Options) (Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("fig15 %v: %w", topo, err)
 		}
+		o.reseed(w)
 		// Reach cache steady state before the sweep starts.
 		for i := 0; i < rows; i++ {
 			if err := w.Lookup(); err != nil {
@@ -225,6 +227,7 @@ func Fig16(o Options) (Result, error) {
 		if err != nil {
 			return res, fmt.Errorf("fig16 %v: %w", topo, err)
 		}
+		o.reseed(w)
 		for i := 0; i < o.Warmup; i++ {
 			if err := w.Update(); err != nil {
 				return res, err

@@ -1,0 +1,414 @@
+// Package client is the Go client of the KV serving layer: a connection
+// pool over internal/wire with pipelining. Every request carries a
+// client-chosen id; responses are matched by id, so one connection
+// carries many requests in flight — the synchronous methods (Get, Put,
+// ...) are safe to call from many goroutines at once and share the
+// pooled connections, while the Async variants let a single goroutine
+// keep a deep pipeline of its own.
+//
+// The client records a wall-clock round-trip histogram per opcode
+// (Latency), which is what the remote benchmark driver reports as
+// wire-level p50/p99.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvmstore/internal/obs"
+	"nvmstore/internal/wire"
+)
+
+// Options tunes the client. The zero value is ready for use.
+type Options struct {
+	// Conns is the connection pool size (default 1).
+	Conns int
+	// Depth bounds in-flight requests per connection (default 128);
+	// past it, issuing a request blocks — the client-side backpressure
+	// matching the server's bounded queues.
+	Depth int
+	// DialTimeout bounds each dial (default 5s).
+	DialTimeout time.Duration
+}
+
+func (o *Options) applyDefaults() {
+	if o.Conns <= 0 {
+		o.Conns = 1
+	}
+	if o.Depth <= 0 {
+		o.Depth = 128
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 5 * time.Second
+	}
+}
+
+// ErrClosed is returned by requests issued after Close (or after the
+// underlying connection failed).
+var ErrClosed = errors.New("client: connection closed")
+
+// RemoteError is a server-reported request failure (a RespErr frame),
+// as opposed to a transport failure.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "server: " + e.Msg }
+
+// Client is a pooled, pipelined connection to one server. Safe for
+// concurrent use.
+type Client struct {
+	conns []*conn
+	rr    atomic.Uint64
+
+	// hist[op] is the round-trip wall-clock histogram per request
+	// opcode.
+	hist [wire.OpStats + 1]obs.Histogram
+}
+
+// Dial connects the pool.
+func Dial(addr string, opts Options) (*Client, error) {
+	opts.applyDefaults()
+	c := &Client{conns: make([]*conn, opts.Conns)}
+	for i := range c.conns {
+		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		if err != nil {
+			for _, pc := range c.conns[:i] {
+				pc.close(ErrClosed)
+			}
+			return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		cn := &conn{
+			cl:      c,
+			nc:      nc,
+			bw:      bufio.NewWriter(nc),
+			pending: make(map[uint32]*Call),
+			sem:     make(chan struct{}, opts.Depth),
+		}
+		c.conns[i] = cn
+		go cn.readLoop()
+	}
+	return c, nil
+}
+
+// Close tears down every pooled connection; in-flight calls fail with
+// ErrClosed.
+func (c *Client) Close() error {
+	for _, cn := range c.conns {
+		cn.close(ErrClosed)
+	}
+	return nil
+}
+
+// Latency returns the client-observed round-trip latency rows, one per
+// opcode used ("wire.get", ...).
+func (c *Client) Latency() []obs.Row {
+	var rows []obs.Row
+	for op := wire.OpGet; op <= wire.OpStats; op++ {
+		h := c.hist[op].Snapshot()
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		rows = append(rows, obs.Row{
+			Op:    "wire." + wire.OpName(op),
+			Count: n,
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max,
+			Mean:  h.Mean(),
+		})
+	}
+	return rows
+}
+
+// ResetLatency zeroes the round-trip histograms (e.g. after a warmup
+// phase).
+func (c *Client) ResetLatency() {
+	for i := range c.hist {
+		c.hist[i].Reset()
+	}
+}
+
+// next picks a pooled connection round-robin.
+func (c *Client) next() *conn {
+	return c.conns[c.rr.Add(1)%uint64(len(c.conns))]
+}
+
+// Call is one in-flight request. Wait for it with Result (or select on
+// Done, then call Result, which no longer blocks).
+type Call struct {
+	op    byte
+	resp  wire.Response
+	err   error
+	done  chan struct{}
+	start time.Time
+}
+
+// Done is closed when the response (or transport failure) arrived.
+func (call *Call) Done() <-chan struct{} { return call.done }
+
+// Result blocks until the response arrives and returns it. A RespErr
+// frame surfaces as a *RemoteError.
+func (call *Call) Result() (wire.Response, error) {
+	<-call.done
+	if call.err != nil {
+		return wire.Response{}, call.err
+	}
+	if call.resp.Code == wire.RespErr {
+		return wire.Response{}, &RemoteError{Msg: call.resp.Err}
+	}
+	return call.resp, nil
+}
+
+// GetAsync issues a pipelined GET.
+func (c *Client) GetAsync(table, key uint64) *Call {
+	return c.next().do(wire.Request{Op: wire.OpGet, Table: table, Key: key})
+}
+
+// PutAsync issues a pipelined PUT (insert or replace).
+func (c *Client) PutAsync(table, key uint64, value []byte) *Call {
+	return c.next().do(wire.Request{Op: wire.OpPut, Table: table, Key: key, Value: value})
+}
+
+// DeleteAsync issues a pipelined DELETE.
+func (c *Client) DeleteAsync(table, key uint64) *Call {
+	return c.next().do(wire.Request{Op: wire.OpDelete, Table: table, Key: key})
+}
+
+// Get returns the row for key and whether it exists.
+func (c *Client) Get(table, key uint64) ([]byte, bool, error) {
+	return getResult(c.GetAsync(table, key))
+}
+
+func getResult(call *Call) ([]byte, bool, error) {
+	resp, err := call.Result()
+	if err != nil {
+		return nil, false, err
+	}
+	switch resp.Code {
+	case wire.RespValue:
+		return resp.Value, true, nil
+	case wire.RespNotFound:
+		return nil, false, nil
+	}
+	return nil, false, fmt.Errorf("client: unexpected response %s to get", wire.OpName(resp.Code))
+}
+
+// Put inserts or replaces the row for key. Outside a transaction the
+// returned nil means the write is committed and durable on the server.
+func (c *Client) Put(table, key uint64, value []byte) error {
+	_, err := c.PutAsync(table, key, value).Result()
+	return err
+}
+
+// Delete removes the row for key, reporting whether it existed.
+func (c *Client) Delete(table, key uint64) (bool, error) {
+	resp, err := c.DeleteAsync(table, key).Result()
+	if err != nil {
+		return false, err
+	}
+	return resp.Code == wire.RespOK, nil
+}
+
+// Scan returns up to limit rows with key >= from in ascending key order
+// (limit <= 0 means the server's maximum).
+func (c *Client) Scan(table, from uint64, limit int) ([]wire.Entry, error) {
+	req := wire.Request{Op: wire.OpScan, Table: table, Key: from}
+	if limit > 0 {
+		req.Limit = uint32(limit)
+	}
+	resp, err := c.next().do(req).Result()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Code != wire.RespScan {
+		return nil, fmt.Errorf("client: unexpected response %s to scan", wire.OpName(resp.Code))
+	}
+	return resp.Entries, nil
+}
+
+// Stats returns the server's STATS JSON document.
+func (c *Client) Stats() ([]byte, error) {
+	resp, err := c.next().do(wire.Request{Op: wire.OpStats}).Result()
+	if err != nil {
+		return nil, err
+	}
+	if resp.Code != wire.RespStats {
+		return nil, fmt.Errorf("client: unexpected response %s to stats", wire.OpName(resp.Code))
+	}
+	return resp.Value, nil
+}
+
+// Tx is a server-side transaction pinned to one pooled connection
+// (transaction state lives per connection on the server). Writes are
+// buffered server-side and acknowledged immediately; only a successful
+// Commit makes them durable, atomically per shard.
+type Tx struct {
+	cn   *conn
+	done bool
+}
+
+// Begin starts a transaction on one pooled connection.
+func (c *Client) Begin() (*Tx, error) {
+	cn := c.next()
+	if _, err := cn.do(wire.Request{Op: wire.OpBegin}).Result(); err != nil {
+		return nil, err
+	}
+	return &Tx{cn: cn}, nil
+}
+
+// Get reads through the transaction (the server answers from the
+// transaction's own buffered writes first).
+func (tx *Tx) Get(table, key uint64) ([]byte, bool, error) {
+	return getResult(tx.cn.do(wire.Request{Op: wire.OpGet, Table: table, Key: key}))
+}
+
+// Put buffers an insert-or-replace in the transaction.
+func (tx *Tx) Put(table, key uint64, value []byte) error {
+	_, err := tx.cn.do(wire.Request{Op: wire.OpPut, Table: table, Key: key, Value: value}).Result()
+	return err
+}
+
+// Delete buffers a delete in the transaction.
+func (tx *Tx) Delete(table, key uint64) error {
+	_, err := tx.cn.do(wire.Request{Op: wire.OpDelete, Table: table, Key: key}).Result()
+	return err
+}
+
+// Commit applies the buffered writes, one atomic sub-transaction per
+// shard; on return the writes are durable.
+func (tx *Tx) Commit() error {
+	tx.done = true
+	_, err := tx.cn.do(wire.Request{Op: wire.OpCommit}).Result()
+	return err
+}
+
+// Rollback discards the buffered writes.
+func (tx *Tx) Rollback() error {
+	tx.done = true
+	_, err := tx.cn.do(wire.Request{Op: wire.OpRollback}).Result()
+	return err
+}
+
+// conn is one pooled connection with its pipelining bookkeeping.
+type conn struct {
+	cl *Client
+	nc net.Conn
+
+	wmu sync.Mutex // serializes encode+write
+	bw  *bufio.Writer
+
+	mu      sync.Mutex
+	pending map[uint32]*Call
+	nextID  uint32
+	err     error // sticky transport failure
+
+	sem chan struct{}
+
+	closeOnce sync.Once
+}
+
+// do registers, encodes, and writes one request, returning the
+// in-flight call. Failures surface through the call.
+func (cn *conn) do(req wire.Request) *Call {
+	call := &Call{op: req.Op, done: make(chan struct{}), start: time.Now()}
+	cn.sem <- struct{}{}
+	cn.mu.Lock()
+	if cn.err != nil {
+		err := cn.err
+		cn.mu.Unlock()
+		<-cn.sem
+		call.err = err
+		close(call.done)
+		return call
+	}
+	cn.nextID++
+	req.ID = cn.nextID
+	cn.pending[req.ID] = call
+	cn.mu.Unlock()
+
+	cn.wmu.Lock()
+	buf := wire.AppendRequest(nil, req)
+	_, err := cn.bw.Write(buf)
+	if err == nil {
+		err = cn.bw.Flush()
+	}
+	cn.wmu.Unlock()
+	if err != nil {
+		cn.close(fmt.Errorf("client: write: %w", err))
+	}
+	return call
+}
+
+// readLoop matches responses to pending calls until the connection
+// fails or closes.
+func (cn *conn) readLoop() {
+	br := bufio.NewReader(cn.nc)
+	var buf []byte
+	var payload []byte
+	var err error
+	for {
+		payload, buf, err = wire.ReadFrame(br, buf)
+		if err != nil {
+			if err == io.EOF || errors.Is(err, net.ErrClosed) {
+				err = ErrClosed
+			}
+			cn.close(err)
+			return
+		}
+		resp, derr := wire.DecodeResponse(payload)
+		if derr != nil {
+			cn.close(derr)
+			return
+		}
+		cn.mu.Lock()
+		call := cn.pending[resp.ID]
+		delete(cn.pending, resp.ID)
+		cn.mu.Unlock()
+		if call == nil {
+			cn.close(fmt.Errorf("client: response for unknown request id %d", resp.ID))
+			return
+		}
+		// The decode buffer is reused for the next frame: give the
+		// call copies that outlive it.
+		if resp.Value != nil {
+			resp.Value = append([]byte(nil), resp.Value...)
+		}
+		for i := range resp.Entries {
+			resp.Entries[i].Value = append([]byte(nil), resp.Entries[i].Value...)
+		}
+		call.resp = resp
+		if int(call.op) < len(cn.cl.hist) {
+			cn.cl.hist[call.op].Record(time.Since(call.start).Nanoseconds())
+		}
+		close(call.done)
+		<-cn.sem
+	}
+}
+
+// close fails the connection: every pending and future call returns
+// err.
+func (cn *conn) close(err error) {
+	cn.closeOnce.Do(func() {
+		cn.mu.Lock()
+		cn.err = err
+		calls := cn.pending
+		cn.pending = make(map[uint32]*Call)
+		cn.mu.Unlock()
+		cn.nc.Close()
+		for _, call := range calls {
+			call.err = err
+			close(call.done)
+			<-cn.sem
+		}
+	})
+}

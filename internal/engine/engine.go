@@ -534,3 +534,21 @@ func (e *Engine) LoadSnapshot(r io.Reader) error {
 	e.replaying = false
 	return err
 }
+
+// Close shuts the engine down in an orderly fashion: the log tail is
+// flushed so every committed transaction is durable, and with
+// checkpoint=true all dirty pages are written back and the log
+// truncated (a cold store that recovers instantly). Close is idempotent
+// and fails inside a transaction. The simulated devices live in process
+// memory, so Close releases nothing — it exists to define the durable
+// state a server hand-off or restart starts from.
+func (e *Engine) Close(checkpoint bool) error {
+	if e.txActive {
+		return fmt.Errorf("engine: close inside a transaction")
+	}
+	if checkpoint {
+		return e.Checkpoint()
+	}
+	e.log.Flush()
+	return nil
+}

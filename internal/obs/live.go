@@ -2,9 +2,13 @@ package obs
 
 import (
 	"encoding/json"
+	"expvar"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"sync"
+	"time"
 )
 
 // Live publishes the most recent metrics snapshot over HTTP as JSON. The
@@ -42,4 +46,78 @@ func (l *Live) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 		return
 	}
 	w.Write(buf)
+}
+
+// DebugServer bundles the diagnostics endpoints the long-running
+// commands (nvmbench, nvmserver) share: /metrics serving a Live JSON
+// snapshot, /debug/vars (expvar), and /debug/pprof/. The snapshot
+// function is polled once a second and on Publish; it must be safe to
+// call while the instrumented system runs (histogram snapshots are).
+type DebugServer struct {
+	live     *Live
+	snapshot func() any
+	srv      *http.Server
+	ln       net.Listener
+	done     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// StartDebug listens on addr and serves the diagnostics endpoints until
+// Close. snapshot produces the /metrics document.
+func StartDebug(addr string, snapshot func() any) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{
+		live:     new(Live),
+		snapshot: snapshot,
+		ln:       ln,
+		done:     make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", d.live)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d.srv = &http.Server{Handler: mux}
+	d.Publish()
+	d.wg.Add(2)
+	go func() {
+		defer d.wg.Done()
+		d.srv.Serve(ln)
+	}()
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(time.Second)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				d.Publish()
+			case <-d.done:
+				return
+			}
+		}
+	}()
+	return d, nil
+}
+
+// Publish refreshes the /metrics snapshot immediately (callers do so at
+// phase boundaries so a scrape between ticks never misses a finished
+// phase).
+func (d *DebugServer) Publish() { d.live.Publish(d.snapshot()) }
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() net.Addr { return d.ln.Addr() }
+
+// Close stops the refresher and the HTTP server.
+func (d *DebugServer) Close() error {
+	close(d.done)
+	err := d.srv.Close()
+	d.wg.Wait()
+	return err
 }

@@ -1,0 +1,258 @@
+// Package remote drives YCSB-style load against a running nvmserver
+// over the wire protocol — the serving-layer counterpart of the
+// in-process experiments in internal/bench. It lives outside bench so
+// the engine-level experiment package does not depend on the network
+// stack.
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"nvmstore/internal/bench"
+	"nvmstore/internal/client"
+	"nvmstore/internal/server"
+	"nvmstore/internal/shard"
+	"nvmstore/internal/ycsb"
+	"nvmstore/internal/zipfian"
+)
+
+// Options configures a YCSB-style run against a live nvmserver
+// over the wire protocol — the serving-layer counterpart of the
+// in-process experiments. Unlike those, the remote driver measures the
+// whole request path: framing, the server's shard routing and batching,
+// and the storage engine underneath.
+type Options struct {
+	// Addr is the server's TCP address.
+	Addr string
+	// Table is the target table id (default 1, nvmserver's default).
+	Table uint64
+	// Clients is the number of concurrent workers, each keeping its own
+	// pipeline of requests in flight (default 4).
+	Clients int
+	// Conns is the client connection-pool size (default Clients).
+	Conns int
+	// Depth is each worker's pipeline depth (default 16).
+	Depth int
+	// Rows is the key-space size [0, Rows) (default 10000).
+	Rows int
+	// Load bulk-loads the key space through pipelined PUTs first.
+	Load bool
+	// ValueSize is the bytes written per PUT (default 100, YCSB's field
+	// size; the server zero-pads rows to the table's row size).
+	ValueSize int
+	// WritePct is the percentage of operations that are PUTs (default
+	// 5, YCSB-B's mix); the rest are GETs.
+	WritePct int
+	// Ops is the number of measured operations across all workers
+	// (default 30000); Warmup runs before measuring (default Ops/2).
+	Ops    int
+	Warmup int
+	// Seed is the base seed of the per-worker Zipf streams (default
+	// ycsb.DefaultSeed); worker i draws from shard.SeedFor(Seed, i).
+	Seed uint64
+}
+
+func (o *Options) applyDefaults() {
+	if o.Table == 0 {
+		o.Table = 1
+	}
+	if o.Clients <= 0 {
+		o.Clients = 4
+	}
+	if o.Conns <= 0 {
+		o.Conns = o.Clients
+	}
+	if o.Depth <= 0 {
+		o.Depth = 16
+	}
+	if o.Rows <= 0 {
+		o.Rows = 10000
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = ycsb.FieldSize
+	}
+	if o.WritePct < 0 || o.WritePct > 100 {
+		o.WritePct = 5
+	}
+	if o.Ops <= 0 {
+		o.Ops = 30000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = o.Ops / 2
+	}
+	if o.Seed == 0 {
+		o.Seed = ycsb.DefaultSeed
+	}
+}
+
+// Run drives the YCSB mix against a live server and reports
+// throughput over combined time (wall clock plus the server's simulated
+// device-time advance, the hybrid-time model) and wire-level p50/p99
+// round-trip latencies alongside the server's engine-level histograms.
+func Run(o Options) (bench.Result, error) {
+	o.applyDefaults()
+	cl, err := client.Dial(o.Addr, client.Options{
+		Conns: o.Conns,
+		// Every worker must be able to fill its pipeline even if the
+		// round-robin lands them all on one connection.
+		Depth: o.Clients * o.Depth,
+	})
+	if err != nil {
+		return bench.Result{}, err
+	}
+	defer cl.Close()
+
+	if o.Load {
+		if err := remoteLoad(cl, o); err != nil {
+			return bench.Result{}, fmt.Errorf("remote load: %w", err)
+		}
+	}
+	if o.Warmup > 0 {
+		if err := remoteRun(cl, o, o.Warmup); err != nil {
+			return bench.Result{}, fmt.Errorf("remote warmup: %w", err)
+		}
+	}
+	cl.ResetLatency()
+	before, err := remoteStats(cl)
+	if err != nil {
+		return bench.Result{}, err
+	}
+	start := time.Now()
+	if err := remoteRun(cl, o, o.Ops); err != nil {
+		return bench.Result{}, fmt.Errorf("remote run: %w", err)
+	}
+	wall := time.Since(start)
+	after, err := remoteStats(cl)
+	if err != nil {
+		return bench.Result{}, err
+	}
+
+	// Hybrid time, as everywhere in this repo: the engines charge
+	// device latencies to virtual clocks instead of sleeping, so wall
+	// time alone would flatter the run. The slowest shard's simulated
+	// advance is what dedicated hardware would have added.
+	sim := time.Duration(after.MaxSimNs - before.MaxSimNs)
+	combined := wall + sim
+	perSec := 0.0
+	if combined > 0 {
+		perSec = float64(o.Ops) / combined.Seconds()
+	}
+
+	res := bench.Result{
+		ID:      "remote",
+		Title:   fmt.Sprintf("Remote YCSB (%d%% put) against %s, %d shards", o.WritePct, o.Addr, after.Shards),
+		XLabel:  "clients",
+		YLabel:  "ops/s",
+		FileTag: fmt.Sprintf("remote_c%d", o.Clients),
+		Series: []bench.Series{{
+			Name: "wire",
+			X:    []float64{float64(o.Clients)},
+			Y:    []float64{perSec},
+		}},
+		Latency: append(cl.Latency(), after.Engine...),
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("%d ops, %d clients × depth %d over %d conns: wall %v + sim %v = %v",
+			o.Ops, o.Clients, o.Depth, o.Conns, wall.Round(time.Microsecond), sim, combined.Round(time.Microsecond)),
+		"latency rows: wire.* are client-observed wall-clock round trips;",
+		"the rest are the server engine's simulated-time histograms (with -obs)")
+	return res, nil
+}
+
+// remoteStats fetches and decodes the server's STATS document.
+func remoteStats(cl *client.Client) (server.StatsDoc, error) {
+	var doc server.StatsDoc
+	buf, err := cl.Stats()
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		return doc, fmt.Errorf("remote stats: %w", err)
+	}
+	return doc, nil
+}
+
+// remoteLoad PUTs every key of the key space, pipelined, partitioned
+// across the workers.
+func remoteLoad(cl *client.Client, o Options) error {
+	return remoteWorkers(o.Clients, func(wid int) error {
+		val := make([]byte, o.ValueSize)
+		var inflight []*client.Call
+		for key := wid; key < o.Rows; key += o.Clients {
+			ycsb.FillField(uint64(key), 0, val)
+			inflight = append(inflight, cl.PutAsync(o.Table, uint64(key), val))
+			if len(inflight) >= o.Depth {
+				if _, err := inflight[0].Result(); err != nil {
+					return err
+				}
+				inflight = inflight[1:]
+			}
+		}
+		return drain(inflight)
+	})
+}
+
+// remoteRun issues total operations of the configured mix across the
+// workers, each worker pipelining Depth requests.
+func remoteRun(cl *client.Client, o Options, total int) error {
+	per := (total + o.Clients - 1) / o.Clients
+	return remoteWorkers(o.Clients, func(wid int) error {
+		gen := zipfian.New(uint64(o.Rows), zipfian.Theta1, shard.SeedFor(o.Seed, wid))
+		val := make([]byte, o.ValueSize)
+		var inflight []*client.Call
+		for i := 0; i < per; i++ {
+			key := gen.NextScrambled()
+			var call *client.Call
+			if int(gen.Uint64n(100)) < o.WritePct {
+				// Vary the payload with the op index so writes are not
+				// no-ops (PutAsync consumes val before returning).
+				ycsb.FillField(key+uint64(i), 0, val)
+				call = cl.PutAsync(o.Table, key, val)
+			} else {
+				call = cl.GetAsync(o.Table, key)
+			}
+			inflight = append(inflight, call)
+			if len(inflight) >= o.Depth {
+				if _, err := inflight[0].Result(); err != nil {
+					return err
+				}
+				inflight = inflight[1:]
+			}
+		}
+		return drain(inflight)
+	})
+}
+
+// drain waits out a pipeline tail.
+func drain(inflight []*client.Call) error {
+	for _, call := range inflight {
+		if _, err := call.Result(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remoteWorkers runs fn(0..n-1) concurrently and returns the first
+// error.
+func remoteWorkers(n int, fn func(wid int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("worker %d: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,755 @@
+// Package server exposes a ShardedStore over TCP, speaking the framing
+// of internal/wire. It is the request-handling half of the serving
+// layer: the paper's three-tier buffer manager (§3) is the storage hot
+// path, and this package gives it the deployment shape the NVM
+// literature assumes — a server absorbing many concurrent client
+// connections.
+//
+// # Threading model
+//
+// One goroutine per connection reads and decodes frames; decoded keyed
+// requests (GET/PUT/DELETE) are routed by key hash to a per-shard
+// worker goroutine, which drains its queue in batches and executes each
+// batch under a single acquisition of the shard lock — the server-side
+// continuation of the shard-per-core model (Appendix A.1). Responses
+// travel through a per-connection writer goroutine, so a connection's
+// responses are pipelined: many requests in flight, responses matched
+// to requests by wire request id, in whatever order the shards finish.
+// Scans, transaction control, and stats run inline on the reader.
+//
+// # Backpressure
+//
+// Every queue is bounded. A full shard queue blocks the readers feeding
+// it, which stops them from reading more frames, which fills the TCP
+// receive window — backpressure propagates to the clients as the
+// network's own flow control. A full connection write queue blocks the
+// shard workers the same way; a connection whose peer stops reading
+// eventually fails its writer, after which its queue drains to the
+// floor (responses to a dead connection are discarded) so one dead
+// client cannot wedge a shard. Options.MaxConns bounds concurrent
+// connections; excess dials wait in the listen backlog.
+//
+// # Transactions
+//
+// BEGIN/COMMIT/ROLLBACK give a connection a transaction: writes between
+// BEGIN and COMMIT are buffered server-side (acknowledged immediately,
+// durable only at COMMIT) and reads see the connection's own buffered
+// writes. COMMIT groups the buffer by shard and applies each shard's
+// group as one atomic, durable transaction — atomicity is per shard,
+// the shared-nothing contract of the sharded store; a COMMIT that fails
+// on one shard reports the error and does not undo shards already
+// committed. Autocommit requests (outside BEGIN) are each one durable
+// transaction: their acknowledgement implies the write survives a
+// crash.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvmstore"
+	"nvmstore/internal/obs"
+	"nvmstore/internal/wire"
+)
+
+// Options tunes the server. The zero value is ready for use.
+type Options struct {
+	// MaxConns bounds concurrently served connections (default 64).
+	// Excess dials are not rejected; they wait in the listen backlog.
+	MaxConns int
+	// ShardQueue is the per-shard request queue depth (default 128).
+	ShardQueue int
+	// BatchMax is how many queued requests a shard worker executes per
+	// shard-lock acquisition (default 32).
+	BatchMax int
+	// WriteQueue is the per-connection response queue depth (default 128).
+	WriteQueue int
+	// MaxScan caps the rows one SCAN may return (default 1024). Client
+	// limits are clamped to it, bounding response frames.
+	MaxScan int
+	// Logf, when set, receives connection-level error logs.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) applyDefaults() {
+	if o.MaxConns <= 0 {
+		o.MaxConns = 64
+	}
+	if o.ShardQueue <= 0 {
+		o.ShardQueue = 128
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 32
+	}
+	if o.WriteQueue <= 0 {
+		o.WriteQueue = 128
+	}
+	if o.MaxScan <= 0 {
+		o.MaxScan = 1024
+	}
+}
+
+// task is one keyed request on its way to a shard worker.
+type task struct {
+	c     *conn
+	req   wire.Request // Value owned by the task (copied off the read buffer)
+	start time.Time
+}
+
+// Server serves a ShardedStore over TCP. Create with New, start with
+// Serve or ListenAndServe, stop with Shutdown. The server does not own
+// the store: Shutdown drains requests and leaves the store open for the
+// caller to inspect or Close.
+type Server struct {
+	store *nvmstore.ShardedStore
+	opts  Options
+
+	shardQ   []chan task
+	workerWG sync.WaitGroup
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	started  bool
+
+	connWG  sync.WaitGroup
+	connSem chan struct{}
+
+	// wireHist[op] is the wall-clock latency histogram of request
+	// opcode op, recorded from frame decode to response enqueue.
+	wireHist [wire.OpStats + 1]obs.Histogram
+
+	stats struct {
+		conns    atomic.Int64 // currently open
+		accepted atomic.Int64 // total accepted
+		ops      atomic.Int64 // requests answered
+	}
+}
+
+// StatsDoc is the JSON document a STATS request returns (and the shape
+// cmd/nvmserver publishes on its debug endpoint).
+type StatsDoc struct {
+	// Shards is the store's shard count.
+	Shards int `json:"shards"`
+	// Conns is the number of currently open connections; Accepted the
+	// total ever accepted; Ops the requests answered.
+	Conns    int64 `json:"conns"`
+	Accepted int64 `json:"accepted"`
+	Ops      int64 `json:"ops"`
+	// MaxSimNs is the slowest shard's simulated device time — the
+	// simulated component of the hybrid time model, for combining with
+	// wall time measured by a remote driver.
+	MaxSimNs int64 `json:"max_sim_ns"`
+	// Wire holds the server-side wall-clock latency rows per opcode
+	// ("wire.get", ...); Engine the store's simulated-time histograms
+	// when it was opened with Observe.
+	Wire   []obs.Row `json:"wire"`
+	Engine []obs.Row `json:"engine,omitempty"`
+	// NVMTotalWrites and friends are the store's headline device
+	// counters.
+	NVMTotalWrites int64 `json:"nvm_total_writes"`
+	SSDPagesRead   int64 `json:"ssd_pages_read"`
+	SSDPagesWrite  int64 `json:"ssd_pages_written"`
+}
+
+// New creates a server over store. The store must already hold the
+// tables requests will address; unknown tables fail per request.
+func New(store *nvmstore.ShardedStore, opts Options) *Server {
+	opts.applyDefaults()
+	return &Server{
+		store:   store,
+		opts:    opts,
+		conns:   make(map[*conn]struct{}),
+		connSem: make(chan struct{}, opts.MaxConns),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown (which returns nil
+// here) or a listener failure. A Server serves one listener in its
+// lifetime.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return errors.New("server: Serve called twice")
+	}
+	s.started = true
+	s.ln = ln
+	n := s.store.NumShards()
+	s.shardQ = make([]chan task, n)
+	for i := range s.shardQ {
+		s.shardQ[i] = make(chan task, s.opts.ShardQueue)
+		s.workerWG.Add(1)
+		go s.shardWorker(i)
+	}
+	s.mu.Unlock()
+
+	for {
+		s.connSem <- struct{}{}
+		nc, err := ln.Accept()
+		if err != nil {
+			<-s.connSem
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			nc.Close()
+			<-s.connSem
+			continue
+		}
+		c := &conn{
+			srv: s,
+			nc:  nc,
+			out: make(chan []byte, s.opts.WriteQueue),
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.stats.conns.Add(1)
+		s.stats.accepted.Add(1)
+		s.connWG.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// Addr returns the listen address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown drains the server gracefully: it stops accepting, half-
+// closes every connection's read side so no new requests arrive, waits
+// for every in-flight request to be executed and its response written,
+// then stops the shard workers. Every response sent before Shutdown
+// returns is durable per the autocommit/COMMIT contract. If ctx expires
+// first, remaining connections are severed and Shutdown returns
+// ctx.Err(). The store is left open; callers typically follow with
+// store.Close().
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.closeRead()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.mu.Lock()
+		for c := range s.conns {
+			c.nc.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	// draining is set, so no reader enqueues anymore (all readers have
+	// exited — connWG) and no second Shutdown reaches this point: the
+	// queues can be closed without clearing s.shardQ.
+	s.mu.Lock()
+	qs := s.shardQ
+	s.mu.Unlock()
+	for _, q := range qs {
+		close(q)
+	}
+	s.workerWG.Wait()
+	return err
+}
+
+// WireLatency returns the server-side wall-clock latency rows, one per
+// request opcode that served at least one request.
+func (s *Server) WireLatency() []obs.Row {
+	var rows []obs.Row
+	for op := wire.OpGet; op <= wire.OpStats; op++ {
+		h := s.wireHist[op].Snapshot()
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		rows = append(rows, obs.Row{
+			Op:    "wire." + wire.OpName(op),
+			Count: n,
+			P50:   h.Quantile(0.50),
+			P90:   h.Quantile(0.90),
+			P99:   h.Quantile(0.99),
+			Max:   h.Max,
+			Mean:  h.Mean(),
+		})
+	}
+	return rows
+}
+
+// Stats assembles the STATS document.
+func (s *Server) Stats() StatsDoc {
+	doc := StatsDoc{
+		Shards:   s.store.NumShards(),
+		Conns:    s.stats.conns.Load(),
+		Accepted: s.stats.accepted.Load(),
+		Ops:      s.stats.ops.Load(),
+		MaxSimNs: s.store.MaxSimulatedTime().Nanoseconds(),
+		Wire:     s.WireLatency(),
+	}
+	m := s.store.Metrics()
+	doc.NVMTotalWrites = m.NVMTotalWrites
+	doc.SSDPagesRead = m.SSDPagesRead
+	doc.SSDPagesWrite = m.SSDPagesWritten
+	if m.Latency != nil {
+		doc.Engine = m.Latency.Rows()
+	}
+	return doc
+}
+
+// record notes one answered request of opcode op that started at t0.
+func (s *Server) record(op byte, t0 time.Time) {
+	s.stats.ops.Add(1)
+	if int(op) < len(s.wireHist) {
+		s.wireHist[op].Record(time.Since(t0).Nanoseconds())
+	}
+}
+
+// shardWorker executes tasks routed to shard i. It drains up to
+// BatchMax queued tasks per shard-lock acquisition, so a loaded shard
+// amortizes locking across requests from every connection.
+func (s *Server) shardWorker(i int) {
+	defer s.workerWG.Done()
+	q := s.shardQ[i]
+	batch := make([]task, 0, s.opts.BatchMax)
+	for t, ok := <-q; ok; t, ok = <-q {
+		batch = append(batch[:0], t)
+		for len(batch) < s.opts.BatchMax {
+			select {
+			case t, ok := <-q:
+				if !ok {
+					break
+				}
+				batch = append(batch, t)
+				continue
+			default:
+			}
+			break
+		}
+		s.store.WithShard(i, func(st *nvmstore.Store) error {
+			for _, t := range batch {
+				resp := execOnShard(st, t.req)
+				t.c.reply(resp)
+				s.record(t.req.Op, t.start)
+				t.c.pending.Done()
+			}
+			return nil
+		})
+	}
+}
+
+// execOnShard runs one keyed request against the shard that owns its
+// key. The caller holds the shard lock.
+func execOnShard(st *nvmstore.Store, req wire.Request) wire.Response {
+	resp := wire.Response{ID: req.ID}
+	tab := st.Table(req.Table)
+	if tab == nil {
+		resp.Code = wire.RespErr
+		resp.Err = fmt.Sprintf("unknown table %d", req.Table)
+		return resp
+	}
+	switch req.Op {
+	case wire.OpGet:
+		buf := make([]byte, tab.RowSize())
+		var found bool
+		err := st.Update(func() error {
+			var err error
+			found, err = tab.Lookup(req.Key, buf)
+			return err
+		})
+		switch {
+		case err != nil:
+			resp.Code, resp.Err = wire.RespErr, err.Error()
+		case found:
+			resp.Code, resp.Value = wire.RespValue, buf
+		default:
+			resp.Code = wire.RespNotFound
+		}
+	case wire.OpPut:
+		if err := putOnShard(st, tab, req.Key, req.Value); err != nil {
+			resp.Code, resp.Err = wire.RespErr, err.Error()
+		} else {
+			resp.Code = wire.RespOK
+		}
+	case wire.OpDelete:
+		var found bool
+		err := st.Update(func() error {
+			var err error
+			found, err = tab.Delete(req.Key)
+			return err
+		})
+		switch {
+		case err != nil:
+			resp.Code, resp.Err = wire.RespErr, err.Error()
+		case found:
+			resp.Code = wire.RespOK
+		default:
+			resp.Code = wire.RespNotFound
+		}
+	default:
+		resp.Code, resp.Err = wire.RespErr, "opcode not routable"
+	}
+	return resp
+}
+
+// putOnShard upserts row under an open shard lock: overwrite when the
+// key exists, insert (zero-padded to the row size) when it does not.
+func putOnShard(st *nvmstore.Store, tab *nvmstore.Table, key uint64, row []byte) error {
+	size := tab.RowSize()
+	if len(row) > size {
+		return fmt.Errorf("put of %d bytes into %d-byte rows", len(row), size)
+	}
+	return st.Update(func() error {
+		found, err := tab.UpdateField(key, 0, row)
+		if err != nil || found {
+			return err
+		}
+		if len(row) < size {
+			full := make([]byte, size)
+			copy(full, row)
+			row = full
+		}
+		return tab.Insert(key, row)
+	})
+}
+
+// txWrite is one buffered write of a connection transaction.
+type txWrite struct {
+	table, key uint64
+	val        []byte
+	del        bool
+}
+
+// conn is one client connection.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+	out chan []byte // encoded response frames
+
+	// pending counts requests handed to shard workers whose responses
+	// have not been enqueued yet; out closes only after it reaches zero
+	// and the reader has exited.
+	pending sync.WaitGroup
+
+	readClosed sync.Once
+
+	// Transaction state; owned by the reader goroutine.
+	txActive bool
+	txWrites []txWrite
+}
+
+// closeRead half-closes the connection so the reader drains: in-flight
+// requests still get responses, new frames are refused.
+func (c *conn) closeRead() {
+	c.readClosed.Do(func() {
+		if tc, ok := c.nc.(*net.TCPConn); ok {
+			tc.CloseRead()
+			return
+		}
+		c.nc.SetReadDeadline(time.Now())
+	})
+}
+
+// reply encodes and enqueues a response. Blocking here is the server's
+// backpressure (see the package comment); the write loop guarantees the
+// queue always drains, so reply never blocks forever.
+func (c *conn) reply(resp wire.Response) {
+	c.out <- wire.AppendResponse(nil, resp)
+}
+
+func (c *conn) readLoop() {
+	defer c.srv.connWG.Done()
+	var buf []byte
+	var payload []byte
+	var err error
+	for {
+		payload, buf, err = wire.ReadFrame(c.nc, buf)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				c.srv.logf("server: %s: read: %v", c.nc.RemoteAddr(), err)
+			}
+			break
+		}
+		req, derr := wire.DecodeRequest(payload)
+		if derr != nil {
+			// A peer that cannot frame correctly gets disconnected:
+			// once the stream is out of sync every later byte is
+			// garbage.
+			c.srv.logf("server: %s: %v", c.nc.RemoteAddr(), derr)
+			break
+		}
+		c.dispatch(req)
+	}
+	// Half-close so a blocked peer write fails rather than waiting for
+	// responses that will never come, then let in-flight responses
+	// drain before the writer is told it is done.
+	c.closeRead()
+	go func() {
+		c.pending.Wait()
+		close(c.out)
+	}()
+}
+
+// dispatch routes one decoded request. Runs on the reader goroutine.
+func (c *conn) dispatch(req wire.Request) {
+	start := time.Now()
+	switch req.Op {
+	case wire.OpGet:
+		if c.txActive {
+			if resp, hit := c.txRead(req); hit {
+				c.reply(resp)
+				c.srv.record(req.Op, start)
+				return
+			}
+		}
+		c.route(req, start, nil)
+	case wire.OpPut:
+		if c.txActive {
+			c.txWrites = append(c.txWrites, txWrite{req.Table, req.Key, append([]byte(nil), req.Value...), false})
+			c.reply(wire.Response{Code: wire.RespOK, ID: req.ID})
+			c.srv.record(req.Op, start)
+			return
+		}
+		c.route(req, start, append([]byte(nil), req.Value...))
+	case wire.OpDelete:
+		if c.txActive {
+			c.txWrites = append(c.txWrites, txWrite{req.Table, req.Key, nil, true})
+			c.reply(wire.Response{Code: wire.RespOK, ID: req.ID})
+			c.srv.record(req.Op, start)
+			return
+		}
+		c.route(req, start, nil)
+	case wire.OpScan:
+		c.reply(c.scan(req))
+		c.srv.record(req.Op, start)
+	case wire.OpBegin:
+		resp := wire.Response{Code: wire.RespOK, ID: req.ID}
+		if c.txActive {
+			resp.Code, resp.Err = wire.RespErr, "transaction already active"
+		} else {
+			c.txActive = true
+		}
+		c.reply(resp)
+		c.srv.record(req.Op, start)
+	case wire.OpCommit:
+		c.reply(c.commit(req))
+		c.srv.record(req.Op, start)
+	case wire.OpRollback:
+		c.txActive = false
+		c.txWrites = c.txWrites[:0]
+		c.reply(wire.Response{Code: wire.RespOK, ID: req.ID})
+		c.srv.record(req.Op, start)
+	case wire.OpStats:
+		resp := wire.Response{ID: req.ID}
+		buf, err := json.Marshal(c.srv.Stats())
+		if err != nil {
+			resp.Code, resp.Err = wire.RespErr, err.Error()
+		} else {
+			resp.Code, resp.Value = wire.RespStats, buf
+		}
+		c.reply(resp)
+		c.srv.record(req.Op, start)
+	}
+}
+
+// route hands a keyed request to its shard worker. value, when non-nil,
+// replaces req.Value with a copy the task owns (the read buffer is
+// about to be reused).
+func (c *conn) route(req wire.Request, start time.Time, value []byte) {
+	if value != nil {
+		req.Value = value
+	} else {
+		req.Value = nil
+	}
+	shard := c.srv.store.ShardFor(req.Key)
+	c.pending.Add(1)
+	c.srv.shardQ[shard] <- task{c: c, req: req, start: start}
+}
+
+// txRead answers a GET from the connection's transaction buffer, most
+// recent write wins. A miss falls through to the routed path.
+func (c *conn) txRead(req wire.Request) (wire.Response, bool) {
+	for i := len(c.txWrites) - 1; i >= 0; i-- {
+		w := c.txWrites[i]
+		if w.table != req.Table || w.key != req.Key {
+			continue
+		}
+		if w.del {
+			return wire.Response{Code: wire.RespNotFound, ID: req.ID}, true
+		}
+		return wire.Response{Code: wire.RespValue, ID: req.ID, Value: w.val}, true
+	}
+	return wire.Response{}, false
+}
+
+// commit applies the buffered transaction, one atomic sub-transaction
+// per shard (shared-nothing semantics).
+func (c *conn) commit(req wire.Request) wire.Response {
+	resp := wire.Response{Code: wire.RespOK, ID: req.ID}
+	if !c.txActive {
+		resp.Code, resp.Err = wire.RespErr, "no transaction"
+		return resp
+	}
+	writes := c.txWrites
+	c.txActive = false
+	c.txWrites = nil
+	byShard := make(map[int][]txWrite)
+	for _, w := range writes {
+		i := c.srv.store.ShardFor(w.key)
+		byShard[i] = append(byShard[i], w)
+	}
+	for i, group := range byShard {
+		err := c.srv.store.WithShard(i, func(st *nvmstore.Store) error {
+			return st.Update(func() error {
+				for _, w := range group {
+					tab := st.Table(w.table)
+					if tab == nil {
+						return fmt.Errorf("unknown table %d", w.table)
+					}
+					if w.del {
+						if _, err := tab.Delete(w.key); err != nil {
+							return err
+						}
+						continue
+					}
+					if err := putInTx(tab, w.key, w.val); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		})
+		if err != nil {
+			resp.Code = wire.RespErr
+			resp.Err = fmt.Sprintf("commit on shard %d: %v (per-shard atomicity: other shards may have committed)", i, err)
+			return resp
+		}
+	}
+	return resp
+}
+
+// putInTx upserts inside an already-open transaction.
+func putInTx(tab *nvmstore.Table, key uint64, row []byte) error {
+	size := tab.RowSize()
+	if len(row) > size {
+		return fmt.Errorf("put of %d bytes into %d-byte rows", len(row), size)
+	}
+	found, err := tab.UpdateField(key, 0, row)
+	if err != nil || found {
+		return err
+	}
+	if len(row) < size {
+		full := make([]byte, size)
+		copy(full, row)
+		row = full
+	}
+	return tab.Insert(key, row)
+}
+
+// scan merges rows from every shard (ShardedTable.Scan) up to the
+// clamped limit.
+func (c *conn) scan(req wire.Request) wire.Response {
+	resp := wire.Response{ID: req.ID}
+	tab := c.srv.store.Table(req.Table)
+	if tab == nil {
+		resp.Code, resp.Err = wire.RespErr, fmt.Sprintf("unknown table %d", req.Table)
+		return resp
+	}
+	limit := int(req.Limit)
+	if limit <= 0 || limit > c.srv.opts.MaxScan {
+		limit = c.srv.opts.MaxScan
+	}
+	var entries []wire.Entry
+	err := tab.Scan(req.Key, limit, 0, tab.RowSize(), func(key uint64, field []byte) bool {
+		entries = append(entries, wire.Entry{Key: key, Value: append([]byte(nil), field...)})
+		return true
+	})
+	if err != nil {
+		resp.Code, resp.Err = wire.RespErr, err.Error()
+		return resp
+	}
+	resp.Code, resp.Entries = wire.RespScan, entries
+	return resp
+}
+
+func (c *conn) writeLoop() {
+	defer c.srv.connWG.Done()
+	var err error
+	for buf := range c.out {
+		if err != nil {
+			continue // peer gone: discard, keep the queue draining
+		}
+		if _, werr := c.nc.Write(buf); werr != nil {
+			err = werr
+			// Sever the connection so the reader unblocks; its
+			// remaining in-flight responses will be discarded above.
+			c.nc.Close()
+			if !errors.Is(werr, net.ErrClosed) {
+				c.srv.logf("server: %s: write: %v", c.nc.RemoteAddr(), werr)
+			}
+		}
+	}
+	c.nc.Close()
+	s := c.srv
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.stats.conns.Add(-1)
+	<-s.connSem
+}

@@ -1,0 +1,473 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nvmstore"
+	"nvmstore/internal/client"
+	"nvmstore/internal/server"
+)
+
+const (
+	testTable   = 1
+	testRowSize = 64
+)
+
+// startServer opens a small sharded three-tier store with one table and
+// serves it on a loopback listener. Cleanup drains the server; the
+// returned store outlives it for post-shutdown inspection.
+func startServer(t *testing.T, shards int, sopts server.Options) (*server.Server, *nvmstore.ShardedStore, string) {
+	t.Helper()
+	store, err := nvmstore.OpenSharded(shards, nvmstore.Options{
+		Architecture: nvmstore.ThreeTier,
+		DRAMBytes:    8 << 20,
+		NVMBytes:     32 << 20,
+		SSDBytes:     128 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.CreateTable(testTable, testRowSize); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(store, sopts)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe("127.0.0.1:0") }()
+	var addr string
+	for i := 0; ; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		if i > 500 {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, store, addr
+}
+
+// rowFor builds a deterministic row payload for key.
+func rowFor(key uint64) []byte {
+	row := make([]byte, testRowSize)
+	binary.BigEndian.PutUint64(row, key)
+	for i := 8; i < len(row); i++ {
+		row[i] = byte(key) + byte(i)
+	}
+	return row
+}
+
+func TestBasicOps(t *testing.T) {
+	_, _, addr := startServer(t, 4, server.Options{})
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, found, err := cl.Get(testTable, 1); err != nil || found {
+		t.Fatalf("get on empty table: found=%v err=%v", found, err)
+	}
+	for key := uint64(1); key <= 32; key++ {
+		if err := cl.Put(testTable, key, rowFor(key)); err != nil {
+			t.Fatalf("put %d: %v", key, err)
+		}
+	}
+	for key := uint64(1); key <= 32; key++ {
+		val, found, err := cl.Get(testTable, key)
+		if err != nil || !found {
+			t.Fatalf("get %d: found=%v err=%v", key, found, err)
+		}
+		if !bytes.Equal(val, rowFor(key)) {
+			t.Fatalf("get %d: wrong row", key)
+		}
+	}
+	// Overwrite must replace, not error.
+	if err := cl.Put(testTable, 5, rowFor(500)); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if val, _, _ := cl.Get(testTable, 5); !bytes.Equal(val, rowFor(500)) {
+		t.Fatal("overwrite not visible")
+	}
+	// Short put zero-pads.
+	if err := cl.Put(testTable, 6, []byte("short")); err != nil {
+		t.Fatalf("short put: %v", err)
+	}
+	val, _, _ := cl.Get(testTable, 6)
+	if len(val) != testRowSize || !bytes.Equal(val[:5], []byte("short")) || val[5] != 0 {
+		t.Fatal("short put not zero-padded")
+	}
+	// Oversized put fails remotely without killing the connection.
+	if err := cl.Put(testTable, 7, make([]byte, testRowSize+1)); err == nil {
+		t.Fatal("oversized put accepted")
+	} else if _, ok := err.(*client.RemoteError); !ok {
+		t.Fatalf("oversized put: got %T, want *client.RemoteError", err)
+	}
+	if _, _, err := cl.Get(testTable, 1); err != nil {
+		t.Fatalf("connection unusable after remote error: %v", err)
+	}
+
+	if found, err := cl.Delete(testTable, 9); err != nil || !found {
+		t.Fatalf("delete: found=%v err=%v", found, err)
+	}
+	if _, found, _ := cl.Get(testTable, 9); found {
+		t.Fatal("deleted key still visible")
+	}
+	if found, err := cl.Delete(testTable, 9); err != nil || found {
+		t.Fatalf("re-delete: found=%v err=%v", found, err)
+	}
+
+	// Scan is globally ordered and respects the limit.
+	entries, err := cl.Scan(testTable, 10, 5)
+	if err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("scan returned %d entries, want 5", len(entries))
+	}
+	for i, e := range entries {
+		if want := uint64(10 + i); e.Key != want {
+			t.Fatalf("scan entry %d: key %d, want %d", i, e.Key, want)
+		}
+	}
+
+	// Unknown table errors per request.
+	if err := cl.Put(99, 1, []byte("x")); err == nil {
+		t.Fatal("put to unknown table accepted")
+	}
+
+	buf, err := cl.Stats()
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	var doc server.StatsDoc
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("stats json: %v", err)
+	}
+	if doc.Shards != 4 || doc.Ops == 0 || len(doc.Wire) == 0 {
+		t.Fatalf("implausible stats: %+v", doc)
+	}
+}
+
+// TestConcurrentPipelinedClients exercises the full path under -race:
+// several clients, each pipelining deeply, hitting every shard from
+// overlapping goroutines.
+func TestConcurrentPipelinedClients(t *testing.T) {
+	srv, _, addr := startServer(t, 4, server.Options{ShardQueue: 16, WriteQueue: 16, BatchMax: 8})
+	const (
+		workers = 6
+		perW    = 300
+		depth   = 32
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.Options{Conns: 2, Depth: depth})
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer cl.Close()
+			var inflight []*client.Call
+			for i := 0; i < perW; i++ {
+				key := uint64(w*perW + i)
+				inflight = append(inflight, cl.PutAsync(testTable, key, rowFor(key)))
+				inflight = append(inflight, cl.GetAsync(testTable, uint64(w*perW+i/2)))
+				for len(inflight) > depth {
+					if _, err := inflight[0].Result(); err != nil {
+						errs[w] = fmt.Errorf("op %d: %w", i, err)
+						return
+					}
+					inflight = inflight[1:]
+				}
+			}
+			for _, call := range inflight {
+				if _, err := call.Result(); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			// Verify this worker's keys, interleaved with the others.
+			for i := 0; i < perW; i++ {
+				key := uint64(w*perW + i)
+				val, found, err := cl.Get(testTable, key)
+				if err != nil || !found || !bytes.Equal(val, rowFor(key)) {
+					errs[w] = fmt.Errorf("verify %d: found=%v err=%v", key, found, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	if got := srv.Stats().Ops; got < workers*perW*3 {
+		t.Fatalf("server answered %d ops, want >= %d", got, workers*perW*3)
+	}
+	if rows := srv.WireLatency(); len(rows) == 0 {
+		t.Fatal("no wire latency recorded")
+	}
+}
+
+func TestTransactions(t *testing.T) {
+	_, _, addr := startServer(t, 4, server.Options{})
+	cl, err := client.Dial(addr, client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Put(testTable, 100, rowFor(100)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read-your-writes inside the transaction, invisible outside until
+	// commit.
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(testTable, 200, rowFor(200)); err != nil {
+		t.Fatal(err)
+	}
+	if val, found, err := tx.Get(testTable, 200); err != nil || !found || !bytes.Equal(val, rowFor(200)) {
+		t.Fatalf("tx read-your-writes: found=%v err=%v", found, err)
+	}
+	if err := tx.Delete(testTable, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := tx.Get(testTable, 100); found {
+		t.Fatal("tx does not see its own delete")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if _, found, _ := cl.Get(testTable, 100); found {
+		t.Fatal("committed delete not applied")
+	}
+	if val, found, _ := cl.Get(testTable, 200); !found || !bytes.Equal(val, rowFor(200)) {
+		t.Fatal("committed put not applied")
+	}
+
+	// Rollback discards buffered writes.
+	tx2, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Put(testTable, 300, rowFor(300)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if _, found, _ := cl.Get(testTable, 300); found {
+		t.Fatal("rolled-back put applied")
+	}
+
+	// Cross-shard commit: keys land on different shards, all must apply.
+	tx3, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(400); key < 420; key++ {
+		if err := tx3.Put(testTable, key, rowFor(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx3.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(400); key < 420; key++ {
+		if val, found, _ := cl.Get(testTable, key); !found || !bytes.Equal(val, rowFor(key)) {
+			t.Fatalf("cross-shard commit lost key %d", key)
+		}
+	}
+}
+
+// TestDrainNoLostAcknowledgedWrites is the durability contract test:
+// clients hammer autocommit PUTs while the server drains mid-stream;
+// every PUT that was acknowledged must survive a power failure and
+// recovery of the store — and be readable through a fresh server.
+func TestDrainNoLostAcknowledgedWrites(t *testing.T) {
+	store, err := nvmstore.OpenSharded(4, nvmstore.Options{
+		Architecture: nvmstore.ThreeTier,
+		DRAMBytes:    8 << 20,
+		NVMBytes:     32 << 20,
+		SSDBytes:     128 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.CreateTable(testTable, testRowSize); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(store, server.Options{})
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe("127.0.0.1:0") }()
+	for srv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	addr := srv.Addr().String()
+
+	const workers = 4
+	var acked [workers][]uint64
+	var started atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.Options{Depth: 8})
+			if err != nil {
+				return
+			}
+			defer cl.Close()
+			for i := 0; ; i++ {
+				key := uint64(w)<<32 | uint64(i)
+				started.Add(1)
+				if err := cl.Put(testTable, key, rowFor(key)); err != nil {
+					return // drain reached this connection
+				}
+				acked[w] = append(acked[w], key)
+			}
+		}(w)
+	}
+
+	// Let the writers get going, then drain mid-stream.
+	for started.Load() < 200 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	wg.Wait()
+
+	total := 0
+	for w := range acked {
+		total += len(acked[w])
+	}
+	if total == 0 {
+		t.Fatal("no writes were acknowledged before the drain")
+	}
+	t.Logf("%d acknowledged writes before drain", total)
+
+	// Power-fail the drained store and recover from the log.
+	if _, err := store.CrashRestart(); err != nil {
+		t.Fatalf("crash restart: %v", err)
+	}
+
+	// Every acknowledged write must be there — through a fresh server.
+	srv2 := server.New(store, server.Options{})
+	errc2 := make(chan error, 1)
+	go func() { errc2 <- srv2.ListenAndServe("127.0.0.1:0") }()
+	for srv2.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	cl, err := client.Dial(srv2.Addr().String(), client.Options{Depth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := range acked {
+		for _, key := range acked[w] {
+			val, found, err := cl.Get(testTable, key)
+			if err != nil {
+				t.Fatalf("get %#x after recovery: %v", key, err)
+			}
+			if !found {
+				t.Fatalf("acknowledged write %#x lost by drain + crash recovery", key)
+			}
+			if !bytes.Equal(val, rowFor(key)) {
+				t.Fatalf("acknowledged write %#x corrupted", key)
+			}
+		}
+	}
+	cl.Close()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := srv2.Shutdown(ctx2); err != nil {
+		t.Fatalf("shutdown 2: %v", err)
+	}
+	if err := <-errc2; err != nil {
+		t.Fatalf("serve 2: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		t.Fatalf("close store: %v", err)
+	}
+}
+
+func TestShutdownIdempotentAndConnRefusal(t *testing.T) {
+	srv, store, addr := startServer(t, 2, server.Options{})
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Put(testTable, 1, rowFor(1)); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// The store is left open for the owner.
+	if err := store.WithShard(store.ShardFor(1), func(st *nvmstore.Store) error {
+		tab := st.Table(testTable)
+		buf := make([]byte, testRowSize)
+		var found bool
+		err := st.Update(func() error {
+			var err error
+			found, err = tab.Lookup(1, buf)
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("key 1 missing after drain")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// New requests on the old connection fail.
+	if err := cl.Put(testTable, 2, rowFor(2)); err == nil {
+		t.Fatal("put after shutdown succeeded")
+	}
+	cl.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

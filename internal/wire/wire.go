@@ -1,0 +1,367 @@
+// Package wire is the network protocol of the KV serving layer: a
+// compact length-prefixed binary framing with a versioned header, used
+// by internal/server and internal/client.
+//
+// Every frame is a 4-byte big-endian payload length followed by the
+// payload. The payload starts with a fixed header — one version byte,
+// one opcode byte, and a 4-byte big-endian request id — followed by an
+// opcode-specific body. Request ids are chosen by the client and echoed
+// verbatim in the matching response, which is what lets both sides
+// pipeline: many requests may be in flight on one connection, and
+// responses may return in any order.
+//
+// Request bodies:
+//
+//	GET, DELETE           table uint64 | key uint64
+//	PUT                   table uint64 | key uint64 | value bytes (rest)
+//	SCAN                  table uint64 | from uint64 | limit uint32
+//	BEGIN/COMMIT/ROLLBACK (empty)
+//	STATS                 (empty)
+//
+// Response bodies:
+//
+//	OK, NOTFOUND          (empty)
+//	VALUE                 value bytes (rest)
+//	ERR                   UTF-8 message (rest)
+//	SCAN                  count uint32 | count × (key uint64 | len uint32 | value bytes)
+//	STATS                 JSON bytes (rest)
+//
+// The decoder is fuzz-friendly by construction: it never trusts a length
+// it has not bounds-checked, never allocates proportionally to anything
+// but verified input bytes, and rejects every malformed frame with an
+// error instead of panicking. MaxFrame bounds what a peer can make the
+// other side buffer.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Version is the protocol version carried in every frame header.
+// Receivers reject frames whose version they do not speak, so the
+// framing itself can evolve.
+const Version = 1
+
+// MaxFrame bounds a single frame's payload (header + body). It caps
+// both the server's per-request buffering and the client's per-response
+// buffering; a SCAN response that would exceed it is truncated by the
+// server's scan limit long before this bound.
+const MaxFrame = 8 << 20
+
+// headerSize is version(1) + opcode(1) + request id(4).
+const headerSize = 6
+
+// Request opcodes.
+const (
+	OpGet byte = iota + 1
+	OpPut
+	OpDelete
+	OpScan
+	OpBegin
+	OpCommit
+	OpRollback
+	OpStats
+)
+
+// Response codes. The high bit distinguishes responses from requests,
+// so a stream confusion (e.g. a client dialed by another client) fails
+// loudly instead of silently mismatching.
+const (
+	RespOK byte = iota + 0x80
+	RespValue
+	RespNotFound
+	RespErr
+	RespScan
+	RespStats
+)
+
+// Errors returned by the decoders and the frame reader.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds MaxFrame")
+	ErrShortFrame    = errors.New("wire: truncated frame")
+	ErrBadVersion    = errors.New("wire: unsupported protocol version")
+	ErrBadOpcode     = errors.New("wire: unknown opcode")
+)
+
+// OpName returns a short lower-case name for a request opcode or
+// response code, for metrics and error messages.
+func OpName(op byte) string {
+	switch op {
+	case OpGet:
+		return "get"
+	case OpPut:
+		return "put"
+	case OpDelete:
+		return "delete"
+	case OpScan:
+		return "scan"
+	case OpBegin:
+		return "begin"
+	case OpCommit:
+		return "commit"
+	case OpRollback:
+		return "rollback"
+	case OpStats:
+		return "stats"
+	case RespOK:
+		return "ok"
+	case RespValue:
+		return "value"
+	case RespNotFound:
+		return "notfound"
+	case RespErr:
+		return "err"
+	case RespScan:
+		return "scanresult"
+	case RespStats:
+		return "statsresult"
+	}
+	return fmt.Sprintf("op%#x", op)
+}
+
+// Request is one decoded client request.
+type Request struct {
+	// Op is the request opcode (OpGet ... OpStats).
+	Op byte
+	// ID is the client-chosen pipelining id echoed in the response.
+	ID uint32
+	// Table and Key address a row for GET/PUT/DELETE; for SCAN, Key is
+	// the inclusive start key.
+	Table uint64
+	Key   uint64
+	// Value is the PUT payload. It aliases the decode buffer — copy it
+	// before the next frame is read if it must outlive the request.
+	Value []byte
+	// Limit is the SCAN row limit (0 means the server's maximum).
+	Limit uint32
+}
+
+// Response is one decoded server response.
+type Response struct {
+	// Code is the response code (RespOK ... RespStats).
+	Code byte
+	// ID echoes the request id.
+	ID uint32
+	// Value is the row for RespValue, the JSON document for RespStats.
+	// It aliases the decode buffer, like Request.Value.
+	Value []byte
+	// Err is the error message for RespErr.
+	Err string
+	// Entries are the SCAN results for RespScan; each entry's Value
+	// aliases the decode buffer.
+	Entries []Entry
+}
+
+// Entry is one SCAN result row.
+type Entry struct {
+	Key   uint64
+	Value []byte
+}
+
+// AppendRequest appends the complete frame (length prefix included) for
+// r to dst and returns the extended slice.
+func AppendRequest(dst []byte, r Request) []byte {
+	body := 0
+	switch r.Op {
+	case OpGet, OpDelete:
+		body = 16
+	case OpPut:
+		body = 16 + len(r.Value)
+	case OpScan:
+		body = 20
+	}
+	dst = appendHeader(dst, headerSize+body, r.Op, r.ID)
+	switch r.Op {
+	case OpGet, OpDelete:
+		dst = binary.BigEndian.AppendUint64(dst, r.Table)
+		dst = binary.BigEndian.AppendUint64(dst, r.Key)
+	case OpPut:
+		dst = binary.BigEndian.AppendUint64(dst, r.Table)
+		dst = binary.BigEndian.AppendUint64(dst, r.Key)
+		dst = append(dst, r.Value...)
+	case OpScan:
+		dst = binary.BigEndian.AppendUint64(dst, r.Table)
+		dst = binary.BigEndian.AppendUint64(dst, r.Key)
+		dst = binary.BigEndian.AppendUint32(dst, r.Limit)
+	}
+	return dst
+}
+
+// AppendResponse appends the complete frame for r to dst and returns
+// the extended slice.
+func AppendResponse(dst []byte, r Response) []byte {
+	body := 0
+	switch r.Code {
+	case RespValue, RespStats:
+		body = len(r.Value)
+	case RespErr:
+		body = len(r.Err)
+	case RespScan:
+		body = 4
+		for _, e := range r.Entries {
+			body += 12 + len(e.Value)
+		}
+	}
+	dst = appendHeader(dst, headerSize+body, r.Code, r.ID)
+	switch r.Code {
+	case RespValue, RespStats:
+		dst = append(dst, r.Value...)
+	case RespErr:
+		dst = append(dst, r.Err...)
+	case RespScan:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(r.Entries)))
+		for _, e := range r.Entries {
+			dst = binary.BigEndian.AppendUint64(dst, e.Key)
+			dst = binary.BigEndian.AppendUint32(dst, uint32(len(e.Value)))
+			dst = append(dst, e.Value...)
+		}
+	}
+	return dst
+}
+
+func appendHeader(dst []byte, payloadLen int, op byte, id uint32) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(payloadLen))
+	dst = append(dst, Version, op)
+	return binary.BigEndian.AppendUint32(dst, id)
+}
+
+// decodeHeader validates the fixed header and returns opcode, id, and
+// the body.
+func decodeHeader(payload []byte) (op byte, id uint32, body []byte, err error) {
+	if len(payload) < headerSize {
+		return 0, 0, nil, ErrShortFrame
+	}
+	if payload[0] != Version {
+		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, payload[0])
+	}
+	return payload[1], binary.BigEndian.Uint32(payload[2:6]), payload[headerSize:], nil
+}
+
+// DecodeRequest decodes a request payload (a frame minus its length
+// prefix). Returned slices alias payload.
+func DecodeRequest(payload []byte) (Request, error) {
+	op, id, body, err := decodeHeader(payload)
+	if err != nil {
+		return Request{}, err
+	}
+	r := Request{Op: op, ID: id}
+	switch op {
+	case OpGet, OpDelete:
+		if len(body) != 16 {
+			return Request{}, fmt.Errorf("%w: %s body %d bytes", ErrShortFrame, OpName(op), len(body))
+		}
+		r.Table = binary.BigEndian.Uint64(body)
+		r.Key = binary.BigEndian.Uint64(body[8:])
+	case OpPut:
+		if len(body) < 16 {
+			return Request{}, fmt.Errorf("%w: put body %d bytes", ErrShortFrame, len(body))
+		}
+		r.Table = binary.BigEndian.Uint64(body)
+		r.Key = binary.BigEndian.Uint64(body[8:])
+		r.Value = body[16:]
+	case OpScan:
+		if len(body) != 20 {
+			return Request{}, fmt.Errorf("%w: scan body %d bytes", ErrShortFrame, len(body))
+		}
+		r.Table = binary.BigEndian.Uint64(body)
+		r.Key = binary.BigEndian.Uint64(body[8:])
+		r.Limit = binary.BigEndian.Uint32(body[16:])
+	case OpBegin, OpCommit, OpRollback, OpStats:
+		if len(body) != 0 {
+			return Request{}, fmt.Errorf("%w: %s carries a body", ErrShortFrame, OpName(op))
+		}
+	default:
+		return Request{}, fmt.Errorf("%w: %#x", ErrBadOpcode, op)
+	}
+	return r, nil
+}
+
+// DecodeResponse decodes a response payload. Returned slices alias
+// payload.
+func DecodeResponse(payload []byte) (Response, error) {
+	code, id, body, err := decodeHeader(payload)
+	if err != nil {
+		return Response{}, err
+	}
+	r := Response{Code: code, ID: id}
+	switch code {
+	case RespOK, RespNotFound:
+		if len(body) != 0 {
+			return Response{}, fmt.Errorf("%w: %s carries a body", ErrShortFrame, OpName(code))
+		}
+	case RespValue, RespStats:
+		r.Value = body
+	case RespErr:
+		r.Err = string(body)
+	case RespScan:
+		if len(body) < 4 {
+			return Response{}, fmt.Errorf("%w: scan result header", ErrShortFrame)
+		}
+		count := binary.BigEndian.Uint32(body)
+		body = body[4:]
+		// Each entry is at least 12 bytes, so a hostile count cannot
+		// make us allocate more entries than the body could hold.
+		if uint64(count)*12 > uint64(len(body)) {
+			return Response{}, fmt.Errorf("%w: scan count %d exceeds body", ErrShortFrame, count)
+		}
+		r.Entries = make([]Entry, 0, count)
+		for i := uint32(0); i < count; i++ {
+			if len(body) < 12 {
+				return Response{}, fmt.Errorf("%w: scan entry %d", ErrShortFrame, i)
+			}
+			key := binary.BigEndian.Uint64(body)
+			vlen := binary.BigEndian.Uint32(body[8:])
+			body = body[12:]
+			if uint64(vlen) > uint64(len(body)) {
+				return Response{}, fmt.Errorf("%w: scan entry %d value", ErrShortFrame, i)
+			}
+			r.Entries = append(r.Entries, Entry{Key: key, Value: body[:vlen]})
+			body = body[vlen:]
+		}
+		if len(body) != 0 {
+			return Response{}, fmt.Errorf("%w: %d trailing bytes after scan entries", ErrShortFrame, len(body))
+		}
+	default:
+		return Response{}, fmt.Errorf("%w: %#x", ErrBadOpcode, code)
+	}
+	return r, nil
+}
+
+// ReadFrame reads one length-prefixed payload from r into buf (grown as
+// needed) and returns the payload slice, which aliases the returned
+// buffer. Callers loop:
+//
+//	payload, buf, err = wire.ReadFrame(r, buf)
+//
+// io.EOF is returned unwrapped on a clean close before the prefix; a
+// close mid-frame is io.ErrUnexpectedEOF.
+func ReadFrame(r io.Reader, buf []byte) (payload, newBuf []byte, err error) {
+	var prefix [4]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, buf, io.ErrUnexpectedEOF
+		}
+		return nil, buf, err
+	}
+	n := binary.BigEndian.Uint32(prefix[:])
+	if n > MaxFrame {
+		return nil, buf, fmt.Errorf("%w: %d bytes", ErrFrameTooLarge, n)
+	}
+	if n < headerSize {
+		return nil, buf, fmt.Errorf("%w: %d-byte payload", ErrShortFrame, n)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, buf, err
+	}
+	return buf, buf, nil
+}

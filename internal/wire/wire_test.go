@@ -1,0 +1,274 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// roundTripRequest encodes r and decodes the framed payload back.
+func roundTripRequest(t *testing.T, r Request) Request {
+	t.Helper()
+	frame := AppendRequest(nil, r)
+	payload, _, err := ReadFrame(bytes.NewReader(frame), nil)
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	got, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	return got
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{Op: OpGet, ID: 1, Table: 1, Key: 42},
+		{Op: OpDelete, ID: 0xFFFFFFFF, Table: 7, Key: 0},
+		{Op: OpPut, ID: 2, Table: 1, Key: 9, Value: []byte("hello")},
+		{Op: OpPut, ID: 3, Table: 1, Key: 9, Value: []byte{}},
+		{Op: OpScan, ID: 4, Table: 2, Key: 100, Limit: 50},
+		{Op: OpBegin, ID: 5},
+		{Op: OpCommit, ID: 6},
+		{Op: OpRollback, ID: 7},
+		{Op: OpStats, ID: 8},
+	}
+	for _, want := range cases {
+		got := roundTripRequest(t, want)
+		if got.Op != want.Op || got.ID != want.ID || got.Table != want.Table ||
+			got.Key != want.Key || got.Limit != want.Limit || !bytes.Equal(got.Value, want.Value) {
+			t.Errorf("%s: round trip %+v != %+v", OpName(want.Op), got, want)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{Code: RespOK, ID: 1},
+		{Code: RespNotFound, ID: 2},
+		{Code: RespValue, ID: 3, Value: []byte("row bytes")},
+		{Code: RespErr, ID: 4, Err: "unknown table 9"},
+		{Code: RespStats, ID: 5, Value: []byte(`{"shards":4}`)},
+		{Code: RespScan, ID: 6, Entries: []Entry{
+			{Key: 1, Value: []byte("a")},
+			{Key: 2, Value: []byte{}},
+			{Key: 3, Value: []byte("ccc")},
+		}},
+		{Code: RespScan, ID: 7, Entries: nil},
+	}
+	for _, want := range cases {
+		frame := AppendResponse(nil, want)
+		payload, _, err := ReadFrame(bytes.NewReader(frame), nil)
+		if err != nil {
+			t.Fatalf("%s: ReadFrame: %v", OpName(want.Code), err)
+		}
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("%s: DecodeResponse: %v", OpName(want.Code), err)
+		}
+		if got.Code != want.Code || got.ID != want.ID || got.Err != want.Err ||
+			!bytes.Equal(got.Value, want.Value) || len(got.Entries) != len(want.Entries) {
+			t.Errorf("%s: round trip %+v != %+v", OpName(want.Code), got, want)
+		}
+		for i := range got.Entries {
+			if got.Entries[i].Key != want.Entries[i].Key ||
+				!bytes.Equal(got.Entries[i].Value, want.Entries[i].Value) {
+				t.Errorf("%s: entry %d: %+v != %+v", OpName(want.Code), i, got.Entries[i], want.Entries[i])
+			}
+		}
+	}
+}
+
+func TestReadFrameErrors(t *testing.T) {
+	// Clean close before a frame: plain EOF.
+	if _, _, err := ReadFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+	// Close mid-prefix and mid-payload: unexpected EOF.
+	full := AppendRequest(nil, Request{Op: OpGet, ID: 1, Table: 1, Key: 2})
+	for _, cut := range []int{1, 3, 5, len(full) - 1} {
+		if _, _, err := ReadFrame(bytes.NewReader(full[:cut]), nil); err != io.ErrUnexpectedEOF {
+			t.Errorf("cut at %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+	// Oversized length prefix.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadFrame(bytes.NewReader(huge), nil); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("huge frame: got %v, want ErrFrameTooLarge", err)
+	}
+	// Payload shorter than the fixed header.
+	short := []byte{0, 0, 0, 2, Version, OpGet}
+	if _, _, err := ReadFrame(bytes.NewReader(short), nil); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("short frame: got %v, want ErrShortFrame", err)
+	}
+}
+
+func TestReadFrameReusesBuffer(t *testing.T) {
+	var stream []byte
+	stream = AppendRequest(stream, Request{Op: OpPut, ID: 1, Table: 1, Key: 1, Value: bytes.Repeat([]byte("x"), 100)})
+	stream = AppendRequest(stream, Request{Op: OpGet, ID: 2, Table: 1, Key: 2})
+	r := bytes.NewReader(stream)
+	payload, buf, err := ReadFrame(r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := cap(buf)
+	if _, err := DecodeRequest(payload); err != nil {
+		t.Fatal(err)
+	}
+	_, buf, err = ReadFrame(r, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(buf) != first {
+		t.Errorf("buffer reallocated for a smaller frame: cap %d -> %d", first, cap(buf))
+	}
+}
+
+func TestDecodeRequestErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+		want    error
+	}{
+		{"empty", nil, ErrShortFrame},
+		{"truncated header", []byte{Version, OpGet, 0}, ErrShortFrame},
+		{"bad version", []byte{99, OpGet, 0, 0, 0, 1}, ErrBadVersion},
+		{"bad opcode", []byte{Version, 0x7F, 0, 0, 0, 1}, ErrBadOpcode},
+		{"get short body", []byte{Version, OpGet, 0, 0, 0, 1, 1, 2, 3}, ErrShortFrame},
+		{"put short body", []byte{Version, OpPut, 0, 0, 0, 1, 1, 2, 3}, ErrShortFrame},
+		{"scan short body", append([]byte{Version, OpScan, 0, 0, 0, 1}, make([]byte, 16)...), ErrShortFrame},
+		{"begin with body", []byte{Version, OpBegin, 0, 0, 0, 1, 9}, ErrShortFrame},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeRequest(tc.payload); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestDecodeResponseErrors(t *testing.T) {
+	// A hostile scan count must not drive allocation: count says 2^32-1
+	// entries, body holds none.
+	evil := []byte{Version, RespScan, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := DecodeResponse(evil); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("hostile scan count: got %v, want ErrShortFrame", err)
+	}
+	// Entry value length past the body end.
+	bad := AppendResponse(nil, Response{Code: RespScan, ID: 1, Entries: []Entry{{Key: 1, Value: []byte("abc")}}})
+	payload := bad[4:]
+	payload[len(payload)-4-3] = 0xFF // corrupt the entry's value length
+	if _, err := DecodeResponse(payload); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("bad entry length: got %v, want ErrShortFrame", err)
+	}
+	// Trailing garbage after the declared entries.
+	trailing := append(AppendResponse(nil, Response{Code: RespScan, ID: 1})[4:], 1, 2, 3)
+	if _, err := DecodeResponse(trailing); !errors.Is(err, ErrShortFrame) {
+		t.Errorf("trailing bytes: got %v, want ErrShortFrame", err)
+	}
+	if _, err := DecodeResponse([]byte{Version, 0x01, 0, 0, 0, 1}); !errors.Is(err, ErrBadOpcode) {
+		t.Errorf("request opcode in response position: want ErrBadOpcode, got nil")
+	}
+}
+
+func TestOpNameCoversAll(t *testing.T) {
+	for op := OpGet; op <= OpStats; op++ {
+		if strings.HasPrefix(OpName(op), "op0x") {
+			t.Errorf("opcode %#x has no name", op)
+		}
+	}
+	for code := RespOK; code <= RespStats; code++ {
+		if strings.HasPrefix(OpName(code), "op0x") {
+			t.Errorf("response code %#x has no name", code)
+		}
+	}
+	if OpName(0x55) == "" {
+		t.Error("unknown opcode must still render")
+	}
+}
+
+// FuzzDecodeRequest checks that no request payload can panic the
+// decoder, and that whatever decodes also re-encodes to an equivalent
+// frame (the decoder and encoder agree on the format).
+func FuzzDecodeRequest(f *testing.F) {
+	for _, r := range []Request{
+		{Op: OpGet, ID: 1, Table: 1, Key: 42},
+		{Op: OpPut, ID: 2, Table: 1, Key: 9, Value: []byte("hello")},
+		{Op: OpScan, ID: 4, Table: 2, Key: 100, Limit: 50},
+		{Op: OpStats, ID: 8},
+	} {
+		f.Add(AppendRequest(nil, r)[4:]) // payload without the length prefix
+	}
+	f.Add([]byte{Version, OpGet})
+	f.Add([]byte{0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		again, err := DecodeRequest(AppendRequest(nil, r)[4:])
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded request failed: %v", err)
+		}
+		if again.Op != r.Op || again.ID != r.ID || again.Table != r.Table ||
+			again.Key != r.Key || again.Limit != r.Limit || !bytes.Equal(again.Value, r.Value) {
+			t.Fatalf("round trip changed request: %+v != %+v", again, r)
+		}
+	})
+}
+
+// FuzzDecodeResponse checks the response decoder never panics and
+// re-encodes losslessly.
+func FuzzDecodeResponse(f *testing.F) {
+	for _, r := range []Response{
+		{Code: RespOK, ID: 1},
+		{Code: RespValue, ID: 3, Value: []byte("row")},
+		{Code: RespErr, ID: 4, Err: "boom"},
+		{Code: RespScan, ID: 6, Entries: []Entry{{Key: 1, Value: []byte("a")}}},
+	} {
+		f.Add(AppendResponse(nil, r)[4:])
+	}
+	f.Add([]byte{Version, RespScan, 0, 0, 0, 1, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r, err := DecodeResponse(payload)
+		if err != nil {
+			return
+		}
+		again, err := DecodeResponse(AppendResponse(nil, r)[4:])
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded response failed: %v", err)
+		}
+		if again.Code != r.Code || again.ID != r.ID || again.Err != r.Err ||
+			!bytes.Equal(again.Value, r.Value) || len(again.Entries) != len(r.Entries) {
+			t.Fatalf("round trip changed response: %+v != %+v", again, r)
+		}
+	})
+}
+
+// FuzzReadFrame feeds raw streams to the frame reader: it must never
+// panic and never hand DecodeRequest a payload it rejects as too short
+// to hold a header.
+func FuzzReadFrame(f *testing.F) {
+	f.Add(AppendRequest(nil, Request{Op: OpGet, ID: 1, Table: 1, Key: 2}))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 1})
+	f.Fuzz(func(t *testing.T, stream []byte) {
+		r := bytes.NewReader(stream)
+		var buf []byte
+		var payload []byte
+		var err error
+		for {
+			payload, buf, err = ReadFrame(r, buf)
+			if err != nil {
+				return
+			}
+			if len(payload) < headerSize {
+				t.Fatalf("ReadFrame returned %d-byte payload, below header size", len(payload))
+			}
+			// Either decode outcome is fine; it just must not panic.
+			DecodeRequest(payload)
+		}
+	})
+}

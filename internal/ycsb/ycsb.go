@@ -130,6 +130,7 @@ type Workload struct {
 	table *btree.Tree
 	n     uint64
 	part  Partition
+	seed  uint64
 	keys  *KeyStream
 	buf   []byte
 
@@ -217,9 +218,21 @@ func AttachPartition(e *engine.Engine, n int, p Partition) (*Workload, error) {
 		table: t,
 		n:     uint64(n),
 		part:  p,
+		seed:  DefaultSeed,
 		keys:  NewKeyStream(uint64(n), DefaultSeed, p),
 		buf:   make([]byte, RowSize),
 	}, nil
+}
+
+// Reseed rebuilds the workload's random streams from a new base seed
+// (a partitioned workload still derives its per-shard seed from it via
+// shard.SeedFor, exactly like the default). Runs with different seeds
+// draw different — but individually reproducible — key sequences; the
+// bench harness threads its -seed flag through here.
+func (w *Workload) Reseed(seed uint64) {
+	w.seed = seed
+	w.keys = NewKeyStream(w.n, seed, w.part)
+	w.zipfLatest = nil
 }
 
 // FillRow writes row key's deterministic content into dst (RowSize bytes).
@@ -252,7 +265,7 @@ func (w *Workload) Partition() Partition { return w.part }
 // the key space.
 func (w *Workload) gen() *KeyStream {
 	if w.keys == nil {
-		w.keys = NewKeyStream(w.n, DefaultSeed, w.part)
+		w.keys = NewKeyStream(w.n, w.seed, w.part)
 	}
 	return w.keys
 }

@@ -1,6 +1,7 @@
 package nvmstore
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -160,6 +161,21 @@ func (s *ShardedStore) Table(id uint64) *ShardedTable {
 		return nil
 	}
 	return &ShardedTable{s: s, id: id, rowSize: t.RowSize()}
+}
+
+// Close shuts every shard down in an orderly fashion under its lock:
+// log tails are flushed (plus a final checkpoint per shard with
+// Options.CheckpointOnClose), so every acknowledged transaction is
+// durable. Close is idempotent; closing a store with a shard inside an
+// open transaction fails, reporting every such shard.
+func (s *ShardedStore) Close() error {
+	var errs []error
+	for i := range s.shards {
+		if err := s.WithShard(i, (*Store).Close); err != nil {
+			errs = append(errs, fmt.Errorf("nvmstore: close shard %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Checkpoint checkpoints every shard.
@@ -401,6 +417,34 @@ func (t *ShardedTable) Insert(key uint64, row []byte) error {
 			return err
 		}
 		return st.Update(func() error { return tab.Insert(key, row) })
+	})
+}
+
+// Put inserts or replaces the row for key on the owning shard, as one
+// transaction — the upsert the KV serving layer maps PUT to. A short
+// row overwrites only its leading bytes when the key exists and is
+// zero-padded when it does not; a row longer than RowSize fails.
+func (t *ShardedTable) Put(key uint64, row []byte) error {
+	if len(row) > t.rowSize {
+		return fmt.Errorf("nvmstore: put of %d bytes into %d-byte rows", len(row), t.rowSize)
+	}
+	return t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+		tab, err := t.shardTable(st)
+		if err != nil {
+			return err
+		}
+		return st.Update(func() error {
+			found, err := tab.UpdateField(key, 0, row)
+			if err != nil || found {
+				return err
+			}
+			if len(row) < t.rowSize {
+				full := make([]byte, t.rowSize)
+				copy(full, row)
+				row = full
+			}
+			return tab.Insert(key, row)
+		})
 	})
 }
 
