@@ -6,6 +6,13 @@
 // pooled connections, while the Async variants let a single goroutine
 // keep a deep pipeline of its own.
 //
+// Transactions never share those pooled connections: the server scopes
+// transaction state per connection, so Begin dials a dedicated
+// connection for the Tx and Commit/Rollback close it again. That keeps
+// the autocommit contract — a nil from Put outside a transaction means
+// committed and durable — intact even while other goroutines hold open
+// transactions.
+//
 // The client records a wall-clock round-trip histogram per opcode
 // (Latency), which is what the remote benchmark driver reports as
 // wire-level p50/p99.
@@ -53,6 +60,9 @@ func (o *Options) applyDefaults() {
 // underlying connection failed).
 var ErrClosed = errors.New("client: connection closed")
 
+// ErrTxDone is returned by Tx methods used after Commit or Rollback.
+var ErrTxDone = errors.New("client: transaction finished")
+
 // RemoteError is a server-reported request failure (a RespErr frame),
 // as opposed to a transport failure.
 type RemoteError struct{ Msg string }
@@ -62,8 +72,16 @@ func (e *RemoteError) Error() string { return "server: " + e.Msg }
 // Client is a pooled, pipelined connection to one server. Safe for
 // concurrent use.
 type Client struct {
+	addr  string
+	opts  Options
 	conns []*conn
 	rr    atomic.Uint64
+
+	// mu guards the dedicated transaction connections (see Begin) and
+	// the closed flag.
+	mu      sync.Mutex
+	txConns map[*conn]struct{}
+	closed  bool
 
 	// hist[op] is the round-trip wall-clock histogram per request
 	// opcode.
@@ -73,35 +91,60 @@ type Client struct {
 // Dial connects the pool.
 func Dial(addr string, opts Options) (*Client, error) {
 	opts.applyDefaults()
-	c := &Client{conns: make([]*conn, opts.Conns)}
+	c := &Client{
+		addr:    addr,
+		opts:    opts,
+		conns:   make([]*conn, opts.Conns),
+		txConns: make(map[*conn]struct{}),
+	}
 	for i := range c.conns {
-		nc, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+		cn, err := c.dialConn()
 		if err != nil {
 			for _, pc := range c.conns[:i] {
 				pc.close(ErrClosed)
 			}
-			return nil, fmt.Errorf("client: dial %s: %w", addr, err)
-		}
-		if tc, ok := nc.(*net.TCPConn); ok {
-			tc.SetNoDelay(true)
-		}
-		cn := &conn{
-			cl:      c,
-			nc:      nc,
-			bw:      bufio.NewWriter(nc),
-			pending: make(map[uint32]*Call),
-			sem:     make(chan struct{}, opts.Depth),
+			return nil, err
 		}
 		c.conns[i] = cn
-		go cn.readLoop()
 	}
 	return c, nil
 }
 
-// Close tears down every pooled connection; in-flight calls fail with
-// ErrClosed.
+// dialConn dials one connection and starts its read loop.
+func (c *Client) dialConn() (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", c.addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	cn := &conn{
+		cl:      c,
+		nc:      nc,
+		bw:      bufio.NewWriter(nc),
+		pending: make(map[uint32]*Call),
+		sem:     make(chan struct{}, c.opts.Depth),
+	}
+	go cn.readLoop()
+	return cn, nil
+}
+
+// Close tears down every pooled connection and any dedicated
+// transaction connections; in-flight calls fail with ErrClosed.
 func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	tx := make([]*conn, 0, len(c.txConns))
+	for cn := range c.txConns {
+		tx = append(tx, cn)
+	}
+	c.txConns = make(map[*conn]struct{})
+	c.mu.Unlock()
 	for _, cn := range c.conns {
+		cn.close(ErrClosed)
+	}
+	for _, cn := range tx {
 		cn.close(ErrClosed)
 	}
 	return nil
@@ -248,54 +291,104 @@ func (c *Client) Stats() ([]byte, error) {
 	return resp.Value, nil
 }
 
-// Tx is a server-side transaction pinned to one pooled connection
-// (transaction state lives per connection on the server). Writes are
+// Tx is a server-side transaction on its own dedicated connection,
+// dialed by Begin (transaction state lives per connection on the
+// server, and autocommit calls must never share a tx-active connection
+// — the server would buffer them into the transaction). Writes are
 // buffered server-side and acknowledged immediately; only a successful
-// Commit makes them durable, atomically per shard.
+// Commit makes them durable, atomically per shard. A Tx is not safe for
+// concurrent use; Commit or Rollback closes its connection.
 type Tx struct {
+	cl   *Client
 	cn   *conn
 	done bool
 }
 
-// Begin starts a transaction on one pooled connection.
+// Begin starts a transaction on a dedicated connection, leaving the
+// pooled connections to autocommit traffic.
 func (c *Client) Begin() (*Tx, error) {
-	cn := c.next()
-	if _, err := cn.do(wire.Request{Op: wire.OpBegin}).Result(); err != nil {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+	cn, err := c.dialConn()
+	if err != nil {
 		return nil, err
 	}
-	return &Tx{cn: cn}, nil
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cn.close(ErrClosed)
+		return nil, ErrClosed
+	}
+	c.txConns[cn] = struct{}{}
+	c.mu.Unlock()
+	if _, err := cn.do(wire.Request{Op: wire.OpBegin}).Result(); err != nil {
+		c.releaseTx(cn)
+		return nil, err
+	}
+	return &Tx{cl: c, cn: cn}, nil
+}
+
+// releaseTx retires a transaction's dedicated connection.
+func (c *Client) releaseTx(cn *conn) {
+	c.mu.Lock()
+	delete(c.txConns, cn)
+	c.mu.Unlock()
+	cn.close(ErrClosed)
 }
 
 // Get reads through the transaction (the server answers from the
 // transaction's own buffered writes first).
 func (tx *Tx) Get(table, key uint64) ([]byte, bool, error) {
+	if tx.done {
+		return nil, false, ErrTxDone
+	}
 	return getResult(tx.cn.do(wire.Request{Op: wire.OpGet, Table: table, Key: key}))
 }
 
 // Put buffers an insert-or-replace in the transaction.
 func (tx *Tx) Put(table, key uint64, value []byte) error {
+	if tx.done {
+		return ErrTxDone
+	}
 	_, err := tx.cn.do(wire.Request{Op: wire.OpPut, Table: table, Key: key, Value: value}).Result()
 	return err
 }
 
 // Delete buffers a delete in the transaction.
 func (tx *Tx) Delete(table, key uint64) error {
+	if tx.done {
+		return ErrTxDone
+	}
 	_, err := tx.cn.do(wire.Request{Op: wire.OpDelete, Table: table, Key: key}).Result()
 	return err
 }
 
 // Commit applies the buffered writes, one atomic sub-transaction per
-// shard; on return the writes are durable.
+// shard; on return the writes are durable and the transaction's
+// connection is closed.
 func (tx *Tx) Commit() error {
+	if tx.done {
+		return ErrTxDone
+	}
 	tx.done = true
 	_, err := tx.cn.do(wire.Request{Op: wire.OpCommit}).Result()
+	tx.cl.releaseTx(tx.cn)
 	return err
 }
 
-// Rollback discards the buffered writes.
+// Rollback discards the buffered writes and closes the transaction's
+// connection.
 func (tx *Tx) Rollback() error {
+	if tx.done {
+		return ErrTxDone
+	}
 	tx.done = true
 	_, err := tx.cn.do(wire.Request{Op: wire.OpRollback}).Result()
+	tx.cl.releaseTx(tx.cn)
 	return err
 }
 

@@ -43,8 +43,10 @@ type Options struct {
 	// ValueSize is the bytes written per PUT (default 100, YCSB's field
 	// size; the server zero-pads rows to the table's row size).
 	ValueSize int
-	// WritePct is the percentage of operations that are PUTs (default
-	// 5, YCSB-B's mix); the rest are GETs.
+	// WritePct is the percentage of operations that are PUTs, 0..100;
+	// the rest are GETs. 0 means a read-only run (so a zero-value
+	// Options runs pure GETs); values outside 0..100 reset to 5,
+	// YCSB-B's mix.
 	WritePct int
 	// Ops is the number of measured operations across all workers
 	// (default 30000); Warmup runs before measuring (default Ops/2).
@@ -195,11 +197,17 @@ func remoteLoad(cl *client.Client, o Options) error {
 	})
 }
 
-// remoteRun issues total operations of the configured mix across the
-// workers, each worker pipelining Depth requests.
+// remoteRun issues exactly total operations of the configured mix
+// across the workers (the remainder spread over the first total%Clients
+// workers, so throughput can divide total by the measured time), each
+// worker pipelining Depth requests.
 func remoteRun(cl *client.Client, o Options, total int) error {
-	per := (total + o.Clients - 1) / o.Clients
+	base, extra := total/o.Clients, total%o.Clients
 	return remoteWorkers(o.Clients, func(wid int) error {
+		per := base
+		if wid < extra {
+			per++
+		}
 		gen := zipfian.New(uint64(o.Rows), zipfian.Theta1, shard.SeedFor(o.Seed, wid))
 		val := make([]byte, o.ValueSize)
 		var inflight []*client.Call

@@ -23,11 +23,14 @@
 // it, which stops them from reading more frames, which fills the TCP
 // receive window — backpressure propagates to the clients as the
 // network's own flow control. A full connection write queue blocks the
-// shard workers the same way; a connection whose peer stops reading
-// eventually fails its writer, after which its queue drains to the
-// floor (responses to a dead connection are discarded) so one dead
-// client cannot wedge a shard. Options.MaxConns bounds concurrent
-// connections; excess dials wait in the listen backlog.
+// shard workers the same way, but only for a bounded time: every write
+// carries a deadline (Options.WriteTimeout), so a peer that stops
+// reading (TCP zero window) fails its writer within the deadline rather
+// than never, the connection is severed, and its queue drains to the
+// floor (responses to a dead connection are discarded) — one stalled
+// client cannot wedge a shard for longer than WriteTimeout.
+// Options.MaxConns bounds concurrent connections; excess dials wait in
+// the listen backlog.
 //
 // # Transactions
 //
@@ -72,8 +75,13 @@ type Options struct {
 	// WriteQueue is the per-connection response queue depth (default 128).
 	WriteQueue int
 	// MaxScan caps the rows one SCAN may return (default 1024). Client
-	// limits are clamped to it, bounding response frames.
+	// limits are clamped to it, and further clamped by encoded bytes so
+	// a response always fits in wire.MaxFrame whatever the row size.
 	MaxScan int
+	// WriteTimeout bounds each response write to a connection (default
+	// 30s). A peer that stops reading for longer is severed, so a
+	// stalled client cannot block a shard worker indefinitely.
+	WriteTimeout time.Duration
 	// Logf, when set, receives connection-level error logs.
 	Logf func(format string, args ...any)
 }
@@ -93,6 +101,9 @@ func (o *Options) applyDefaults() {
 	}
 	if o.MaxScan <= 0 {
 		o.MaxScan = 1024
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 30 * time.Second
 	}
 }
 
@@ -507,8 +518,9 @@ func (c *conn) closeRead() {
 }
 
 // reply encodes and enqueues a response. Blocking here is the server's
-// backpressure (see the package comment); the write loop guarantees the
-// queue always drains, so reply never blocks forever.
+// backpressure (see the package comment); the write loop's per-write
+// deadline guarantees the queue always drains, so reply never blocks
+// longer than roughly one WriteTimeout.
 func (c *conn) reply(resp wire.Response) {
 	c.out <- wire.AppendResponse(nil, resp)
 }
@@ -715,6 +727,15 @@ func (c *conn) scan(req wire.Request) wire.Response {
 	if limit <= 0 || limit > c.srv.opts.MaxScan {
 		limit = c.srv.opts.MaxScan
 	}
+	// MaxScan caps rows; the frame bound caps bytes. Each entry encodes
+	// as key(8) + len(4) + row, so clamp the row count to what fits in
+	// one wire.MaxFrame whatever the table's row size.
+	if byBytes := (wire.MaxFrame - 64) / (12 + tab.RowSize()); limit > byBytes {
+		limit = byBytes
+		if limit < 1 {
+			limit = 1 // a single >8MiB row cannot be framed anyway
+		}
+	}
 	var entries []wire.Entry
 	err := tab.Scan(req.Key, limit, 0, tab.RowSize(), func(key uint64, field []byte) bool {
 		entries = append(entries, wire.Entry{Key: key, Value: append([]byte(nil), field...)})
@@ -735,6 +756,12 @@ func (c *conn) writeLoop() {
 		if err != nil {
 			continue // peer gone: discard, keep the queue draining
 		}
+		// The deadline is what makes a stalled peer (TCP zero window)
+		// a bounded problem: Write fails at the latest after
+		// WriteTimeout, the connection is severed, and every later
+		// response is discarded — shard workers blocked on this
+		// connection's full queue unblock.
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.WriteTimeout))
 		if _, werr := c.nc.Write(buf); werr != nil {
 			err = werr
 			// Sever the connection so the reader unblocks; its

@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -14,6 +16,7 @@ import (
 	"nvmstore"
 	"nvmstore/internal/client"
 	"nvmstore/internal/server"
+	"nvmstore/internal/wire"
 )
 
 const (
@@ -25,6 +28,12 @@ const (
 // serves it on a loopback listener. Cleanup drains the server; the
 // returned store outlives it for post-shutdown inspection.
 func startServer(t *testing.T, shards int, sopts server.Options) (*server.Server, *nvmstore.ShardedStore, string) {
+	return startServerRowSize(t, shards, testRowSize, sopts)
+}
+
+// startServerRowSize is startServer with a caller-chosen row size, for
+// the large-row framing tests.
+func startServerRowSize(t *testing.T, shards, rowSize int, sopts server.Options) (*server.Server, *nvmstore.ShardedStore, string) {
 	t.Helper()
 	store, err := nvmstore.OpenSharded(shards, nvmstore.Options{
 		Architecture: nvmstore.ThreeTier,
@@ -35,7 +44,7 @@ func startServer(t *testing.T, shards int, sopts server.Options) (*server.Server
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := store.CreateTable(testTable, testRowSize); err != nil {
+	if _, err := store.CreateTable(testTable, rowSize); err != nil {
 		t.Fatal(err)
 	}
 	srv := server.New(store, sopts)
@@ -421,6 +430,189 @@ func TestDrainNoLostAcknowledgedWrites(t *testing.T) {
 	}
 	if err := store.Close(); err != nil {
 		t.Fatalf("close store: %v", err)
+	}
+}
+
+// TestAutocommitDuringTransaction is the regression test for the
+// ack ⇒ durable contract of autocommit writes issued while another
+// transaction is open on the same client: the transaction runs on its
+// own dedicated connection, so the pooled connections must never buffer
+// an autocommit write into it (and Rollback must not discard one).
+func TestAutocommitDuringTransaction(t *testing.T) {
+	_, _, addr := startServer(t, 4, server.Options{})
+	cl, err := client.Dial(addr, client.Options{Conns: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	tx, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Put(testTable, 2, rowFor(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Autocommit write on the pooled connection while the tx is open:
+	// committed immediately, regardless of the open transaction.
+	if err := cl.Put(testTable, 1, rowFor(1)); err != nil {
+		t.Fatalf("autocommit put during tx: %v", err)
+	}
+	if val, found, err := cl.Get(testTable, 1); err != nil || !found || !bytes.Equal(val, rowFor(1)) {
+		t.Fatalf("autocommit put not visible while tx open: found=%v err=%v", found, err)
+	}
+	// The tx's buffered write stays invisible to autocommit reads.
+	if _, found, _ := cl.Get(testTable, 2); found {
+		t.Fatal("buffered tx write visible to autocommit read")
+	}
+
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// Rollback discards only the tx buffer, never the acknowledged
+	// autocommit write.
+	if val, found, err := cl.Get(testTable, 1); err != nil || !found || !bytes.Equal(val, rowFor(1)) {
+		t.Fatalf("rollback discarded an acknowledged autocommit write: found=%v err=%v", found, err)
+	}
+	if _, found, _ := cl.Get(testTable, 2); found {
+		t.Fatal("rolled-back tx write applied")
+	}
+
+	// A finished Tx refuses further use.
+	if err := tx.Put(testTable, 3, rowFor(3)); !errors.Is(err, client.ErrTxDone) {
+		t.Fatalf("put on finished tx: %v, want ErrTxDone", err)
+	}
+	if err := tx.Rollback(); !errors.Is(err, client.ErrTxDone) {
+		t.Fatalf("double rollback: %v, want ErrTxDone", err)
+	}
+
+	// The pooled connection is still healthy for autocommit traffic.
+	if err := cl.Put(testTable, 4, rowFor(4)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScanLargeRowsFitsFrame scans a table whose rows are large enough
+// that MaxScan rows would blow past wire.MaxFrame: the server must
+// clamp the row limit by encoded bytes so the response still frames and
+// the connection survives.
+func TestScanLargeRowsFitsFrame(t *testing.T) {
+	const rowSize = 8000 // near the btree's per-page payload ceiling
+	const rows = 1100
+	// MaxScan alone would allow 2048 × (12+8000) ≈ 16MiB — the byte
+	// clamp, not the row cap, must bound this response.
+	_, _, addr := startServerRowSize(t, 2, rowSize, server.Options{MaxScan: 2048})
+	cl, err := client.Dial(addr, client.Options{Depth: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	row := make([]byte, rowSize)
+	var inflight []*client.Call
+	for key := uint64(0); key < rows; key++ {
+		binary.BigEndian.PutUint64(row, key)
+		inflight = append(inflight, cl.PutAsync(testTable, key, row))
+		if len(inflight) >= 16 {
+			if _, err := inflight[0].Result(); err != nil {
+				t.Fatalf("put %d: %v", key, err)
+			}
+			inflight = inflight[1:]
+		}
+	}
+	for _, call := range inflight {
+		if _, err := call.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// An unlimited scan would return all 1100 rows ≈ 8.8MiB encoded —
+	// past wire.MaxFrame, a dead connection pre-clamp. The byte clamp
+	// allows (MaxFrame-64)/(12+rowSize) rows.
+	wantMax := (wire.MaxFrame - 64) / (12 + rowSize)
+	entries, err := cl.Scan(testTable, 0, 0)
+	if err != nil {
+		t.Fatalf("large-row scan: %v", err)
+	}
+	if len(entries) != wantMax {
+		t.Fatalf("scan returned %d entries, want the frame-clamped %d", len(entries), wantMax)
+	}
+	for i, e := range entries {
+		if e.Key != uint64(i) || len(e.Value) != rowSize {
+			t.Fatalf("entry %d: key %d, %d bytes", i, e.Key, len(e.Value))
+		}
+	}
+	// The connection must still be usable (pre-clamp, the oversized
+	// frame killed it).
+	if _, found, err := cl.Get(testTable, 0); err != nil || !found {
+		t.Fatalf("connection dead after large scan: found=%v err=%v", found, err)
+	}
+}
+
+// TestStalledReaderDoesNotWedgeShard opens a raw connection that floods
+// GETs for large rows and never reads a byte of response. The write
+// deadline must sever that connection so the shard worker — which
+// replies while holding the shard lock — cannot stay blocked on it, and
+// a well-behaved client must keep getting service.
+func TestStalledReaderDoesNotWedgeShard(t *testing.T) {
+	const rowSize = 8000
+	_, _, addr := startServerRowSize(t, 1, rowSize, server.Options{
+		ShardQueue:   4,
+		BatchMax:     2,
+		WriteQueue:   2,
+		WriteTimeout: 300 * time.Millisecond,
+	})
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	row := make([]byte, rowSize)
+	for key := uint64(0); key < 8; key++ {
+		if err := cl.Put(testTable, key, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The stalled peer: requests ~16MiB of responses, reads none of it.
+	// The kernel socket buffers fill, the server's write blocks, and
+	// only the write deadline can unwedge the shard worker.
+	stalled, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stalled.Close()
+	var frames []byte
+	for i := 0; i < 2000; i++ {
+		frames = wire.AppendRequest(frames, wire.Request{
+			Op: wire.OpGet, ID: uint32(i + 1), Table: testTable, Key: uint64(i % 8),
+		})
+	}
+	if _, err := stalled.Write(frames); err != nil {
+		t.Fatal(err)
+	}
+
+	// The healthy client must still be served; pre-deadline, the single
+	// shard's worker blocked forever on the stalled connection and this
+	// Get never returned.
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			if _, _, err := cl.Get(testTable, uint64(i%8)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("healthy client failed during stall: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("shard wedged by a stalled reader: healthy client starved")
 	}
 }
 

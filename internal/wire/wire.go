@@ -47,8 +47,8 @@ const Version = 1
 
 // MaxFrame bounds a single frame's payload (header + body). It caps
 // both the server's per-request buffering and the client's per-response
-// buffering; a SCAN response that would exceed it is truncated by the
-// server's scan limit long before this bound.
+// buffering; the server clamps its SCAN row limit by encoded bytes so
+// scan responses fit in one frame whatever the table's row size.
 const MaxFrame = 8 << 20
 
 // headerSize is version(1) + opcode(1) + request id(4).
