@@ -22,6 +22,14 @@
 // reporting wire-level round-trip percentiles alongside the server's
 // engine histograms.
 //
+// Fault injection (-faults spec) arms a deterministic injection plan on
+// every engine an experiment builds, so any figure can be regenerated
+// under device faults; the dedicated "faults" experiment sweeps the
+// fault rate itself. Spec grammar: semicolon-separated
+// kind:param=value,... rules plus an optional seed:N, e.g.
+// "seed:7;ssd.read:p=0.001,transient=2;nvm.stall:p=0.01,stall=10us"
+// (kinds and parameters are documented in internal/fault).
+//
 // Observability: -obs records per-tier latency histograms (printed as a
 // table after each experiment and embedded in the JSON output); -trace
 // additionally captures page-lifecycle events and writes them to
@@ -42,6 +50,7 @@ import (
 	"time"
 
 	"nvmstore/internal/bench"
+	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/remote"
 )
@@ -107,6 +116,7 @@ func run() int {
 		seed       = flag.Uint64("seed", 0, "base seed for the YCSB random streams (0: built-in default)")
 		format     = flag.String("format", "table", "output format: table, csv, or chart")
 		observe    = flag.Bool("obs", false, "record per-tier latency histograms")
+		faultSpec  = flag.String("faults", "", `fault-injection spec armed on every engine, e.g. "seed:7;ssd.read:p=0.001,transient=2;nvm.stall:p=0.01,stall=10us" (see internal/fault)`)
 		httpAddr   = flag.String("http", "", "serve expvar, pprof, and /metrics on this address during the run")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -117,6 +127,7 @@ func run() int {
 		rows       = flag.Int("rows", 10000, "remote mode: key-space size")
 		writePct   = flag.Int("writepct", 5, "remote mode: percentage of operations that are PUTs")
 		load       = flag.Bool("load", false, "remote mode: bulk-load the key space before measuring")
+		retries    = flag.Int("retries", 0, "remote mode: per-request retry budget for transport failures (0: client default, negative: fail fast)")
 	)
 	flag.Var(&jsonDir, "json", "write BENCH_<id>.json files (bare flag: current directory, or -json=dir)")
 	flag.Var(&traceDir, "trace", "record lifecycle events and write TRACE_<id>.jsonl (bare flag: current directory, or -trace=dir)")
@@ -154,6 +165,7 @@ func run() int {
 			Ops:      *ops,
 			Warmup:   *warmup,
 			Seed:     *seed,
+			Retries:  *retries,
 		}, *format, jsonDir.dir)
 	}
 
@@ -169,6 +181,14 @@ func run() int {
 		Threads: *threads,
 		Quick:   *quick,
 		Seed:    *seed,
+	}
+	if *faultSpec != "" {
+		plan, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmbench: -faults: %v\n", err)
+			return 2
+		}
+		opts.Faults = plan
 	}
 	// -trace implies -obs (events without histograms would be half a
 	// picture); -http implies -obs so /metrics has something to show.

@@ -8,6 +8,7 @@
 //	nvmserver                                # 4 three-tier shards on :7070
 //	nvmserver -addr :7070 -shards 8 -arch three-tier -scale 16
 //	nvmserver -obs -http :6060               # with engine histograms + debug HTTP
+//	nvmserver -faults "seed:7;ssd.read:p=0.001,transient=2;net.drop:p=0.0005"
 //
 // Capacities follow the paper's DRAM:NVM:SSD = 2:10:50 proportions,
 // scaled by -scale (megabytes per "paper gigabyte") and split across
@@ -32,9 +33,15 @@ import (
 	"time"
 
 	"nvmstore"
+	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/server"
 )
+
+// netFaultSite is the injection-site salt of the server's network-fault
+// injector; shard i's device injectors use sites derived from i, so a
+// large salt keeps the streams disjoint.
+const netFaultSite = 1 << 32
 
 // architectures maps the -arch flag values.
 var architectures = map[string]nvmstore.Architecture{
@@ -61,6 +68,7 @@ func run() int {
 		observe    = flag.Bool("obs", false, "record engine latency histograms (reported via STATS and /metrics)")
 		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address")
 		checkpoint = flag.Bool("checkpoint-on-close", false, "write back all dirty pages on shutdown so the next start recovers instantly")
+		faultSpec  = flag.String("faults", "", `fault-injection spec armed on every shard's devices and on the response path, e.g. "seed:7;ssd.read:p=0.001,transient=2;net.drop:p=0.0005" (see internal/fault)`)
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before connections are severed")
 	)
 	flag.Parse()
@@ -98,10 +106,23 @@ func run() int {
 		return 1
 	}
 
-	srv := server.New(store, server.Options{
+	srvOpts := server.Options{
 		MaxConns: *maxConns,
 		Logf:     logger.Printf,
-	})
+	}
+	if *faultSpec != "" {
+		plan, err := fault.ParseSpec(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmserver: -faults: %v\n", err)
+			return 2
+		}
+		store.InjectFaults(plan)
+		// The network injector gets a site far above any shard's device
+		// sites so its probability stream is uncorrelated with theirs.
+		srvOpts.Faults = plan.Injector(netFaultSite)
+		logger.Printf("fault injection armed: %s", *faultSpec)
+	}
+	srv := server.New(store, srvOpts)
 
 	if *httpAddr != "" {
 		dbg, err := obs.StartDebug(*httpAddr, func() any { return srv.Stats() })

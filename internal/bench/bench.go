@@ -23,6 +23,7 @@ import (
 
 	"nvmstore/internal/core"
 	"nvmstore/internal/engine"
+	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/simclock"
 	"nvmstore/internal/ycsb"
@@ -56,6 +57,13 @@ type Options struct {
 	// Recording costs a few percent of throughput — leave nil for clean
 	// performance runs.
 	Obs *ObsSink
+	// Faults, when non-nil, is armed on every engine the experiments
+	// build (nvmbench -faults), degrading any experiment with the given
+	// injection plan. Each engine gets its own injection site, so the
+	// plan's probability rules apply independently per engine. Crash
+	// kinds (nvm.torn, nvm.crash, wal.flush) panic the run by design —
+	// throughput experiments want transient and stall kinds.
+	Faults *fault.Plan
 }
 
 func (o *Options) applyDefaults() {
@@ -248,7 +256,14 @@ func buildEngine(o Options, topo core.Topology, dram, nvmBytes, ssdBytes int64, 
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	return engine.Open(cfg)
+	e, err := engine.Open(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if o.Faults != nil {
+		e.ArmFaults(o.Faults, faultSite.Add(1))
+	}
+	return e, nil
 }
 
 // cpuCacheFor returns the scaled simulated-L3 size: 1/16 of a unit, at

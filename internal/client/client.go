@@ -42,6 +42,14 @@ type Options struct {
 	Depth int
 	// DialTimeout bounds each dial (default 5s).
 	DialTimeout time.Duration
+	// Retries is how many times the synchronous KV methods (Get, Put,
+	// Delete, Scan, Stats) reissue a request after a retryable
+	// transport failure, redialing the failed connection first (default
+	// 3; negative disables). See IsRetryable for why reissuing is safe.
+	Retries int
+	// RetryBackoff is the wait before the first retry; it doubles per
+	// attempt (default 2ms).
+	RetryBackoff time.Duration
 }
 
 func (o *Options) applyDefaults() {
@@ -54,6 +62,30 @@ func (o *Options) applyDefaults() {
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = 5 * time.Second
 	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+}
+
+// IsRetryable reports whether a request that failed with err may safely
+// be issued again. Transport failures — a dropped connection, a torn
+// response frame, a failed redial — are retryable because every KV
+// request is idempotent: PUT is an upsert, GET is pure, DELETE differs
+// only in its found flag, and a request whose ack was lost has the same
+// effect when repeated. A *RemoteError is not retryable: the server
+// received the request and answered; retrying would just repeat the
+// answer. ErrTxDone is a usage error, not a failure.
+func IsRetryable(err error) bool {
+	if err == nil || errors.Is(err, ErrTxDone) {
+		return false
+	}
+	var re *RemoteError
+	return !errors.As(err, &re)
 }
 
 // ErrClosed is returned by requests issued after Close (or after the
@@ -67,21 +99,26 @@ var ErrTxDone = errors.New("client: transaction finished")
 // as opposed to a transport failure.
 type RemoteError struct{ Msg string }
 
+// Error implements the error interface.
 func (e *RemoteError) Error() string { return "server: " + e.Msg }
 
 // Client is a pooled, pipelined connection to one server. Safe for
 // concurrent use.
 type Client struct {
-	addr  string
-	opts  Options
-	conns []*conn
-	rr    atomic.Uint64
+	addr string
+	opts Options
+	rr   atomic.Uint64
 
-	// mu guards the dedicated transaction connections (see Begin) and
+	// mu guards the pool slots (failed connections are redialed in
+	// place), the dedicated transaction connections (see Begin), and
 	// the closed flag.
 	mu      sync.Mutex
+	conns   []*conn
 	txConns map[*conn]struct{}
 	closed  bool
+
+	// retries counts reissued requests (see Retries).
+	retries atomic.Int64
 
 	// hist[op] is the round-trip wall-clock histogram per request
 	// opcode.
@@ -135,13 +172,14 @@ func (c *Client) dialConn() (*conn, error) {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	c.closed = true
+	pool := append([]*conn(nil), c.conns...)
 	tx := make([]*conn, 0, len(c.txConns))
 	for cn := range c.txConns {
 		tx = append(tx, cn)
 	}
 	c.txConns = make(map[*conn]struct{})
 	c.mu.Unlock()
-	for _, cn := range c.conns {
+	for _, cn := range pool {
 		cn.close(ErrClosed)
 	}
 	for _, cn := range tx {
@@ -181,9 +219,71 @@ func (c *Client) ResetLatency() {
 	}
 }
 
-// next picks a pooled connection round-robin.
-func (c *Client) next() *conn {
-	return c.conns[c.rr.Add(1)%uint64(len(c.conns))]
+// next picks a pooled connection round-robin, healing dead slots.
+func (c *Client) next() (*conn, error) {
+	return c.connAt(int(c.rr.Add(1) % uint64(c.opts.Conns)))
+}
+
+// connAt returns pool slot i, redialing it first if its connection has
+// failed — the pool self-heals, so one injected drop does not poison a
+// round-robin slot forever.
+func (c *Client) connAt(i int) (*conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	cn := c.conns[i]
+	if cn.failed() {
+		fresh, err := c.dialConn()
+		if err != nil {
+			return nil, err
+		}
+		c.conns[i] = fresh
+		cn = fresh
+	}
+	return cn, nil
+}
+
+// Retries returns how many requests were reissued after transport
+// failures since the client was dialed — the remote driver's exact-op
+// accounting subtracts them from throughput math.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// asyncCall issues req on the next pooled connection, folding a dial
+// failure into the returned Call.
+func (c *Client) asyncCall(req wire.Request) *Call {
+	cn, err := c.next()
+	if err != nil {
+		call := &Call{op: req.Op, done: make(chan struct{}), err: err}
+		close(call.done)
+		return call
+	}
+	return cn.do(req)
+}
+
+// doRetry issues req synchronously, reissuing it with doubling backoff
+// on retryable failures up to Options.Retries times. Only the
+// synchronous autocommit methods route through here: they are
+// idempotent (see IsRetryable), while transactions fail their whole Tx
+// instead.
+func (c *Client) doRetry(req wire.Request) (wire.Response, error) {
+	backoff := c.opts.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		resp, err := c.asyncCall(req).Result()
+		if err == nil || !IsRetryable(err) || attempt >= c.opts.Retries {
+			return resp, err
+		}
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return resp, err
+		}
+		c.retries.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+	}
 }
 
 // Call is one in-flight request. Wait for it with Result (or select on
@@ -212,28 +312,35 @@ func (call *Call) Result() (wire.Response, error) {
 	return call.resp, nil
 }
 
-// GetAsync issues a pipelined GET.
+// GetAsync issues a pipelined GET. Async calls are not retried — a
+// pipelined caller owns its own in-flight window and decides what to
+// reissue (IsRetryable tells it whether it safely can).
 func (c *Client) GetAsync(table, key uint64) *Call {
-	return c.next().do(wire.Request{Op: wire.OpGet, Table: table, Key: key})
+	return c.asyncCall(wire.Request{Op: wire.OpGet, Table: table, Key: key})
 }
 
-// PutAsync issues a pipelined PUT (insert or replace).
+// PutAsync issues a pipelined PUT (insert or replace). Not retried; see
+// GetAsync.
 func (c *Client) PutAsync(table, key uint64, value []byte) *Call {
-	return c.next().do(wire.Request{Op: wire.OpPut, Table: table, Key: key, Value: value})
+	return c.asyncCall(wire.Request{Op: wire.OpPut, Table: table, Key: key, Value: value})
 }
 
-// DeleteAsync issues a pipelined DELETE.
+// DeleteAsync issues a pipelined DELETE. Not retried; see GetAsync.
 func (c *Client) DeleteAsync(table, key uint64) *Call {
-	return c.next().do(wire.Request{Op: wire.OpDelete, Table: table, Key: key})
+	return c.asyncCall(wire.Request{Op: wire.OpDelete, Table: table, Key: key})
 }
 
-// Get returns the row for key and whether it exists.
+// Get returns the row for key and whether it exists, retrying transport
+// failures (see Options.Retries).
 func (c *Client) Get(table, key uint64) ([]byte, bool, error) {
-	return getResult(c.GetAsync(table, key))
+	return interpretGet(c.doRetry(wire.Request{Op: wire.OpGet, Table: table, Key: key}))
 }
 
 func getResult(call *Call) ([]byte, bool, error) {
-	resp, err := call.Result()
+	return interpretGet(call.Result())
+}
+
+func interpretGet(resp wire.Response, err error) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
@@ -246,16 +353,20 @@ func getResult(call *Call) ([]byte, bool, error) {
 	return nil, false, fmt.Errorf("client: unexpected response %s to get", wire.OpName(resp.Code))
 }
 
-// Put inserts or replaces the row for key. Outside a transaction the
-// returned nil means the write is committed and durable on the server.
+// Put inserts or replaces the row for key, retrying transport failures.
+// Outside a transaction the returned nil means the write is committed
+// and durable on the server.
 func (c *Client) Put(table, key uint64, value []byte) error {
-	_, err := c.PutAsync(table, key, value).Result()
+	_, err := c.doRetry(wire.Request{Op: wire.OpPut, Table: table, Key: key, Value: value})
 	return err
 }
 
-// Delete removes the row for key, reporting whether it existed.
+// Delete removes the row for key, reporting whether it existed,
+// retrying transport failures. A retry after a lost ack reports
+// found=false for a delete that did happen — the one observable wrinkle
+// of at-least-once delivery on an idempotent op.
 func (c *Client) Delete(table, key uint64) (bool, error) {
-	resp, err := c.DeleteAsync(table, key).Result()
+	resp, err := c.doRetry(wire.Request{Op: wire.OpDelete, Table: table, Key: key})
 	if err != nil {
 		return false, err
 	}
@@ -263,13 +374,13 @@ func (c *Client) Delete(table, key uint64) (bool, error) {
 }
 
 // Scan returns up to limit rows with key >= from in ascending key order
-// (limit <= 0 means the server's maximum).
+// (limit <= 0 means the server's maximum), retrying transport failures.
 func (c *Client) Scan(table, from uint64, limit int) ([]wire.Entry, error) {
 	req := wire.Request{Op: wire.OpScan, Table: table, Key: from}
 	if limit > 0 {
 		req.Limit = uint32(limit)
 	}
-	resp, err := c.next().do(req).Result()
+	resp, err := c.doRetry(req)
 	if err != nil {
 		return nil, err
 	}
@@ -279,9 +390,10 @@ func (c *Client) Scan(table, from uint64, limit int) ([]wire.Entry, error) {
 	return resp.Entries, nil
 }
 
-// Stats returns the server's STATS JSON document.
+// Stats returns the server's STATS JSON document, retrying transport
+// failures.
 func (c *Client) Stats() ([]byte, error) {
-	resp, err := c.next().do(wire.Request{Op: wire.OpStats}).Result()
+	resp, err := c.doRetry(wire.Request{Op: wire.OpStats})
 	if err != nil {
 		return nil, err
 	}
@@ -408,6 +520,13 @@ type conn struct {
 	sem chan struct{}
 
 	closeOnce sync.Once
+}
+
+// failed reports whether the connection has a sticky transport error.
+func (cn *conn) failed() bool {
+	cn.mu.Lock()
+	defer cn.mu.Unlock()
+	return cn.err != nil
 }
 
 // do registers, encodes, and writes one request, returning the

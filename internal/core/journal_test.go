@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"nvmstore/internal/fault"
+)
+
+// TestJournalUndoesInterruptedWriteBack pins the undo journal's crash
+// contract: an in-place write-back torn mid-flush must not leave the
+// NVM slot with lines from two page generations. The journal restores
+// the pre-write-back image at restart, so the page reads back as the
+// last completed version.
+func TestJournalUndoesInterruptedWriteBack(t *testing.T) {
+	m := newTestManager(t, ThreeTier, 4, withFeatures(true, false, false),
+		func(c *Config) { c.StrictPersistence = true })
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 1)
+	m.ForceWrite(h) // stages version 1 on an NVM slot
+	if h.f.nvmSlot < 0 {
+		t.Fatal("page not staged on NVM")
+	}
+
+	// Dirty the whole page and tear the in-place write-back. The forced
+	// write performs five flushes: journal index, journal data, journal
+	// header (arm), the page lines, and the journal disarm — the fourth
+	// is the one that must be interruptible.
+	fillPattern(h, 2)
+	plan := &fault.Plan{Seed: 42, Rules: []fault.Rule{
+		{Kind: fault.NVMTornFlush, EveryN: 4, Limit: 1},
+	}}
+	m.NVM().SetFaults(plan.Injector(0))
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("write-back completed; the fault never fired")
+			}
+			if _, ok := fault.AsCrash(r); !ok {
+				panic(r)
+			}
+		}()
+		m.ForceWrite(h)
+	}()
+
+	if err := m.CrashRestart(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().JournalUndos; got != 1 {
+		t.Fatalf("JournalUndos = %d, want 1", got)
+	}
+	h2 := mustFix(t, m, pid, ModeFull)
+	checkPattern(t, h2, 1) // version 2 gone wholesale, version 1 intact
+	m.Unfix(h2)
+}
+
+// TestJournalDisarmedAfterCompleteWriteBack pins that a write-back that
+// runs to completion leaves nothing to undo: the next restart must not
+// roll the slot back.
+func TestJournalDisarmedAfterCompleteWriteBack(t *testing.T) {
+	m := newTestManager(t, ThreeTier, 4, withFeatures(true, false, false),
+		func(c *Config) { c.StrictPersistence = true })
+	h := mustAlloc(t, m)
+	pid := h.PID()
+	fillPattern(h, 1)
+	m.ForceWrite(h)
+	fillPattern(h, 2)
+	m.ForceWrite(h)
+	m.Unfix(h)
+	if err := m.CrashRestart(); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats().JournalUndos; got != 0 {
+		t.Fatalf("JournalUndos = %d, want 0", got)
+	}
+	h2 := mustFix(t, m, pid, ModeFull)
+	checkPattern(t, h2, 2)
+	m.Unfix(h2)
+}

@@ -53,8 +53,9 @@ func (t Topology) String() string {
 	}
 }
 
-// NVM device layout: a WAL region, one superblock page, then page slots of
-// one header line plus PageSize data each.
+// NVM device layout: a WAL region, one superblock page, the write-back
+// undo journal, then page slots of one header line plus PageSize data
+// each.
 const (
 	superSize     = 4096
 	slotSize      = LineSize + PageSize
@@ -62,6 +63,12 @@ const (
 	superMagic    = 0x4e564d53544f5245 // "NVMSTORE"
 	slotMagic     = 0x50414745         // "PAGE"
 	slotFlagDirty = 1 << 0             // NVM copy is newer than the SSD copy
+
+	// The undo journal (see journalArm) holds one header line, a line-
+	// index array, and up to a full page of saved cache lines.
+	journalMagic      = 0x4a524e4c // "JRNL"
+	journalIndexLines = (LinesPerPage*2 + LineSize - 1) / LineSize
+	journalSize       = (1 + journalIndexLines) * LineSize + PageSize
 )
 
 // Config describes a Manager. The zero value is not valid; at minimum
@@ -197,6 +204,7 @@ type Stats struct {
 	NVMDenials     int64 // pages denied NVM admission
 	NVMEvictions   int64 // pages evicted from the NVM cache
 	DirectFixes    int64 // in-place fixes (DirectNVM topology)
+	JournalUndos   int64 // interrupted write-backs undone at restart
 }
 
 // nvmSlotMeta is the in-DRAM directory entry for one NVM page slot
@@ -231,6 +239,9 @@ type Manager struct {
 	// NVM page-slot bookkeeping.
 	nvmSlots    int64
 	slotsOff    int64
+	journalOff  int64
+	journalBuf  []byte
+	journalList []int
 	nvmDir      []nvmSlotMeta // ThreeTier only
 	freeSlots   []int64
 	nvmNextSlot int64
@@ -281,7 +292,9 @@ func New(cfg Config) (*Manager, error) {
 		rec:     cfg.Recorder,
 	}
 	m.nvmSlots = cfg.NVMBytes / slotSize
-	m.slotsOff = cfg.WALBytes + superSize
+	m.journalOff = cfg.WALBytes + superSize
+	m.slotsOff = m.journalOff + journalSize
+	m.journalBuf = make([]byte, journalIndexLines*LineSize+PageSize)
 	nvmCfg := nvm.Config{
 		Size:              m.slotsOff + m.nvmSlots*slotSize,
 		ReadLatency:       cfg.NVMReadLatency,
@@ -1110,11 +1123,112 @@ func (m *Manager) writeBackToNVM(f *Frame) bool {
 	if !f.anyDirty {
 		return false
 	}
+	armed := m.journalArm(f)
 	written := m.nvmWriteBack(f)
+	if armed {
+		m.journalDisarm()
+	}
 	if written {
 		m.trace(f.pid, f.idx, obs.EvWriteback, obs.TierNVM, 0)
 	}
 	return written
+}
+
+// journalArm makes the upcoming in-place write-back atomic with respect
+// to a crash. Write-back overwrites a valid slot's cache lines with a
+// sequence of flushes; a crash (or a torn flush) mid-sequence leaves
+// the slot with lines from two page generations. The logical WAL cannot
+// repair that: rows that merely moved inside the page (shifted by a
+// neighboring, logged insert) are not themselves logged, and for a
+// dirty-with-respect-to-SSD slot the NVM copy is the only durable one,
+// so falling back to the SSD image would lose checkpointed data.
+//
+// The journal therefore saves the pre-write-back durable content of
+// every line about to be overwritten, then arms a header naming the
+// slot. Arming is a single-line persist, so the journal itself cannot
+// be torn into a valid-but-partial state: either the header is durable
+// (and index and data, flushed before it, are too) or the journal is
+// invisible. Recovery (replayJournal) restores the saved lines, rolling
+// the slot back to its consistent pre-write-back image, and WAL replay
+// rebuilds forward from there. journalDisarm retires the journal after
+// the write-back's last flush.
+func (m *Manager) journalArm(f *Frame) bool {
+	lines := m.journalList[:0]
+	switch {
+	case f.kind == kindMini:
+		for i := 0; i < int(f.count); i++ {
+			if f.miniDirty&(1<<uint(i)) != 0 {
+				lines = append(lines, int(f.slots[i]))
+			}
+		}
+	case !m.cfg.CacheLineGrained:
+		for ln := 0; ln < LinesPerPage; ln++ {
+			lines = append(lines, ln)
+		}
+	default:
+		f.dirty.setRuns(0, LinesPerPage-1, func(from, to int) {
+			for ln := from; ln <= to; ln++ {
+				lines = append(lines, ln)
+			}
+		})
+	}
+	m.journalList = lines
+	n := len(lines)
+	if n == 0 {
+		return false
+	}
+	idxBytes := journalIndexLines * LineSize
+	idx := m.journalBuf[:idxBytes]
+	data := m.journalBuf[idxBytes:]
+	base := m.slotDataOff(f.nvmSlot)
+	for i, ln := range lines {
+		binary.LittleEndian.PutUint16(idx[i*2:], uint16(ln))
+		m.nvm.ReadAt(data[i*LineSize:(i+1)*LineSize], base+int64(ln)*LineSize)
+	}
+	idxUsed := (n*2 + LineSize - 1) / LineSize * LineSize
+	m.nvm.Persist(idx[:idxUsed], m.journalOff+LineSize)
+	m.nvm.Persist(data[:n*LineSize], m.journalOff+int64(1+journalIndexLines)*LineSize)
+	var h [16]byte
+	binary.LittleEndian.PutUint32(h[0:], journalMagic)
+	binary.LittleEndian.PutUint32(h[4:], uint32(n))
+	binary.LittleEndian.PutUint64(h[8:], uint64(f.nvmSlot))
+	m.nvm.Persist(h[:], m.journalOff)
+	return true
+}
+
+func (m *Manager) journalDisarm() {
+	var z [16]byte
+	m.nvm.Persist(z[:], m.journalOff)
+}
+
+// replayJournal undoes a write-back that a crash interrupted: if the
+// journal header is armed, the saved pre-write-back lines are copied
+// back into their slot, restoring the page image that was current
+// before the interrupted flush sequence began. See journalArm.
+func (m *Manager) replayJournal() {
+	var h [16]byte
+	m.nvm.ReadAt(h[:], m.journalOff)
+	if binary.LittleEndian.Uint32(h[0:]) != journalMagic {
+		return
+	}
+	n := int(binary.LittleEndian.Uint32(h[4:]))
+	slot := int64(binary.LittleEndian.Uint64(h[8:]))
+	if n > 0 && n <= LinesPerPage && slot >= 0 && slot < m.nvmSlots {
+		idxBytes := journalIndexLines * LineSize
+		idx := m.journalBuf[:idxBytes]
+		data := m.journalBuf[idxBytes:]
+		m.nvm.ReadAt(idx, m.journalOff+LineSize)
+		m.nvm.ReadAt(data[:n*LineSize], m.journalOff+int64(1+journalIndexLines)*LineSize)
+		base := m.slotDataOff(slot)
+		for i := 0; i < n; i++ {
+			ln := int(binary.LittleEndian.Uint16(idx[i*2:]))
+			if ln < LinesPerPage {
+				m.nvm.Persist(data[i*LineSize:(i+1)*LineSize], base+int64(ln)*LineSize)
+			}
+		}
+		m.stats.JournalUndos++
+	}
+	m.journalDisarm()
 }
 
 func (m *Manager) nvmWriteBack(f *Frame) bool {

@@ -149,6 +149,9 @@ func (m *Manager) reopen() error {
 	if err := m.readSuper(); err != nil {
 		return err
 	}
+	// Undo any write-back a crash interrupted before trusting the slot
+	// contents the rebuild scan will read.
+	m.replayJournal()
 	m.rebuildFromNVM()
 	return nil
 }

@@ -30,6 +30,7 @@ import (
 
 	"nvmstore/internal/btree"
 	"nvmstore/internal/core"
+	"nvmstore/internal/fault"
 	"nvmstore/internal/simclock"
 	"nvmstore/internal/wal"
 )
@@ -142,6 +143,27 @@ func (e *Engine) Clock() *simclock.Clock { return e.m.Clock() }
 
 // Topology returns the engine's storage architecture.
 func (e *Engine) Topology() core.Topology { return e.m.Config().Topology }
+
+// ArmFaults derives per-device injectors from plan and installs them on
+// the engine's NVM device, SSD device (when the topology has one), and
+// WAL. Distinct engines (shards) pass distinct site numbers so their
+// fault streams are independent yet reproducible; each engine consumes
+// three consecutive site salts. A nil plan disarms every device.
+func (e *Engine) ArmFaults(plan *fault.Plan, site uint64) fault.Injectors {
+	inj := fault.Injectors{
+		NVM: plan.Injector(site * 3),
+		SSD: plan.Injector(site*3 + 1),
+		WAL: plan.Injector(site*3 + 2),
+	}
+	e.m.NVM().SetFaults(inj.NVM)
+	if ssd := e.m.SSD(); ssd != nil {
+		ssd.SetFaults(inj.SSD)
+	} else {
+		inj.SSD = nil
+	}
+	e.log.SetFaults(inj.WAL)
+	return inj
+}
 
 // CreateTree creates a new B+-tree and registers it in the persistent
 // catalog.

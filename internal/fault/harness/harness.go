@@ -1,0 +1,605 @@
+// Package harness sweeps a seeded workload across scheduled crash and
+// fault points and checks recovery invariants after every one.
+//
+// It lives in a subpackage of internal/fault because it sits on the
+// opposite side of the dependency: internal/fault is imported by the
+// devices, while the harness drives the whole assembled store (and, for
+// the network tier, a live server and client).
+//
+// The sweep works in two passes per fault kind. A dry run with an
+// empty, armed plan counts the kind's injection *opportunities* — every
+// NVM flush, SSD page access, or WAL append the workload performs. The
+// live runs then pin one single-shot fault to each of a set of
+// opportunity indices spread across that range (Rule{EveryN: k,
+// Limit: 1}), so the crash lands at a different, deterministic point of
+// the workload every time: mid-persist, mid-eviction, mid-commit.
+// After each crash the harness recovers with CrashRestart and checks:
+//
+//   - the buffer manager's structural invariants hold
+//     (Store.CheckInvariants);
+//   - every transaction acknowledged before the crash reads back
+//     exactly (no lost writes);
+//   - no transaction that never committed leaves partial effects —
+//     the in-flight transaction is either fully present or fully
+//     absent (atomicity at the crash point);
+//   - the store keeps serving transactions after recovery, and the
+//     final state matches the model.
+//
+// The network tier is swept the same way with single-shot connection
+// drops and partial frames injected into a live server's write path;
+// there the invariant is that a retrying client completes the workload
+// with nothing lost.
+package harness
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"nvmstore"
+	"nvmstore/internal/client"
+	"nvmstore/internal/fault"
+	"nvmstore/internal/server"
+)
+
+// Config parameterizes a sweep. The zero value sweeps the default
+// kinds over a small three-tier store.
+type Config struct {
+	// Arch is the storage architecture under test (default ThreeTier,
+	// the only one with all three device tiers).
+	Arch nvmstore.Architecture
+	// Seed derives the workload and every fault plan (default 1).
+	Seed uint64
+	// Txs is the number of transactions per run (default 60).
+	Txs int
+	// Rows bounds the key space (default 96).
+	Rows int
+	// RowSize is the table's row size in bytes (default 128).
+	RowSize int
+	// PointsPerKind is how many distinct crash points to schedule per
+	// fault kind (default 20, clamped to the opportunity count).
+	PointsPerKind int
+	// Kinds lists the storage fault kinds to sweep. Defaults to every
+	// crash- and error-kind across the NVM, SSD, and WAL tiers.
+	Kinds []fault.Kind
+	// NetPoints is how many single-shot network faults to sweep against
+	// a live server (default 20; negative skips the network tier).
+	NetPoints int
+	// Logf, when set, receives per-point progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) applyDefaults() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Txs <= 0 {
+		c.Txs = 60
+	}
+	if c.Rows <= 0 {
+		c.Rows = 1024
+	}
+	if c.RowSize <= 0 {
+		c.RowSize = 128
+	}
+	if c.PointsPerKind <= 0 {
+		c.PointsPerKind = 20
+	}
+	if len(c.Kinds) == 0 {
+		c.Kinds = []fault.Kind{
+			fault.NVMTornFlush, fault.NVMCrash,
+			fault.WALFlushCrash, fault.WALAppendError,
+			fault.SSDReadError, fault.SSDWriteError,
+		}
+	}
+	if c.NetPoints < 0 {
+		c.NetPoints = 0
+	} else if c.NetPoints == 0 {
+		c.NetPoints = 20
+	}
+}
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// Report summarizes a sweep.
+type Report struct {
+	// Opportunities is the dry-run injection-opportunity count per
+	// swept kind — the size of each kind's schedule space.
+	Opportunities map[fault.Kind]int64
+	// Points is the number of distinct scheduled fault points run.
+	Points int
+	// Crashes is how many of them actually crashed the store (error-
+	// kind points surface as failed operations instead).
+	Crashes int
+	// Recoveries counts successful CrashRestart cycles.
+	Recoveries int
+	// Violations lists every invariant failure, formatted with its
+	// fault kind and crash point. Empty means the sweep passed.
+	Violations []string
+}
+
+// Run executes the sweep and returns its report. The error is non-nil
+// only for harness-level failures (a store that cannot be built); an
+// invariant violation is reported in Report.Violations, so callers must
+// check both.
+func Run(cfg Config) (Report, error) {
+	cfg.applyDefaults()
+	rep := Report{Opportunities: make(map[fault.Kind]int64)}
+
+	opp, err := dryRun(cfg)
+	if err != nil {
+		return rep, err
+	}
+	for _, k := range cfg.Kinds {
+		rep.Opportunities[k] = opp.Opportunities(k)
+	}
+
+	for _, kind := range cfg.Kinds {
+		n := opp.Opportunities(kind)
+		if n == 0 {
+			cfg.logf("%s: no opportunities on %s, skipped", kind, cfg.Arch)
+			continue
+		}
+		for _, point := range spread(cfg.PointsPerKind, n) {
+			rep.Points++
+			crashed, err := runPoint(cfg, kind, point)
+			if err != nil {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("%s@%d/%d: %v", kind, point, n, err))
+				cfg.logf("%s@%d: VIOLATION: %v", kind, point, err)
+				continue
+			}
+			if crashed {
+				rep.Crashes++
+				rep.Recoveries++
+			}
+			cfg.logf("%s@%d/%d: ok (crashed=%v)", kind, point, n, crashed)
+		}
+	}
+
+	if cfg.NetPoints > 0 {
+		points, violations, err := runNet(cfg)
+		if err != nil {
+			return rep, err
+		}
+		rep.Points += points
+		rep.Violations = append(rep.Violations, violations...)
+	}
+	return rep, nil
+}
+
+// openStore builds the store under test: strict persistence (unflushed
+// NVM lines vanish on crash), debug checks on, and DRAM/NVM budgets
+// deliberately far below the data set so the workload churns through
+// every tier — evictions write to SSD and misses read it back, giving
+// the SSD fault kinds real injection opportunities. The table is
+// pre-populated with the full keyspace and checkpointed before any
+// fault is armed, so the sweep starts from a durable baseline.
+func openStore(cfg Config) (*nvmstore.Store, *nvmstore.Table, error) {
+	st, err := nvmstore.Open(nvmstore.Options{
+		Architecture:      cfg.Arch,
+		DRAMBytes:         96 << 10,
+		NVMBytes:          128 << 10,
+		SSDBytes:          64 << 20,
+		WALBytes:          4 << 20,
+		StrictPersistence: true,
+		DebugChecks:       true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	tab, err := st.CreateTable(1, cfg.RowSize)
+	if err != nil {
+		return nil, nil, err
+	}
+	err = tab.BulkLoad(cfg.Rows,
+		func(i int) uint64 { return uint64(i) },
+		func(i int, dst []byte) { copy(dst, rowFor(cfg, uint64(i), -1)) },
+		0.9)
+	if err != nil {
+		return nil, nil, fmt.Errorf("harness: bulk load: %v", err)
+	}
+	if err := st.Checkpoint(); err != nil {
+		return nil, nil, fmt.Errorf("harness: baseline checkpoint: %v", err)
+	}
+	return st, tab, nil
+}
+
+// dryRun runs the workload fault-free with an armed empty plan and
+// returns the per-device opportunity counters.
+func dryRun(cfg Config) (fault.Injectors, error) {
+	st, tab, err := openStore(cfg)
+	if err != nil {
+		return fault.Injectors{}, err
+	}
+	defer st.Close()
+	inj := st.InjectFaults(&fault.Plan{Seed: cfg.Seed})
+	w := newWorkload(cfg)
+	for i := 0; i < cfg.Txs; i++ {
+		if crashed, err := w.runTx(st, tab, i); crashed || err != nil {
+			return inj, fmt.Errorf("harness: dry run tx %d failed: crashed=%v err=%v", i, crashed, err)
+		}
+	}
+	return inj, nil
+}
+
+// spread picks up to count opportunity indices covering [1, n]: the
+// earliest point, the latest, and an even spread between.
+func spread(count int, n int64) []int64 {
+	if int64(count) > n {
+		count = int(n)
+	}
+	if count <= 1 {
+		return []int64{1 + n/2}
+	}
+	out := make([]int64, 0, count)
+	var last int64
+	for i := 0; i < count; i++ {
+		k := 1 + int64(i)*(n-1)/int64(count-1)
+		if k > last {
+			out = append(out, k)
+			last = k
+		}
+	}
+	return out
+}
+
+// runPoint runs the workload with a single-shot fault pinned to the
+// point-th opportunity of kind, recovering and checking invariants at
+// the crash. It reports whether the fault actually surfaced.
+func runPoint(cfg Config, kind fault.Kind, point int64) (crashed bool, err error) {
+	st, tab, err := openStore(cfg)
+	if err != nil {
+		return false, err
+	}
+	defer st.Close()
+	st.InjectFaults(&fault.Plan{Seed: cfg.Seed, Rules: []fault.Rule{
+		{Kind: kind, EveryN: point, Limit: 1},
+	}})
+	w := newWorkload(cfg)
+	for i := 0; i < cfg.Txs; i++ {
+		hit, err := w.runTx(st, tab, i)
+		if err != nil {
+			return crashed, fmt.Errorf("tx %d: %v", i, err)
+		}
+		if !hit {
+			continue
+		}
+		// The fault surfaced inside transaction i (as a fault.Crash
+		// panic or an injected error). Either way the in-memory state
+		// is suspect: power-fail and recover.
+		crashed = true
+		if _, rerr := st.CrashRestart(); rerr != nil {
+			return crashed, fmt.Errorf("recovery after tx %d: %v", i, rerr)
+		}
+		// Recovery rebuilds the trees; pre-crash table handles hold
+		// stale swizzled pointers into the lost DRAM frames.
+		tab = st.Table(1)
+		if ierr := st.CheckInvariants(); ierr != nil {
+			return crashed, fmt.Errorf("invariants after tx %d: %v", i, ierr)
+		}
+		if verr := w.verifyAfterCrash(tab); verr != nil {
+			return crashed, fmt.Errorf("state after tx %d: %v", i, verr)
+		}
+	}
+	if verr := w.verify(tab); verr != nil {
+		return crashed, fmt.Errorf("final state: %v", verr)
+	}
+	return crashed, nil
+}
+
+// ---- the deterministic transactional workload ----
+
+// pendingOp is the net per-key effect of the transaction in flight when
+// a crash hit: the committed value before the transaction (nil if
+// absent) and the value it was writing (nil for a delete).
+type pendingOp struct {
+	before []byte
+	after  []byte
+}
+
+// workload is a deterministic sequence of small read-write transactions
+// plus the model of what the store must contain.
+type workload struct {
+	cfg   Config
+	rng   uint64
+	model map[uint64][]byte
+	// pending is the in-flight transaction's net effect, kept for
+	// crash-time divergence accounting; nil outside runTx.
+	pending map[uint64]pendingOp
+	buf     []byte
+}
+
+func newWorkload(cfg Config) *workload {
+	w := &workload{
+		cfg:   cfg,
+		rng:   cfg.Seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d,
+		model: make(map[uint64][]byte, cfg.Rows),
+		buf:   make([]byte, cfg.RowSize),
+	}
+	// The model starts as the bulk-loaded baseline (txIdx -1 rows).
+	for key := uint64(0); key < uint64(cfg.Rows); key++ {
+		w.model[key] = rowFor(cfg, key, -1)
+	}
+	return w
+}
+
+// next is splitmix64, the workload's private deterministic stream.
+func (w *workload) next() uint64 {
+	w.rng += 0x9e3779b97f4a7c15
+	x := w.rng
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// rowFor derives the row a given transaction writes to a key.
+func rowFor(cfg Config, key uint64, txIdx int) []byte {
+	row := make([]byte, cfg.RowSize)
+	binary.LittleEndian.PutUint64(row, key)
+	binary.LittleEndian.PutUint64(row[8:], uint64(txIdx)+1)
+	for i := 16; i < len(row); i++ {
+		row[i] = byte(key>>3) + byte(txIdx) + byte(i)
+	}
+	return row
+}
+
+// runTx runs one transaction of 1–3 upserts/deletes. It reports
+// hit=true when an injected fault surfaced (crash panic or error); a
+// non-nil error is a real, non-injected failure. On a clean commit the
+// model absorbs the transaction's effect; on a hit the effect stays in
+// w.pending for verifyAfterCrash to resolve.
+func (w *workload) runTx(st *nvmstore.Store, tab *nvmstore.Table, txIdx int) (hit bool, err error) {
+	w.pending = make(map[uint64]pendingOp)
+	nops := 1 + int(w.next()%3)
+	type op struct {
+		key uint64
+		del bool
+	}
+	ops := make([]op, nops)
+	for i := range ops {
+		ops[i] = op{key: w.next() % uint64(w.cfg.Rows), del: w.next()%10 < 3}
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := fault.AsCrash(r); ok {
+				hit, err = true, nil
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	st.Begin()
+	for _, o := range ops {
+		p, seen := w.pending[o.key]
+		if !seen {
+			p.before = w.model[o.key]
+		}
+		if o.del {
+			if _, derr := tab.Delete(o.key); derr != nil {
+				if fault.IsInjected(derr) {
+					return true, nil
+				}
+				return false, derr
+			}
+			p.after = nil
+		} else {
+			row := rowFor(w.cfg, o.key, txIdx)
+			found, uerr := tab.UpdateField(o.key, 0, row)
+			if uerr == nil && !found {
+				uerr = tab.Insert(o.key, row)
+			}
+			if uerr != nil {
+				if fault.IsInjected(uerr) {
+					return true, nil
+				}
+				return false, uerr
+			}
+			p.after = row
+		}
+		w.pending[o.key] = p
+	}
+	if cerr := st.Commit(); cerr != nil {
+		if fault.IsInjected(cerr) {
+			return true, nil
+		}
+		return false, cerr
+	}
+	// Committed: fold into the model.
+	for key, p := range w.pending {
+		if p.after == nil {
+			delete(w.model, key)
+		} else {
+			w.model[key] = p.after
+		}
+	}
+	w.pending = nil
+	return false, nil
+}
+
+// lookup reads a key, distinguishing absent from present.
+func (w *workload) lookup(tab *nvmstore.Table, key uint64) ([]byte, bool, error) {
+	ok, err := tab.Lookup(key, w.buf)
+	if err != nil {
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	return w.buf, true, nil
+}
+
+// verify checks that every key outside the pending set reads back
+// exactly as the model records (acknowledged writes survive, aborted
+// ones never resurface).
+func (w *workload) verify(tab *nvmstore.Table) error {
+	for key := uint64(0); key < uint64(w.cfg.Rows); key++ {
+		if w.pending != nil {
+			if _, isPending := w.pending[key]; isPending {
+				continue
+			}
+		}
+		got, ok, err := w.lookup(tab, key)
+		if err != nil {
+			return fmt.Errorf("lookup %d: %v", key, err)
+		}
+		want, exists := w.model[key]
+		switch {
+		case exists && !ok:
+			return fmt.Errorf("committed key %d lost", key)
+		case !exists && ok:
+			return fmt.Errorf("key %d resurfaced after delete/abort", key)
+		case exists && string(got) != string(want):
+			return fmt.Errorf("key %d corrupted (tx tag %d, want %d)",
+				key, binary.LittleEndian.Uint64(got[8:]), binary.LittleEndian.Uint64(want[8:]))
+		}
+	}
+	return nil
+}
+
+// verifyAfterCrash checks the crash-time contract and resolves the
+// in-flight transaction: untouched keys must match the model exactly,
+// and the pending keys must *all* carry the transaction's after-state
+// or *all* its before-state — a mix is an atomicity violation. The
+// winning state is folded into the model and the workload continues.
+func (w *workload) verifyAfterCrash(tab *nvmstore.Table) error {
+	if err := w.verify(tab); err != nil {
+		return err
+	}
+	votesAfter, votesBefore := 0, 0
+	for key, p := range w.pending {
+		if string(p.before) == string(p.after) {
+			continue // uninformative (e.g. delete of an absent key)
+		}
+		got, ok, err := w.lookup(tab, key)
+		if err != nil {
+			return fmt.Errorf("lookup pending %d: %v", key, err)
+		}
+		var cur []byte
+		if ok {
+			cur = got
+		}
+		switch {
+		case string(cur) == string(p.after):
+			votesAfter++
+		case string(cur) == string(p.before):
+			votesBefore++
+		default:
+			return fmt.Errorf("pending key %d is neither before- nor after-image", key)
+		}
+	}
+	if votesAfter > 0 && votesBefore > 0 {
+		return fmt.Errorf("atomicity violation: in-flight tx partially applied (%d after, %d before)",
+			votesAfter, votesBefore)
+	}
+	if votesAfter > 0 {
+		for key, p := range w.pending {
+			if p.after == nil {
+				delete(w.model, key)
+			} else {
+				w.model[key] = p.after
+			}
+		}
+	}
+	w.pending = nil
+	return nil
+}
+
+// ---- the network tier ----
+
+// runNet sweeps single-shot connection drops and partial frames against
+// a live server, one scheduled point per run, checking that a retrying
+// client completes the workload with nothing lost.
+func runNet(cfg Config) (points int, violations []string, err error) {
+	half := cfg.NetPoints / 2
+	kinds := []struct {
+		kind fault.Kind
+		n    int
+	}{
+		{fault.NetDrop, cfg.NetPoints - half},
+		{fault.NetPartial, half},
+	}
+	for _, k := range kinds {
+		// Responses written ≈ ops issued; spread the single shot over
+		// the workload's response stream.
+		ops := int64(2 * cfg.Rows)
+		for _, point := range spread(k.n, ops) {
+			points++
+			if verr := runNetPoint(cfg, k.kind, point); verr != nil {
+				violations = append(violations, fmt.Sprintf("%s@%d: %v", k.kind, point, verr))
+				cfg.logf("%s@%d: VIOLATION: %v", k.kind, point, verr)
+			} else {
+				cfg.logf("%s@%d/%d: ok", k.kind, point, ops)
+			}
+		}
+	}
+	return points, violations, nil
+}
+
+// runNetPoint serves a store, injects one network fault at the given
+// response index, and drives the keyspace through a retrying client.
+func runNetPoint(cfg Config, kind fault.Kind, point int64) error {
+	store, err := nvmstore.OpenSharded(2, nvmstore.Options{
+		Architecture: cfg.Arch,
+		DRAMBytes:    4 << 20,
+		NVMBytes:     16 << 20,
+		SSDBytes:     64 << 20,
+	})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	if _, err := store.CreateTable(1, cfg.RowSize); err != nil {
+		return err
+	}
+	plan := &fault.Plan{Seed: cfg.Seed, Rules: []fault.Rule{{Kind: kind, EveryN: point, Limit: 1}}}
+	srv := server.New(store, server.Options{Faults: plan.Injector(0)})
+	errc := make(chan error, 1)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	go func() { errc <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-errc
+	}()
+
+	cl, err := client.Dial(ln.Addr().String(), client.Options{
+		Conns: 2, Retries: 8, RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+
+	for key := uint64(0); key < uint64(cfg.Rows); key++ {
+		if err := cl.Put(1, key, rowFor(cfg, key, int(point))); err != nil {
+			return fmt.Errorf("put %d: %v", key, err)
+		}
+	}
+	for key := uint64(0); key < uint64(cfg.Rows); key++ {
+		got, ok, err := cl.Get(1, key)
+		if err != nil {
+			return fmt.Errorf("get %d: %v", key, err)
+		}
+		if !ok {
+			return fmt.Errorf("acked key %d lost", key)
+		}
+		want := rowFor(cfg, key, int(point))
+		if string(got[:16]) != string(want[:16]) {
+			return fmt.Errorf("key %d corrupted", key)
+		}
+	}
+	return nil
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"time"
 
+	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/simclock"
 )
@@ -120,6 +121,10 @@ type Device struct {
 	// Crash injection (FailAfterFlushes).
 	failArmed bool
 	failIn    int64
+
+	// faults, when non-nil, is consulted on every Flush for scheduled
+	// torn flushes, clean crashes, and stalls (see SetFaults).
+	faults *fault.Injector
 
 	rec obs.Recorder
 	// zeroReads batches fully CPU-cached ReadAt/Touch calls — the hot
@@ -333,6 +338,15 @@ func (d *Device) FailAfterFlushes(n int64) {
 	d.failArmed = n >= 0
 }
 
+// SetFaults installs a fault injector consulted on every Flush: a
+// fault.NVMStall charges extra latency, a fault.NVMCrash panics with
+// fault.Crash before persisting anything, and a fault.NVMTornFlush
+// persists only a prefix of the flushed lines before crashing — the
+// adversarial interleaving of per-line clwbs with a power failure that
+// the paper's sfence ordering argument has to survive. A nil injector
+// (the default) disables injection.
+func (d *Device) SetFaults(in *fault.Injector) { d.faults = in }
+
 // Flush makes the lines covering [off, off+n) durable, charging write
 // latency and incrementing the wear counter of every flushed line. It
 // models clwb of each line followed by an sfence: the lines stay valid in
@@ -350,6 +364,29 @@ func (d *Device) Flush(off int64, n int) {
 		d.failIn--
 	}
 	first, count := lineRange(off, n)
+	if d.faults != nil {
+		if st := d.faults.Check(fault.NVMStall); st.Fire {
+			d.clk.AdvanceNs(st.StallNs)
+		}
+		if d.faults.Check(fault.NVMCrash).Fire {
+			panic(fault.Crash{Kind: fault.NVMCrash, Site: "nvm.flush"})
+		}
+		if torn := d.faults.Check(fault.NVMTornFlush); torn.Fire {
+			// The crash lands between two clwbs: a prefix of the lines
+			// reaches the medium (they leave the strict-persistence
+			// pending set and count as wear), the rest never persists.
+			// Frac < 1 guarantees at least the last line is lost.
+			durable := int64(torn.Frac * float64(count))
+			for l := first; l < first+durable; l++ {
+				d.wear[l]++
+				if d.pending != nil {
+					delete(d.pending, l)
+				}
+			}
+			d.stats.LinesFlushed += durable
+			panic(fault.Crash{Kind: fault.NVMTornFlush, Site: "nvm.flush"})
+		}
+	}
 	for l := first; l < first+count; l++ {
 		d.wear[l]++
 		if d.pending != nil {

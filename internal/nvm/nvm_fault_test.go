@@ -1,0 +1,107 @@
+package nvm
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nvmstore/internal/fault"
+	"nvmstore/internal/simclock"
+)
+
+func newStrictFaultDevice(rules ...fault.Rule) (*Device, *simclock.Clock) {
+	clk := &simclock.Clock{}
+	d := New(Config{
+		Size:              1 << 16,
+		ReadLatency:       500 * time.Nanosecond,
+		WriteLatency:      500 * time.Nanosecond,
+		LineTransfer:      30 * time.Nanosecond,
+		StrictPersistence: true,
+	}, clk)
+	d.SetFaults((&fault.Plan{Seed: 77, Rules: rules}).Injector(0))
+	return d, clk
+}
+
+// TestTornFlushPersistsPrefixOnly: an injected torn flush crashes
+// between clwbs — after the power failure, the flushed range is part
+// old content, part new, split at a line boundary, never interleaved.
+func TestTornFlushPersistsPrefixOnly(t *testing.T) {
+	const lines = 8
+	old := bytes.Repeat([]byte{0xAA}, lines*LineSize)
+	d2, _ := newStrictFaultDevice()
+	d2.Persist(old, 0) // durable baseline, then arm the single-shot tear
+	d2.SetFaults((&fault.Plan{Seed: 77, Rules: []fault.Rule{
+		{Kind: fault.NVMTornFlush, EveryN: 1, Limit: 1},
+	}}).Injector(0))
+
+	newData := bytes.Repeat([]byte{0xBB}, lines*LineSize)
+	d2.WriteAt(newData, 0)
+	crashed := func() (ok bool) {
+		defer func() { _, ok = fault.AsCrash(recover()) }()
+		d2.Flush(0, lines*LineSize)
+		return false
+	}()
+	if !crashed {
+		t.Fatal("torn flush did not crash")
+	}
+	d2.Crash()
+
+	got := make([]byte, lines*LineSize)
+	d2.ReadAt(got, 0)
+	// Some prefix of lines is new, the rest reverted to old.
+	split := -1
+	for l := 0; l < lines; l++ {
+		line := got[l*LineSize : (l+1)*LineSize]
+		switch {
+		case bytes.Equal(line, newData[:LineSize]):
+			if split >= 0 {
+				t.Fatalf("new line %d after reverted line %d", l, split)
+			}
+		case bytes.Equal(line, old[:LineSize]):
+			if split < 0 {
+				split = l
+			}
+		default:
+			t.Fatalf("line %d is neither old nor new: % x", l, line[:8])
+		}
+	}
+	if split == -1 {
+		t.Fatal("no line was lost: torn flush persisted everything")
+	}
+}
+
+// TestCleanCrashLosesWholeFlush: fault.NVMCrash fires before any line
+// persists.
+func TestCleanCrashLosesWholeFlush(t *testing.T) {
+	d, _ := newStrictFaultDevice()
+	base := bytes.Repeat([]byte{1}, 2*LineSize)
+	d.Persist(base, 0)
+	d.SetFaults((&fault.Plan{Seed: 5, Rules: []fault.Rule{
+		{Kind: fault.NVMCrash, EveryN: 1, Limit: 1},
+	}}).Injector(0))
+	d.WriteAt(bytes.Repeat([]byte{2}, 2*LineSize), 0)
+	func() {
+		defer func() {
+			if _, ok := fault.AsCrash(recover()); !ok {
+				t.Fatal("flush did not crash")
+			}
+		}()
+		d.Flush(0, 2*LineSize)
+	}()
+	d.Crash()
+	got := make([]byte, 2*LineSize)
+	d.ReadAt(got, 0)
+	if !bytes.Equal(got, base) {
+		t.Fatal("clean crash leaked unflushed lines")
+	}
+}
+
+// TestNVMStallCharged: an injected stall adds simulated time to a flush.
+func TestNVMStallCharged(t *testing.T) {
+	d, clk := newStrictFaultDevice(fault.Rule{Kind: fault.NVMStall, EveryN: 1, Limit: 1, Stall: time.Millisecond})
+	before := clk.Ns()
+	d.Persist(make([]byte, LineSize), 0)
+	if got := clk.Ns() - before; got < int64(time.Millisecond) {
+		t.Fatalf("charged %d ns, want >= 1 ms", got)
+	}
+}

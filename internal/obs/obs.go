@@ -88,6 +88,7 @@ func (o Op) String() string {
 // Tier identifies a level of the storage hierarchy in trace events.
 type Tier uint8
 
+// The tiers, in hierarchy order.
 const (
 	TierDRAM Tier = iota
 	TierNVM

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nvmstore/internal/bench"
@@ -52,6 +53,11 @@ type Options struct {
 	// (default 30000); Warmup runs before measuring (default Ops/2).
 	Ops    int
 	Warmup int
+	// Retries is the per-request retry budget the client applies to
+	// retryable transport failures (0: the client default of 3;
+	// negative: fail fast). Reissued requests are subtracted from the
+	// throughput math, so retries show up as degradation, not free ops.
+	Retries int
 	// Seed is the base seed of the per-worker Zipf streams (default
 	// ycsb.DefaultSeed); worker i draws from shard.SeedFor(Seed, i).
 	Seed uint64
@@ -100,30 +106,33 @@ func Run(o Options) (bench.Result, error) {
 		Conns: o.Conns,
 		// Every worker must be able to fill its pipeline even if the
 		// round-robin lands them all on one connection.
-		Depth: o.Clients * o.Depth,
+		Depth:   o.Clients * o.Depth,
+		Retries: o.Retries,
 	})
 	if err != nil {
 		return bench.Result{}, err
 	}
 	defer cl.Close()
 
+	var reissued atomic.Int64
 	if o.Load {
-		if err := remoteLoad(cl, o); err != nil {
+		if err := remoteLoad(cl, o, &reissued); err != nil {
 			return bench.Result{}, fmt.Errorf("remote load: %w", err)
 		}
 	}
 	if o.Warmup > 0 {
-		if err := remoteRun(cl, o, o.Warmup); err != nil {
+		if err := remoteRun(cl, o, o.Warmup, &reissued); err != nil {
 			return bench.Result{}, fmt.Errorf("remote warmup: %w", err)
 		}
 	}
+	reissued.Store(0) // count only the measured window
 	cl.ResetLatency()
 	before, err := remoteStats(cl)
 	if err != nil {
 		return bench.Result{}, err
 	}
 	start := time.Now()
-	if err := remoteRun(cl, o, o.Ops); err != nil {
+	if err := remoteRun(cl, o, o.Ops, &reissued); err != nil {
 		return bench.Result{}, fmt.Errorf("remote run: %w", err)
 	}
 	wall := time.Since(start)
@@ -161,7 +170,35 @@ func Run(o Options) (bench.Result, error) {
 			o.Ops, o.Clients, o.Depth, o.Conns, wall.Round(time.Microsecond), sim, combined.Round(time.Microsecond)),
 		"latency rows: wire.* are client-observed wall-clock round trips;",
 		"the rest are the server engine's simulated-time histograms (with -obs)")
+	if n := reissued.Load(); n > 0 || cl.Retries() > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"%d pipelined ops reissued after transport failures (%d client-level retries); reissues cost time but add no ops",
+			n, cl.Retries()))
+	}
 	return res, nil
+}
+
+// pending pairs an in-flight pipelined call with a closure that can
+// reissue the same operation through the client's synchronous path,
+// which retries with backoff and redials failed connections.
+type pending struct {
+	call *client.Call
+	redo func() error
+}
+
+// settle waits out one pipelined call. A retryable transport failure
+// under it (an injected drop, a bounced connection) is absorbed by
+// reissuing the operation synchronously — unless the run asked to fail
+// fast (Options.Retries < 0). Only idempotent autocommit operations
+// travel through the pipeline, so reissuing is safe for the same
+// reason the client's own retry loop is (see client.IsRetryable).
+func settle(o Options, p pending, reissued *atomic.Int64) error {
+	_, err := p.call.Result()
+	if err == nil || o.Retries < 0 || !client.IsRetryable(err) {
+		return err
+	}
+	reissued.Add(1)
+	return p.redo()
 }
 
 // remoteStats fetches and decodes the server's STATS document.
@@ -179,21 +216,27 @@ func remoteStats(cl *client.Client) (server.StatsDoc, error) {
 
 // remoteLoad PUTs every key of the key space, pipelined, partitioned
 // across the workers.
-func remoteLoad(cl *client.Client, o Options) error {
+func remoteLoad(cl *client.Client, o Options, reissued *atomic.Int64) error {
 	return remoteWorkers(o.Clients, func(wid int) error {
 		val := make([]byte, o.ValueSize)
-		var inflight []*client.Call
-		for key := wid; key < o.Rows; key += o.Clients {
-			ycsb.FillField(uint64(key), 0, val)
-			inflight = append(inflight, cl.PutAsync(o.Table, uint64(key), val))
+		var inflight []pending
+		for k := wid; k < o.Rows; k += o.Clients {
+			key := uint64(k)
+			ycsb.FillField(key, 0, val)
+			p := pending{cl.PutAsync(o.Table, key, val), func() error {
+				v := make([]byte, o.ValueSize)
+				ycsb.FillField(key, 0, v)
+				return cl.Put(o.Table, key, v)
+			}}
+			inflight = append(inflight, p)
 			if len(inflight) >= o.Depth {
-				if _, err := inflight[0].Result(); err != nil {
+				if err := settle(o, inflight[0], reissued); err != nil {
 					return err
 				}
 				inflight = inflight[1:]
 			}
 		}
-		return drain(inflight)
+		return drain(o, inflight, reissued)
 	})
 }
 
@@ -201,7 +244,7 @@ func remoteLoad(cl *client.Client, o Options) error {
 // across the workers (the remainder spread over the first total%Clients
 // workers, so throughput can divide total by the measured time), each
 // worker pipelining Depth requests.
-func remoteRun(cl *client.Client, o Options, total int) error {
+func remoteRun(cl *client.Client, o Options, total int, reissued *atomic.Int64) error {
 	base, extra := total/o.Clients, total%o.Clients
 	return remoteWorkers(o.Clients, func(wid int) error {
 		per := base
@@ -210,34 +253,42 @@ func remoteRun(cl *client.Client, o Options, total int) error {
 		}
 		gen := zipfian.New(uint64(o.Rows), zipfian.Theta1, shard.SeedFor(o.Seed, wid))
 		val := make([]byte, o.ValueSize)
-		var inflight []*client.Call
+		var inflight []pending
 		for i := 0; i < per; i++ {
 			key := gen.NextScrambled()
-			var call *client.Call
+			var p pending
 			if int(gen.Uint64n(100)) < o.WritePct {
 				// Vary the payload with the op index so writes are not
 				// no-ops (PutAsync consumes val before returning).
-				ycsb.FillField(key+uint64(i), 0, val)
-				call = cl.PutAsync(o.Table, key, val)
+				fill := key + uint64(i)
+				ycsb.FillField(fill, 0, val)
+				p = pending{cl.PutAsync(o.Table, key, val), func() error {
+					v := make([]byte, o.ValueSize)
+					ycsb.FillField(fill, 0, v)
+					return cl.Put(o.Table, key, v)
+				}}
 			} else {
-				call = cl.GetAsync(o.Table, key)
+				p = pending{cl.GetAsync(o.Table, key), func() error {
+					_, _, err := cl.Get(o.Table, key)
+					return err
+				}}
 			}
-			inflight = append(inflight, call)
+			inflight = append(inflight, p)
 			if len(inflight) >= o.Depth {
-				if _, err := inflight[0].Result(); err != nil {
+				if err := settle(o, inflight[0], reissued); err != nil {
 					return err
 				}
 				inflight = inflight[1:]
 			}
 		}
-		return drain(inflight)
+		return drain(o, inflight, reissued)
 	})
 }
 
 // drain waits out a pipeline tail.
-func drain(inflight []*client.Call) error {
-	for _, call := range inflight {
-		if _, err := call.Result(); err != nil {
+func drain(o Options, inflight []pending, reissued *atomic.Int64) error {
+	for _, p := range inflight {
+		if err := settle(o, p, reissued); err != nil {
 			return err
 		}
 	}

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"nvmstore"
+	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/wire"
 )
@@ -84,6 +85,13 @@ type Options struct {
 	WriteTimeout time.Duration
 	// Logf, when set, receives connection-level error logs.
 	Logf func(format string, args ...any)
+	// Faults, when set, injects network faults on the response path:
+	// fault.NetDrop closes a connection instead of writing a queued
+	// response and fault.NetPartial writes half a response frame before
+	// closing — the failures a resilient client must retry through. One
+	// injector is shared by all connections, so probability rules model
+	// a server-wide fault rate.
+	Faults *fault.Injector
 }
 
 func (o *Options) applyDefaults() {
@@ -755,6 +763,22 @@ func (c *conn) writeLoop() {
 	for buf := range c.out {
 		if err != nil {
 			continue // peer gone: discard, keep the queue draining
+		}
+		if in := c.srv.opts.Faults; in != nil {
+			if in.Check(fault.NetDrop).Fire {
+				err = errors.New("injected connection drop")
+				c.nc.Close()
+				continue
+			}
+			if in.Check(fault.NetPartial).Fire {
+				// Half a frame, then sever: the client sees a short read
+				// on a frame it can neither finish nor trust.
+				c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.WriteTimeout))
+				c.nc.Write(buf[:len(buf)/2])
+				err = errors.New("injected partial frame")
+				c.nc.Close()
+				continue
+			}
 		}
 		// The deadline is what makes a stalled peer (TCP zero window)
 		// a bounded problem: Write fails at the latest after

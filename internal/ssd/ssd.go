@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/simclock"
 )
@@ -30,6 +31,12 @@ type Config struct {
 	ReadLatency time.Duration
 	// WriteLatency is charged per page write.
 	WriteLatency time.Duration
+	// MaxRetries bounds how many times a faulted page access is retried
+	// before the failure is treated as fatal (default 4).
+	MaxRetries int
+	// RetryBackoff is the simulated delay charged before the first
+	// retry; it doubles per attempt (default 50 µs).
+	RetryBackoff time.Duration
 }
 
 // DefaultConfig returns the SSD configuration used by the reproduction: the
@@ -46,24 +53,76 @@ func DefaultConfig(pageSize int, capacity int64) Config {
 
 // Stats counts device traffic since the last ResetStats.
 type Stats struct {
+	// PagesRead and PagesWritten count successful page transfers.
 	PagesRead    int64
 	PagesWritten int64
+	// Faults counts injected I/O errors hit by page accesses.
+	Faults int64
+	// Retries counts retry attempts spent recovering from transient
+	// faults (each charged a doubling backoff on the simulated clock).
+	Retries int64
+	// Stalls counts injected slow-I/O events.
+	Stalls int64
 }
 
 // Device is a simulated SSD storing fixed-size pages addressed by slot
 // number.
 type Device struct {
-	cfg   Config
-	clk   *simclock.Clock
-	pages map[int64][]byte
-	stats Stats
-	rec   obs.Recorder
+	cfg    Config
+	clk    *simclock.Clock
+	pages  map[int64][]byte
+	stats  Stats
+	rec    obs.Recorder
+	faults *fault.Injector
 }
 
 // SetRecorder installs an observability recorder: every ReadPage records
 // its charged latency as obs.OpSSDRead and every WritePage as
 // obs.OpSSDWrite. A nil recorder (the default) disables recording.
 func (d *Device) SetRecorder(r obs.Recorder) { d.rec = r }
+
+// SetFaults installs a fault injector consulted on every page access:
+// fault.SSDReadError / fault.SSDWriteError inject I/O errors the device
+// retries with exponential backoff (charged to the simulated clock, so
+// degradation shows up in throughput), and fault.SSDStall charges extra
+// latency. A transient fault that outlives Config.MaxRetries, or a
+// permanent one, panics with fault.Crash — the storage engine above has
+// no error path for a dead drive, so harnesses treat it as a failed
+// node and restart. A nil injector (the default) disables injection.
+func (d *Device) SetFaults(in *fault.Injector) { d.faults = in }
+
+// injectFaults runs the fault checks for one page access of kind k at
+// the named site, charging backoff for transient errors and panicking
+// on permanent ones.
+func (d *Device) injectFaults(k fault.Kind, site string) {
+	if st := d.faults.Check(fault.SSDStall); st.Fire {
+		d.stats.Stalls++
+		d.clk.AdvanceNs(st.StallNs)
+	}
+	dec := d.faults.Check(k)
+	if !dec.Fire {
+		return
+	}
+	d.stats.Faults++
+	if dec.Transient <= 0 {
+		panic(fault.Crash{Kind: k, Site: site})
+	}
+	// Retry the access until the transient failure clears. Attempt i
+	// charges RetryBackoff·2^(i-1); classification mirrors
+	// fault.Classify — only transient errors are worth the wait.
+	backoff := d.cfg.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		if attempt > d.cfg.MaxRetries {
+			panic(fault.Crash{Kind: k, Site: site})
+		}
+		d.stats.Retries++
+		d.clk.Advance(backoff)
+		backoff *= 2
+		if attempt >= dec.Transient {
+			return // this retry succeeded
+		}
+	}
+}
 
 // New creates a device. It panics on a non-positive page size or capacity,
 // or a nil clock, since those indicate programming errors.
@@ -73,6 +132,12 @@ func New(cfg Config, clk *simclock.Clock) *Device {
 	}
 	if clk == nil {
 		panic("ssd: nil clock")
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 4
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Microsecond
 	}
 	return &Device{cfg: cfg, clk: clk, pages: make(map[int64][]byte)}
 }
@@ -102,6 +167,9 @@ func (d *Device) ReadPage(slot int64, p []byte) {
 	if len(p) != d.cfg.PageSize {
 		panic(fmt.Sprintf("ssd: read buffer of %d bytes, page size is %d", len(p), d.cfg.PageSize))
 	}
+	if d.faults != nil {
+		d.injectFaults(fault.SSDReadError, "ssd.read")
+	}
 	d.stats.PagesRead++
 	d.clk.Advance(d.cfg.ReadLatency)
 	if d.rec != nil {
@@ -123,6 +191,9 @@ func (d *Device) WritePage(slot int64, p []byte) {
 	d.checkSlot(slot)
 	if len(p) != d.cfg.PageSize {
 		panic(fmt.Sprintf("ssd: write buffer of %d bytes, page size is %d", len(p), d.cfg.PageSize))
+	}
+	if d.faults != nil {
+		d.injectFaults(fault.SSDWriteError, "ssd.write")
 	}
 	d.stats.PagesWritten++
 	d.clk.Advance(d.cfg.WriteLatency)

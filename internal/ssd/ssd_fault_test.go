@@ -1,0 +1,84 @@
+package ssd
+
+import (
+	"testing"
+	"time"
+
+	"nvmstore/internal/fault"
+	"nvmstore/internal/simclock"
+)
+
+func newFaultDevice(rules ...fault.Rule) (*Device, *simclock.Clock) {
+	clk := &simclock.Clock{}
+	d := New(DefaultConfig(4096, 128), clk)
+	d.SetFaults((&fault.Plan{Seed: 21, Rules: rules}).Injector(0))
+	return d, clk
+}
+
+// TestTransientReadRetried: a transient read fault is absorbed by the
+// device's retry loop, charging doubling backoff to the simulated clock.
+func TestTransientReadRetried(t *testing.T) {
+	d, clk := newFaultDevice(fault.Rule{Kind: fault.SSDReadError, EveryN: 1, Limit: 1, Transient: 2})
+	page := make([]byte, 4096)
+	d.WritePage(3, page)
+	base := clk.Ns()
+	d.ReadPage(3, page) // faulted: 2 attempts fail, third succeeds
+	st := d.Stats()
+	if st.Faults != 1 || st.Retries != 2 {
+		t.Fatalf("stats = %+v, want 1 fault and 2 retries", st)
+	}
+	// Read latency plus 50 µs + 100 µs of backoff.
+	want := int64(d.Config().ReadLatency + 150*time.Microsecond)
+	if got := clk.Ns() - base; got != want {
+		t.Fatalf("charged %d ns, want %d", got, want)
+	}
+	if st.PagesRead != 1 {
+		t.Fatalf("PagesRead = %d, want 1", st.PagesRead)
+	}
+}
+
+// TestPermanentWriteFails: a permanent write fault exhausts no retries
+// and panics with fault.Crash — the engine above treats it as a dead
+// drive.
+func TestPermanentWriteFails(t *testing.T) {
+	d, _ := newFaultDevice(fault.Rule{Kind: fault.SSDWriteError, EveryN: 1, Limit: 1})
+	defer func() {
+		c, ok := fault.AsCrash(recover())
+		if !ok || c.Kind != fault.SSDWriteError {
+			t.Fatalf("recover() = %v, want SSDWriteError crash", c)
+		}
+	}()
+	d.WritePage(0, make([]byte, 4096))
+}
+
+// TestRetryBudgetExhausted: a transient fault longer than MaxRetries is
+// reclassified as fatal.
+func TestRetryBudgetExhausted(t *testing.T) {
+	clk := &simclock.Clock{}
+	cfg := DefaultConfig(4096, 128)
+	cfg.MaxRetries = 2
+	d := New(cfg, clk)
+	d.SetFaults((&fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Kind: fault.SSDReadError, EveryN: 1, Limit: 1, Transient: 10},
+	}}).Injector(0))
+	defer func() {
+		if _, ok := fault.AsCrash(recover()); !ok {
+			t.Fatal("exhausted retries did not crash")
+		}
+	}()
+	d.ReadPage(0, make([]byte, 4096))
+}
+
+// TestStallCharged: an injected stall only costs simulated time.
+func TestStallCharged(t *testing.T) {
+	d, clk := newFaultDevice(fault.Rule{Kind: fault.SSDStall, EveryN: 1, Limit: 1, Stall: 5 * time.Millisecond})
+	base := clk.Ns()
+	d.ReadPage(0, make([]byte, 4096))
+	want := int64(5*time.Millisecond + d.Config().ReadLatency)
+	if got := clk.Ns() - base; got != want {
+		t.Fatalf("charged %d ns, want %d", got, want)
+	}
+	if d.Stats().Stalls != 1 {
+		t.Fatalf("Stalls = %d, want 1", d.Stats().Stalls)
+	}
+}

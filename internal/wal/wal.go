@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"hash/crc32"
 
+	"nvmstore/internal/fault"
 	"nvmstore/internal/nvm"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/simclock"
@@ -85,6 +86,11 @@ type RecoveryStats struct {
 	Losers int
 	Redone int
 	Undone int
+	// TornTail reports that the scan stopped at a torn log tail — bytes
+	// past the durable prefix that a crash left behind — rather than at
+	// a clean sentinel. Expected after any mid-flush crash; the torn
+	// bytes are overwritten by subsequent appends.
+	TornTail bool
 }
 
 // Log is a write-ahead log on a region of a simulated NVM device.
@@ -103,7 +109,16 @@ type Log struct {
 
 	rec obs.Recorder
 	clk *simclock.Clock
+
+	faults *fault.Injector
 }
+
+// SetFaults installs a fault injector: fault.WALAppendError makes
+// appends fail with an injected *fault.Error, and fault.WALFlushCrash
+// tears the flush of the log tail — a durable prefix of the unflushed
+// bytes followed by a fault.Crash panic, the log-device version of a
+// power failure between clwbs. A nil injector disables injection.
+func (l *Log) SetFaults(in *fault.Injector) { l.faults = in }
 
 // SetRecorder installs an observability recorder, charging flush time to
 // obs.OpWALFlush (measured on clk, the engine's virtual clock) and
@@ -218,6 +233,9 @@ func (l *Log) append(payload []byte) error {
 	if l.head+need > l.size {
 		return fmt.Errorf("wal: record of %d bytes at offset %d: %w", len(payload), l.head, ErrLogFull)
 	}
+	if dec := l.faults.Check(fault.WALAppendError); dec.Fire {
+		return &fault.Error{Kind: fault.WALAppendError, Site: "wal.append", Attempt: 1, Permanent: dec.Transient <= 0}
+	}
 	var prefix [prefixSize]byte
 	binary.LittleEndian.PutUint32(prefix[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(prefix[4:], crc32.ChecksumIEEE(payload))
@@ -237,6 +255,16 @@ func (l *Log) append(payload []byte) error {
 func (l *Log) Flush() {
 	if l.head == l.flushedTo {
 		return
+	}
+	if dec := l.faults.Check(fault.WALFlushCrash); dec.Fire {
+		// Tear the flush: a prefix of the unflushed tail reaches the
+		// medium, then the power fails. Recover sees the durable prefix
+		// (whole records replay; a partial record fails its CRC) and
+		// treats the rest as torn tail.
+		if partial := int(dec.Frac * float64(l.head-l.flushedTo)); partial > 0 {
+			l.dev.Flush(l.off+l.flushedTo, partial)
+		}
+		panic(fault.Crash{Kind: fault.WALFlushCrash, Site: "wal.flush"})
 	}
 	var t0 int64
 	if l.rec != nil {
@@ -274,6 +302,28 @@ func (l *Log) Stats() Stats { return l.stats }
 // the scanned records. A torn record at the tail (incomplete size prefix
 // or checksum mismatch) cleanly terminates the scan: it can only belong to
 // a transaction whose commit record was never flushed.
+//
+// Distinguishing a torn tail from true corruption is subtle, because the
+// log region is not erased on Truncate (only a 4-byte sentinel is
+// persisted at the start) and a crash can tear a flush at any cache-line
+// boundary. The durable prefix can therefore end in *stale* bytes: a
+// complete, CRC-valid record from an earlier log generation whose lines
+// were never overwritten — for example when a record of the new
+// generation ends exactly on a line boundary and the crash lost the line
+// carrying its sentinel. The scan tells the cases apart by two rules and
+// stops (rather than failing) only when the tail explanation holds:
+//
+//   - LSNs are strictly monotonic in append order and survive
+//     truncation, so a CRC-valid record whose LSN does not exceed every
+//     LSN before it must be stale: torn tail, stop.
+//   - A CRC-valid record with an unknown type byte (or an impossible
+//     size) was never written by this WAL. If a valid successor record
+//     follows it, the bytes sit *mid-log* where no crash can place
+//     garbage — that is true corruption and recovery fails loudly
+//     instead of silently dropping committed records. With no valid
+//     successor it is the last blob before the durable frontier, where
+//     accidental CRC coincidences on torn bytes are the only remaining
+//     explanation: torn tail, stop.
 func (l *Log) Recover(h Handler) (RecoveryStats, error) {
 	var (
 		records   []Record
@@ -285,32 +335,53 @@ func (l *Log) Recover(h Handler) (RecoveryStats, error) {
 		maxLSN    LSN
 		maxTx     TxID
 	)
+scan:
 	for pos+prefixSize <= l.size {
 		var prefix [prefixSize]byte
 		l.dev.ReadAt(prefix[:], l.off+pos)
 		n := int64(binary.LittleEndian.Uint32(prefix[0:]))
-		if n == 0 || pos+prefixSize+n > l.size {
+		if n == 0 {
+			break // clean end of log: the sentinel
+		}
+		if pos+prefixSize+n > l.size {
+			stats.TornTail = true // size prefix pointing outside the region
 			break
 		}
 		payload := make([]byte, n)
 		l.dev.ReadAt(payload, l.off+pos+prefixSize)
 		if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(prefix[4:]) {
-			break // torn tail
+			stats.TornTail = true
+			break
 		}
 		kind := payload[0]
+		if n < markHdr || (kind != recUpdate && kind != recCommit && kind != recAbort) {
+			if l.validSuccessor(pos+prefixSize+n, maxLSN) {
+				return stats, fmt.Errorf("wal: corrupt record (type %d, %d bytes) mid-log at %d", kind, n, pos)
+			}
+			stats.TornTail = true
+			break
+		}
 		lsn := LSN(binary.LittleEndian.Uint64(payload[1:]))
 		tx := TxID(binary.LittleEndian.Uint64(payload[9:]))
-		if lsn > maxLSN {
-			maxLSN = lsn
+		if lsn <= maxLSN {
+			// Stale: a record from before the last truncation, re-exposed
+			// because the lines that would have overwritten or ended the
+			// log here never became durable.
+			stats.TornTail = true
+			break
 		}
+		maxLSN = lsn
 		if tx > maxTx {
 			maxTx = tx
 		}
-		seen[tx] = true
 		switch kind {
 		case recUpdate:
 			if n < updateHdr {
-				return stats, fmt.Errorf("wal: truncated update record at %d", pos)
+				if l.validSuccessor(pos+prefixSize+n, maxLSN) {
+					return stats, fmt.Errorf("wal: truncated update record at %d", pos)
+				}
+				stats.TornTail = true
+				break scan
 			}
 			pid := binary.LittleEndian.Uint64(payload[17:])
 			pageOff := int(binary.LittleEndian.Uint32(payload[25:]))
@@ -331,9 +402,8 @@ func (l *Log) Recover(h Handler) (RecoveryStats, error) {
 			committed[tx] = true
 		case recAbort:
 			aborted[tx] = true
-		default:
-			return stats, fmt.Errorf("wal: unknown record type %d at %d", kind, pos)
 		}
+		seen[tx] = true
 		pos += prefixSize + n
 	}
 
@@ -374,4 +444,31 @@ func (l *Log) Recover(h Handler) (RecoveryStats, error) {
 	l.nextLSN = maxLSN + 1
 	l.nextTx = maxTx + 1
 	return stats, nil
+}
+
+// validSuccessor reports whether a well-formed record of the current log
+// generation (known type, valid CRC, LSN past maxLSN) starts at pos. A
+// valid successor proves that the bytes *before* pos sit mid-log, which
+// rules out the torn-tail explanation for them: crashes only damage the
+// frontier of the durable prefix, never bytes the log appended over.
+func (l *Log) validSuccessor(pos int64, maxLSN LSN) bool {
+	if pos+prefixSize > l.size {
+		return false
+	}
+	var prefix [prefixSize]byte
+	l.dev.ReadAt(prefix[:], l.off+pos)
+	n := int64(binary.LittleEndian.Uint32(prefix[0:]))
+	if n < markHdr || pos+prefixSize+n > l.size {
+		return false
+	}
+	payload := make([]byte, n)
+	l.dev.ReadAt(payload, l.off+pos+prefixSize)
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(prefix[4:]) {
+		return false
+	}
+	kind := payload[0]
+	if kind != recUpdate && kind != recCommit && kind != recAbort {
+		return false
+	}
+	return LSN(binary.LittleEndian.Uint64(payload[1:])) > maxLSN
 }

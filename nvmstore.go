@@ -46,6 +46,7 @@ import (
 	"nvmstore/internal/btree"
 	"nvmstore/internal/core"
 	"nvmstore/internal/engine"
+	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/wal"
 )
@@ -273,6 +274,26 @@ type RecoveryStats = wal.RecoveryStats
 // write-ahead log is replayed. Not supported on MainMemory, whose pages
 // have no persistent home.
 func (s *Store) CrashRestart() (RecoveryStats, error) { return s.e.CrashRestart() }
+
+// InjectFaults arms the store's devices with injectors derived from a
+// seeded fault plan (see internal/fault): NVM flush crashes and torn
+// flushes, SSD I/O errors and stalls, WAL append failures and torn log
+// flushes. Crash-kind faults surface as fault.Crash panics that the
+// caller recovers before invoking CrashRestart; error-kind faults
+// surface on the operation that hit them. A nil plan disarms
+// everything. It returns the injector bundle for reading fired and
+// opportunity counters.
+func (s *Store) InjectFaults(plan *fault.Plan) fault.Injectors {
+	return s.e.ArmFaults(plan, 0)
+}
+
+// CheckInvariants walks the buffer manager's internal structures —
+// frame/mapping-table agreement, swizzled-pointer bookkeeping, residency
+// state — and returns the first inconsistency found. The crash-schedule
+// harness calls it after every recovery; it is cheap enough for tests
+// but walks every frame, so production paths should not call it per
+// operation.
+func (s *Store) CheckInvariants() error { return s.e.Manager().CheckInvariants() }
 
 // SimulatedTime returns the accumulated simulated device time. Combined
 // with wall time it yields the throughput figures the benchmark harness

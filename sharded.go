@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/shard"
 )
@@ -227,8 +228,25 @@ func (s *ShardedStore) CrashRestart() (RecoveryStats, error) {
 		total.Losers += stats.Losers
 		total.Redone += stats.Redone
 		total.Undone += stats.Undone
+		total.TornTail = total.TornTail || stats.TornTail
 	}
 	return total, nil
+}
+
+// InjectFaults arms every shard's devices from one seeded fault plan,
+// shard i using site salt i so the shards' fault streams are
+// independent yet reproducible (see Store.InjectFaults). A nil plan
+// disarms all shards. The returned slice holds shard i's injector
+// bundle at index i.
+func (s *ShardedStore) InjectFaults(plan *fault.Plan) []fault.Injectors {
+	out := make([]fault.Injectors, len(s.shards))
+	for i := range s.shards {
+		_ = s.WithShard(i, func(st *Store) error {
+			out[i] = st.e.ArmFaults(plan, uint64(i))
+			return nil
+		})
+	}
+	return out
 }
 
 // MaxSimulatedTime returns the slowest shard's accumulated simulated
