@@ -20,7 +20,9 @@
 // Remote mode (-remote addr) drives the YCSB mix against a running
 // nvmserver over the wire protocol instead of an in-process engine,
 // reporting wire-level round-trip percentiles alongside the server's
-// engine histograms.
+// engine histograms. Combined with -experiment groupcommit it sweeps
+// client pipeline depth instead, measuring the server's group-commit
+// flush coalescing end to end.
 //
 // Fault injection (-faults spec) arms a deterministic injection plan on
 // every engine an experiment builds, so any figure can be regenerated
@@ -155,7 +157,7 @@ func run() int {
 	}
 
 	if *remoteAddr != "" {
-		return runRemote(remote.Options{
+		ro := remote.Options{
 			Addr:     *remoteAddr,
 			Clients:  *clients,
 			Depth:    *depth,
@@ -166,7 +168,18 @@ func run() int {
 			Warmup:   *warmup,
 			Seed:     *seed,
 			Retries:  *retries,
-		}, *format, jsonDir.dir)
+		}
+		// -remote -experiment groupcommit is the serving-layer variant
+		// of the group-commit sweep: pipeline depth, not -depth, is the
+		// swept variable there.
+		if *experiment == "groupcommit" {
+			return runRemoteWith(remote.GroupCommit, ro, *format, jsonDir.dir)
+		}
+		if *experiment != "" {
+			fmt.Fprintf(os.Stderr, "nvmbench: -remote runs the wire workload; only -experiment groupcommit has a remote variant (got %q)\n", *experiment)
+			return 2
+		}
+		return runRemoteWith(remote.Run, ro, *format, jsonDir.dir)
 	}
 
 	if *experiment == "" {
@@ -298,10 +311,11 @@ func emit(res bench.Result, format string) {
 	}
 }
 
-// runRemote drives a running nvmserver and prints the result.
-func runRemote(o remote.Options, format, jsonDir string) int {
+// runRemoteWith drives a running nvmserver through the given remote
+// runner and prints the result.
+func runRemoteWith(run func(remote.Options) (bench.Result, error), o remote.Options, format, jsonDir string) int {
 	start := time.Now()
-	res, err := remote.Run(o)
+	res, err := run(o)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "nvmbench: -remote %s: %v\n", o.Addr, err)
 		return 1

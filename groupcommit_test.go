@@ -1,0 +1,234 @@
+package nvmstore
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"nvmstore/internal/fault"
+)
+
+// TestGroupCommitAckDurable pins the acknowledged-implies-durable
+// contract at the group-commit crash point: a crash between a batch's
+// commit records and the coalesced log-tail flush (fault.WALGroupCrash,
+// the moment where the server has executed a batch but not yet released
+// any response) must lose the unflushed batch completely — it was never
+// acknowledged — while every previously flushed batch survives intact.
+func TestGroupCommitAckDurable(t *testing.T) {
+	s := open(t, ThreeTier)
+	table, err := s.CreateTable(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := func(k uint64) []byte { return bytes.Repeat([]byte{byte(k)}, 16) }
+	put := func(k uint64) error {
+		return s.UpdateNoFlush(func() error { return table.Insert(k, row(k)) })
+	}
+
+	// Batch A: commit without flushing, then the group flush. After
+	// FlushWAL returns, these writes are acknowledged.
+	for k := uint64(1); k <= 3; k++ {
+		if err := put(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, err := s.FlushWAL(); err != nil || n != 3 {
+		t.Fatalf("FlushWAL = %d, %v; want 3 commits flushed", n, err)
+	}
+
+	// Batch B: committed, unflushed, unacknowledged — and the group
+	// flush crashes before persisting anything.
+	s.InjectFaults(&fault.Plan{Seed: 1, Rules: []fault.Rule{
+		{Kind: fault.WALGroupCrash, EveryN: 1, Limit: 1},
+	}})
+	for k := uint64(4); k <= 6; k++ {
+		if err := put(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := fault.AsCrash(r); !ok {
+					panic(r)
+				}
+				return
+			}
+			t.Fatal("FlushWAL did not hit the armed wal.group crash")
+		}()
+		s.FlushWAL()
+	}()
+
+	if _, err := s.CrashRestart(); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	table = s.Table(1)
+	buf := make([]byte, 16)
+	for k := uint64(1); k <= 3; k++ { // acknowledged: must survive
+		if found, err := table.Lookup(k, buf); err != nil || !found || !bytes.Equal(buf, row(k)) {
+			t.Fatalf("acked key %d lost or corrupted after crash (found=%v err=%v)", k, found, err)
+		}
+	}
+	for k := uint64(4); k <= 6; k++ { // never acknowledged: must be fully absent
+		if found, _ := table.Lookup(k, buf); found {
+			t.Fatalf("unflushed key %d survived the crash: commit records leaked without their flush", k)
+		}
+	}
+
+	// The single-shot fault is spent: redoing batch B must stick.
+	for k := uint64(4); k <= 6; k++ {
+		if err := put(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.FlushWAL(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CrashRestart(); err != nil {
+		t.Fatalf("second recovery: %v", err)
+	}
+	table = s.Table(1)
+	for k := uint64(1); k <= 6; k++ {
+		if found, err := table.Lookup(k, buf); err != nil || !found || !bytes.Equal(buf, row(k)) {
+			t.Fatalf("key %d missing after redo (found=%v err=%v)", k, found, err)
+		}
+	}
+}
+
+// TestApplyBatchSingleFlush pins the flush amortization ApplyBatch
+// promises: N operations, exactly one log-tail flush.
+func TestApplyBatchSingleFlush(t *testing.T) {
+	s := open(t, ThreeTier)
+	table, err := s.CreateTable(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Metrics().Log
+	const n = 10
+	ops := make([]func() error, n)
+	for i := range ops {
+		k := uint64(i + 1)
+		ops[i] = func() error { return table.Insert(k, bytes.Repeat([]byte{byte(k)}, 16)) }
+	}
+	if err := s.ApplyBatch(ops); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Metrics().Log
+	if c := after.Commits - before.Commits; c != n {
+		t.Fatalf("commits = %d, want %d", c, n)
+	}
+	if f := after.Flushes - before.Flushes; f != 1 {
+		t.Fatalf("flushes = %d, want 1 (the group flush)", f)
+	}
+	if opf := s.Metrics().OpsPerFlush; opf <= 1 {
+		t.Fatalf("OpsPerFlush = %.2f, want > 1 after a batched apply", opf)
+	}
+}
+
+// TestShardedPutBatchCoalesces pins PutBatch's per-shard flush
+// coalescing: keys spread over every shard commit with at most one
+// flush per touched shard, and read back correctly.
+func TestShardedPutBatchCoalesces(t *testing.T) {
+	const shards = 4
+	s, err := OpenSharded(shards, Options{
+		Architecture: ThreeTier,
+		DRAMBytes:    8 << 20,
+		NVMBytes:     32 << 20,
+		SSDBytes:     128 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tab, err := s.CreateTable(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.Metrics().Log
+
+	const n = 64
+	keys := make([]uint64, n)
+	rows := make([][]byte, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		rows[i] = bytes.Repeat([]byte{byte(i + 1)}, 16)
+	}
+	if err := tab.PutBatch(keys, rows); err != nil {
+		t.Fatal(err)
+	}
+
+	after := s.Metrics().Log
+	if c := after.Commits - before.Commits; c != n {
+		t.Fatalf("commits = %d, want %d", c, n)
+	}
+	if f := after.Flushes - before.Flushes; f > shards {
+		t.Fatalf("flushes = %d, want <= %d (one per touched shard)", f, shards)
+	}
+	buf := make([]byte, 16)
+	for i, k := range keys {
+		if found, err := tab.Lookup(k, buf); err != nil || !found || !bytes.Equal(buf, rows[i]) {
+			t.Fatalf("key %d: found=%v err=%v", k, found, err)
+		}
+	}
+}
+
+// TestShardedGroupCommitConcurrent drives concurrent autocommit writers
+// through the sharded store's group committer and checks that every
+// acknowledged write reads back — the transparent-coalescing path under
+// real goroutine concurrency (the race detector sees this test).
+func TestShardedGroupCommitConcurrent(t *testing.T) {
+	s, err := OpenSharded(2, Options{
+		Architecture: ThreeTier,
+		DRAMBytes:    8 << 20,
+		NVMBytes:     32 << 20,
+		SSDBytes:     128 << 20,
+		CommitBatch:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	tab, err := s.CreateTable(1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, per = 8, 40
+	var wg sync.WaitGroup
+	errs := make([]error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := uint64(w*per + i)
+				if err := tab.Put(k, bytes.Repeat([]byte{byte(k%251) + 1}, 16)); err != nil {
+					errs[w] = fmt.Errorf("put %d: %w", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	buf := make([]byte, 16)
+	for k := uint64(0); k < writers*per; k++ {
+		want := bytes.Repeat([]byte{byte(k%251) + 1}, 16)
+		if found, err := tab.Lookup(k, buf); err != nil || !found || !bytes.Equal(buf, want) {
+			t.Fatalf("key %d: found=%v err=%v", k, found, err)
+		}
+	}
+	m := s.Metrics()
+	if m.Log.Commits < writers*per {
+		t.Fatalf("commits = %d, want >= %d", m.Log.Commits, writers*per)
+	}
+	if m.OpsPerFlush <= 0 {
+		t.Fatalf("OpsPerFlush = %.2f, want > 0", m.OpsPerFlush)
+	}
+}

@@ -48,6 +48,7 @@ func Experiments() []Experiment {
 		{"fig17", "restart ramp-up, appendix A.5 (Figure 17)", Fig17},
 		{"figA1", "multi-threaded scalability, appendix A.1 (threads sweep)", FigA1},
 		{"ablation", "NVM admission-set ablation (not in the paper)", AblationAdmission},
+		{"groupcommit", "group-commit batch-size sweep, write-heavy YCSB (not in the paper)", GroupCommit},
 		{"faults", "throughput under injected device faults (not in the paper)", FaultSweep},
 	}
 	for i := range exps {

@@ -549,11 +549,12 @@ func (cn *conn) do(req wire.Request) *Call {
 	cn.mu.Unlock()
 
 	cn.wmu.Lock()
-	buf := wire.AppendRequest(nil, req)
+	buf := wire.AppendRequest(wire.GetBuf(), req)
 	_, err := cn.bw.Write(buf)
 	if err == nil {
 		err = cn.bw.Flush()
 	}
+	wire.PutBuf(buf) // flushed (or failed): the writer owns no alias
 	cn.wmu.Unlock()
 	if err != nil {
 		cn.close(fmt.Errorf("client: write: %w", err))
@@ -565,7 +566,7 @@ func (cn *conn) do(req wire.Request) *Call {
 // fails or closes.
 func (cn *conn) readLoop() {
 	br := bufio.NewReader(cn.nc)
-	var buf []byte
+	buf := wire.GetBuf()
 	var payload []byte
 	var err error
 	for {
@@ -574,6 +575,7 @@ func (cn *conn) readLoop() {
 			if err == io.EOF || errors.Is(err, net.ErrClosed) {
 				err = ErrClosed
 			}
+			wire.PutBuf(buf) // the loop below copied out every value
 			cn.close(err)
 			return
 		}

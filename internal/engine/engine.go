@@ -233,6 +233,43 @@ func (e *Engine) Commit() error {
 	return nil
 }
 
+// CommitNoFlush commits the running transaction without flushing the log
+// tail: the commit record is appended, but the transaction is not durable
+// until FlushWAL (or any other flush of the tail) lands. Group-commit
+// callers coalesce many commits into one flush this way; they must not
+// acknowledge the transaction before that flush returns. On the NVM
+// Direct architecture there is nothing to coalesce — every change is
+// persisted in place and the log truncated per commit — so CommitNoFlush
+// degenerates to Commit and the transaction is durable on return.
+func (e *Engine) CommitNoFlush() error {
+	if !e.txActive {
+		return ErrNoTransaction
+	}
+	if e.Topology() == core.DirectNVM {
+		return e.Commit()
+	}
+	e.txActive = false
+	if len(e.txOps) == 0 {
+		return nil // read-only: nothing to log or flush
+	}
+	return e.log.CommitNoFlush(e.curTx)
+}
+
+// FlushWAL flushes the log tail, making every CommitNoFlush since the
+// last flush durable, and returns how many commits the flush covered.
+// Commit's automatic checkpoint check is deferred to here under group
+// commit; it is skipped while a transaction is running.
+func (e *Engine) FlushWAL() (int64, error) {
+	n := e.log.FlushTail()
+	if e.txActive || e.Topology() == core.DirectNVM {
+		return n, nil
+	}
+	if float64(e.log.Bytes()) > e.CheckpointFraction*float64(e.log.Capacity()) {
+		return n, e.Checkpoint()
+	}
+	return n, nil
+}
+
 // Rollback undoes the running transaction using the logical undo
 // information collected since Begin, then logs an abort record. The
 // compensating operations are themselves logged (CLR-style): recovery

@@ -78,6 +78,12 @@ const (
 	// NetPartial makes the server write only part of a response frame
 	// and then close the connection ("net.partial").
 	NetPartial
+	// WALGroupCrash crashes between a group-commit batch's execution
+	// (commit records appended, not yet flushed) and the coalesced
+	// log-tail flush that would make them durable ("wal.group"). Ops in
+	// the batch have not been acknowledged, so recovery must roll all of
+	// them back — the ack⇒durable probe point of group commit.
+	WALGroupCrash
 
 	numKinds
 )
@@ -93,6 +99,7 @@ var kindNames = [numKinds]string{
 	WALFlushCrash:  "wal.flush",
 	NetDrop:        "net.drop",
 	NetPartial:     "net.partial",
+	WALGroupCrash:  "wal.group",
 }
 
 // String returns the spec name of the kind ("ssd.read", "nvm.torn", ...).

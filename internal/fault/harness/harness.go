@@ -62,8 +62,21 @@ type Config struct {
 	// fault kind (default 20, clamped to the opportunity count).
 	PointsPerKind int
 	// Kinds lists the storage fault kinds to sweep. Defaults to every
-	// crash- and error-kind across the NVM, SSD, and WAL tiers.
+	// crash- and error-kind across the NVM, SSD, and WAL tiers (plus
+	// the group-flush crash point when GroupCommit is set).
 	Kinds []fault.Kind
+	// GroupCommit switches the workload to the group-commit protocol:
+	// transactions commit without flushing and a shared log-tail flush
+	// every GroupEvery transactions makes them durable — the write path
+	// the sharded store's group committer and the server's shard
+	// workers run. Crashes can then land between a commit record and
+	// its group flush (fault.WALGroupCrash), where the invariant
+	// changes shape: unflushed committed transactions may be lost, but
+	// only as an all-or-nothing suffix — the survivors must form a
+	// prefix in commit order, each fully applied.
+	GroupCommit bool
+	// GroupEvery is the group size under GroupCommit (default 3).
+	GroupEvery int
 	// NetPoints is how many single-shot network faults to sweep against
 	// a live server (default 20; negative skips the network tier).
 	NetPoints int
@@ -87,11 +100,17 @@ func (c *Config) applyDefaults() {
 	if c.PointsPerKind <= 0 {
 		c.PointsPerKind = 20
 	}
+	if c.GroupEvery <= 0 {
+		c.GroupEvery = 3
+	}
 	if len(c.Kinds) == 0 {
 		c.Kinds = []fault.Kind{
 			fault.NVMTornFlush, fault.NVMCrash,
 			fault.WALFlushCrash, fault.WALAppendError,
 			fault.SSDReadError, fault.SSDWriteError,
+		}
+		if c.GroupCommit {
+			c.Kinds = append(c.Kinds, fault.WALGroupCrash)
 		}
 	}
 	if c.NetPoints < 0 {
@@ -222,7 +241,7 @@ func dryRun(cfg Config) (fault.Injectors, error) {
 	inj := st.InjectFaults(&fault.Plan{Seed: cfg.Seed})
 	w := newWorkload(cfg)
 	for i := 0; i < cfg.Txs; i++ {
-		if crashed, err := w.runTx(st, tab, i); crashed || err != nil {
+		if crashed, err := w.step(st, tab, i); crashed || err != nil {
 			return inj, fmt.Errorf("harness: dry run tx %d failed: crashed=%v err=%v", i, crashed, err)
 		}
 	}
@@ -264,7 +283,7 @@ func runPoint(cfg Config, kind fault.Kind, point int64) (crashed bool, err error
 	}})
 	w := newWorkload(cfg)
 	for i := 0; i < cfg.Txs; i++ {
-		hit, err := w.runTx(st, tab, i)
+		hit, err := w.step(st, tab, i)
 		if err != nil {
 			return crashed, fmt.Errorf("tx %d: %v", i, err)
 		}
@@ -284,7 +303,13 @@ func runPoint(cfg Config, kind fault.Kind, point int64) (crashed bool, err error
 		if ierr := st.CheckInvariants(); ierr != nil {
 			return crashed, fmt.Errorf("invariants after tx %d: %v", i, ierr)
 		}
-		if verr := w.verifyAfterCrash(tab); verr != nil {
+		var verr error
+		if cfg.GroupCommit {
+			verr = w.verifyAfterCrashGroup(tab)
+		} else {
+			verr = w.verifyAfterCrash(tab)
+		}
+		if verr != nil {
 			return crashed, fmt.Errorf("state after tx %d: %v", i, verr)
 		}
 	}
@@ -313,7 +338,11 @@ type workload struct {
 	// pending is the in-flight transaction's net effect, kept for
 	// crash-time divergence accounting; nil outside runTx.
 	pending map[uint64]pendingOp
-	buf     []byte
+	// staged, under GroupCommit, holds the effects of transactions
+	// committed without a flush, in commit order; the group flush
+	// folds them into the model.
+	staged []map[uint64]pendingOp
+	buf    []byte
 }
 
 func newWorkload(cfg Config) *workload {
@@ -407,6 +436,18 @@ func (w *workload) runTx(st *nvmstore.Store, tab *nvmstore.Table, txIdx int) (hi
 		}
 		w.pending[o.key] = p
 	}
+	if w.cfg.GroupCommit {
+		if cerr := st.CommitNoFlush(); cerr != nil {
+			if fault.IsInjected(cerr) {
+				return true, nil
+			}
+			return false, cerr
+		}
+		// Committed but unflushed: durable only after the group flush.
+		w.staged = append(w.staged, w.pending)
+		w.pending = nil
+		return false, nil
+	}
 	if cerr := st.Commit(); cerr != nil {
 		if fault.IsInjected(cerr) {
 			return true, nil
@@ -414,15 +455,61 @@ func (w *workload) runTx(st *nvmstore.Store, tab *nvmstore.Table, txIdx int) (hi
 		return false, cerr
 	}
 	// Committed: fold into the model.
-	for key, p := range w.pending {
-		if p.after == nil {
-			delete(w.model, key)
-		} else {
-			w.model[key] = p.after
-		}
-	}
+	fold(w.model, w.pending)
 	w.pending = nil
 	return false, nil
+}
+
+// step runs transaction i and, under GroupCommit, the group flush when
+// one is due (every GroupEvery transactions and after the last).
+func (w *workload) step(st *nvmstore.Store, tab *nvmstore.Table, i int) (hit bool, err error) {
+	hit, err = w.runTx(st, tab, i)
+	if hit || err != nil || !w.cfg.GroupCommit {
+		return hit, err
+	}
+	if (i+1)%w.cfg.GroupEvery == 0 || i == w.cfg.Txs-1 {
+		return w.flushGroup(st)
+	}
+	return false, nil
+}
+
+// flushGroup runs the shared log-tail flush that makes every staged
+// transaction durable, reporting an injected fault the way runTx does.
+// This is where fault.WALGroupCrash fires: commit records are in the
+// log, acks have not been released, the flush is about to start.
+func (w *workload) flushGroup(st *nvmstore.Store) (hit bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := fault.AsCrash(r); ok {
+				hit, err = true, nil
+				return
+			}
+			panic(r)
+		}
+	}()
+	if _, ferr := st.FlushWAL(); ferr != nil {
+		if fault.IsInjected(ferr) {
+			return true, nil
+		}
+		return false, ferr
+	}
+	// The flush landed: every staged transaction is durable.
+	for _, p := range w.staged {
+		fold(w.model, p)
+	}
+	w.staged = nil
+	return false, nil
+}
+
+// fold applies one transaction's net effect to a model.
+func fold(model map[uint64][]byte, p map[uint64]pendingOp) {
+	for key, op := range p {
+		if op.after == nil {
+			delete(model, key)
+		} else {
+			model[key] = op.after
+		}
+	}
 }
 
 // lookup reads a key, distinguishing absent from present.
@@ -463,6 +550,67 @@ func (w *workload) verify(tab *nvmstore.Table) error {
 		}
 	}
 	return nil
+}
+
+// matches compares the whole keyspace against an explicit model.
+func (w *workload) matches(tab *nvmstore.Table, model map[uint64][]byte) error {
+	for key := uint64(0); key < uint64(w.cfg.Rows); key++ {
+		got, ok, err := w.lookup(tab, key)
+		if err != nil {
+			return fmt.Errorf("lookup %d: %v", key, err)
+		}
+		want, exists := model[key]
+		switch {
+		case exists && !ok:
+			return fmt.Errorf("key %d missing", key)
+		case !exists && ok:
+			return fmt.Errorf("key %d unexpectedly present", key)
+		case exists && string(got) != string(want):
+			return fmt.Errorf("key %d corrupted (tx tag %d, want %d)",
+				key, binary.LittleEndian.Uint64(got[8:]), binary.LittleEndian.Uint64(want[8:]))
+		}
+	}
+	return nil
+}
+
+// verifyAfterCrashGroup resolves a crash under group commit. The
+// in-flight transaction never survives — its commit record was never
+// appended, so recovery undoes it. The staged transactions (committed
+// without a flush) may be lost, but only from the tail: the log makes
+// commit i durable before commit i+1, so the survivors must be a
+// prefix in commit order, each transaction fully applied. The store
+// must therefore match the model with some prefix of the staged
+// effects folded in; the longest matching prefix becomes the model.
+func (w *workload) verifyAfterCrashGroup(tab *nvmstore.Table) error {
+	models := make([]map[uint64][]byte, 0, len(w.staged)+1)
+	base := make(map[uint64][]byte, len(w.model))
+	for key, v := range w.model {
+		base[key] = v
+	}
+	models = append(models, base)
+	for _, p := range w.staged {
+		prev := models[len(models)-1]
+		next := make(map[uint64][]byte, len(prev))
+		for key, v := range prev {
+			next[key] = v
+		}
+		fold(next, p)
+		models = append(models, next)
+	}
+	var fullest error
+	for k := len(models) - 1; k >= 0; k-- {
+		err := w.matches(tab, models[k])
+		if err == nil {
+			w.model = models[k]
+			w.staged, w.pending = nil, nil
+			return nil
+		}
+		if fullest == nil {
+			fullest = err
+		}
+	}
+	return fmt.Errorf("no staged-commit prefix matches the store (%d staged); against the full prefix: %v",
+		len(w.staged), fullest)
 }
 
 // verifyAfterCrash checks the crash-time contract and resolves the

@@ -39,6 +39,42 @@ func TestCrashScheduleSweep(t *testing.T) {
 	}
 }
 
+// TestGroupCommitCrashSweep sweeps the same schedule with the workload
+// running the group-commit protocol (commit without flush, shared
+// log-tail flush every few transactions), including the wal.group crash
+// point between a batch's commit records and its coalesced flush. The
+// invariant it adds over TestCrashScheduleSweep: transactions committed
+// but not yet group-flushed may be lost at a crash, but only as an
+// all-or-nothing suffix — survivors form a prefix in commit order, and
+// nothing acknowledged by a completed flush is ever lost.
+func TestGroupCommitCrashSweep(t *testing.T) {
+	cfg := Config{Seed: 11, GroupCommit: true, NetPoints: -1}
+	if testing.Verbose() {
+		cfg.Logf = t.Logf
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if rep.Opportunities[fault.WALGroupCrash] == 0 {
+		t.Fatal("the group-commit workload produced no wal.group opportunities; the new flush point was not exercised")
+	}
+	for k, n := range rep.Opportunities {
+		t.Logf("%s: %d opportunities", k, n)
+	}
+	t.Logf("points=%d crashes=%d recoveries=%d violations=%d",
+		rep.Points, rep.Crashes, rep.Recoveries, len(rep.Violations))
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Crashes == 0 {
+		t.Fatal("no scheduled point crashed the store; the sweep exercised nothing")
+	}
+	if rep.Recoveries != rep.Crashes {
+		t.Fatalf("crashes=%d but recoveries=%d", rep.Crashes, rep.Recoveries)
+	}
+}
+
 // TestSweepDeterminism pins that a sweep is a pure function of its
 // seed: same seed, same opportunity counts and crash tally.
 func TestSweepDeterminism(t *testing.T) {

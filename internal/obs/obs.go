@@ -56,6 +56,11 @@ const (
 	OpNVMAdmit
 	// OpNVMEvict is one NVM slot eviction, including its SSD write-back.
 	OpNVMEvict
+	// OpWALBatch records, at each log-tail flush that makes at least one
+	// commit durable, how many commits that flush covered. The "latency"
+	// value is a count, not nanoseconds: the histogram is the
+	// ops-per-flush distribution of group commit.
+	OpWALBatch
 
 	// NumOps is the number of instrumented operations.
 	NumOps
@@ -75,6 +80,7 @@ var opNames = [NumOps]string{
 	"dram.evict",
 	"nvm.admit",
 	"nvm.evict",
+	"wal.batch",
 }
 
 // String returns the operation's table/JSON name, e.g. "nvm.lineload".

@@ -1,0 +1,110 @@
+package remote
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"nvmstore/internal/bench"
+	"nvmstore/internal/client"
+)
+
+// GroupCommit is the serving-layer counterpart of the in-process
+// groupcommit experiment: a write-only YCSB run swept over the client
+// pipeline depth. Depth is what drives coalescing end to end — a deeper
+// pipeline keeps more requests queued at each shard worker, the worker
+// executes them as one batch under the shard lock, commits every write
+// without flushing, and makes the whole batch durable with a single
+// log-tail flush before any response leaves the server. Depth 1 is the
+// ungrouped baseline: one request in flight per worker, so every write
+// pays its own flush. The achieved coalescing is reported as ops/flush
+// from the server's own WAL counters (STATS log_commits/log_flushes
+// deltas over the measured window).
+func GroupCommit(o Options) (bench.Result, error) {
+	o.applyDefaults()
+	o.WritePct = 100
+	depths := []int{1, 2, 4, 8, 16, 32, 64}
+
+	res := bench.Result{
+		ID: "groupcommit",
+		Title: fmt.Sprintf("remote group commit: pipeline-depth sweep (100%% put, %d clients) against %s",
+			o.Clients, o.Addr),
+		XLabel:  "pipeline depth",
+		YLabel:  "ops/s",
+		FileTag: "groupcommit_remote",
+	}
+	s := bench.Series{Name: "wire"}
+	var base float64
+	for _, depth := range depths {
+		point := o
+		point.Depth = depth
+		// Load only once, ahead of the first point; later points reuse
+		// the key space.
+		point.Load = o.Load && depth == depths[0]
+		perSec, opsPerFlush, err := groupCommitPoint(point)
+		if err != nil {
+			return res, fmt.Errorf("remote groupcommit depth %d: %w", depth, err)
+		}
+		s.X = append(s.X, float64(depth))
+		s.Y = append(s.Y, perSec)
+		if base == 0 {
+			base = perSec
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf(
+			"depth %d: %.3g ops/s (%.2fx vs depth 1), %.1f ops/flush server-side",
+			depth, perSec, perSec/base, opsPerFlush))
+	}
+	res.Series = append(res.Series, s)
+	res.Notes = append(res.Notes,
+		"ops/flush is the delta of the server's log_commits/log_flushes over the measured window;",
+		"it counts every shard's flushes, including read-batch no-ops, so it trails the depth at high depths")
+	return res, nil
+}
+
+// groupCommitPoint runs one depth point: dial, optional load, warmup,
+// then a measured window bracketed by server STATS snapshots.
+func groupCommitPoint(o Options) (perSec, opsPerFlush float64, err error) {
+	cl, err := client.Dial(o.Addr, client.Options{
+		Conns:   o.Conns,
+		Depth:   o.Clients * o.Depth,
+		Retries: o.Retries,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+
+	var reissued atomic.Int64
+	if o.Load {
+		if err := remoteLoad(cl, o, &reissued); err != nil {
+			return 0, 0, fmt.Errorf("load: %w", err)
+		}
+	}
+	if o.Warmup > 0 {
+		if err := remoteRun(cl, o, o.Warmup, &reissued); err != nil {
+			return 0, 0, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	before, err := remoteStats(cl)
+	if err != nil {
+		return 0, 0, err
+	}
+	start := time.Now()
+	if err := remoteRun(cl, o, o.Ops, &reissued); err != nil {
+		return 0, 0, err
+	}
+	wall := time.Since(start)
+	after, err := remoteStats(cl)
+	if err != nil {
+		return 0, 0, err
+	}
+	sim := time.Duration(after.MaxSimNs - before.MaxSimNs)
+	combined := wall + sim
+	if combined > 0 {
+		perSec = float64(o.Ops) / combined.Seconds()
+	}
+	if flushes := after.LogFlushes - before.LogFlushes; flushes > 0 {
+		opsPerFlush = float64(after.LogCommits-before.LogCommits) / float64(flushes)
+	}
+	return perSec, opsPerFlush, nil
+}

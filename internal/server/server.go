@@ -11,7 +11,10 @@
 // requests (GET/PUT/DELETE) are routed by key hash to a per-shard
 // worker goroutine, which drains its queue in batches and executes each
 // batch under a single acquisition of the shard lock — the server-side
-// continuation of the shard-per-core model (Appendix A.1). Responses
+// continuation of the shard-per-core model (Appendix A.1). Writes in a
+// batch commit without flushing and share one WAL flush at the end of
+// the batch (group commit); responses are enqueued only after that
+// flush lands, so an acknowledged write is always durable. Responses
 // travel through a per-connection writer goroutine, so a connection's
 // responses are pipelined: many requests in flight, responses matched
 // to requests by wire request id, in whatever order the shards finish.
@@ -177,6 +180,13 @@ type StatsDoc struct {
 	NVMTotalWrites int64 `json:"nvm_total_writes"`
 	SSDPagesRead   int64 `json:"ssd_pages_read"`
 	SSDPagesWrite  int64 `json:"ssd_pages_written"`
+	// LogCommits and LogFlushes are the store's WAL counters across all
+	// shards; OpsPerFlush is their ratio — the average number of commits
+	// each physical WAL flush made durable, group commit's amortization
+	// factor.
+	LogCommits  int64   `json:"log_commits"`
+	LogFlushes  int64   `json:"log_flushes"`
+	OpsPerFlush float64 `json:"ops_per_flush"`
 }
 
 // New creates a server over store. The store must already hold the
@@ -366,6 +376,9 @@ func (s *Server) Stats() StatsDoc {
 	doc.NVMTotalWrites = m.NVMTotalWrites
 	doc.SSDPagesRead = m.SSDPagesRead
 	doc.SSDPagesWrite = m.SSDPagesWritten
+	doc.LogCommits = m.Log.Commits
+	doc.LogFlushes = m.Log.Flushes
+	doc.OpsPerFlush = m.OpsPerFlush
 	if m.Latency != nil {
 		doc.Engine = m.Latency.Rows()
 	}
@@ -382,11 +395,16 @@ func (s *Server) record(op byte, t0 time.Time) {
 
 // shardWorker executes tasks routed to shard i. It drains up to
 // BatchMax queued tasks per shard-lock acquisition, so a loaded shard
-// amortizes locking across requests from every connection.
+// amortizes locking across requests from every connection — and, since
+// writes commit without flushing, the whole batch shares one WAL flush
+// at the end (group commit). Responses are enqueued only after that
+// flush lands and the shard lock is released: an acknowledged write is
+// durable, and a slow connection queue never extends the lock hold.
 func (s *Server) shardWorker(i int) {
 	defer s.workerWG.Done()
 	q := s.shardQ[i]
 	batch := make([]task, 0, s.opts.BatchMax)
+	resps := make([]wire.Response, s.opts.BatchMax)
 	for t, ok := <-q; ok; t, ok = <-q {
 		batch = append(batch[:0], t)
 		for len(batch) < s.opts.BatchMax {
@@ -401,15 +419,34 @@ func (s *Server) shardWorker(i int) {
 			}
 			break
 		}
-		s.store.WithShard(i, func(st *nvmstore.Store) error {
-			for _, t := range batch {
-				resp := execOnShard(st, t.req)
-				t.c.reply(resp)
-				s.record(t.req.Op, t.start)
-				t.c.pending.Done()
+		err := s.store.WithShard(i, func(st *nvmstore.Store) error {
+			for bi := range batch {
+				resps[bi] = execOnShard(st, batch[bi].req)
 			}
-			return nil
+			// One flush covers every commit of the batch; the
+			// fault.WALGroupCrash site sits between the executed batch
+			// and this flush. Acks wait below until it has landed.
+			_, err := st.FlushWAL()
+			return err
 		})
+		if err != nil {
+			// The tail flush itself cannot fail (it panics on injected
+			// crashes); this is a checkpoint error after the flush, so
+			// the acks below are durable regardless. Surface it.
+			s.logf("server: shard %d: flush: %v", i, err)
+		}
+		for bi, t := range batch {
+			t.c.reply(resps[bi])
+			// reply copied the response into its frame; the pooled
+			// buffers behind it (a GET's row, a PUT's routed value
+			// copy) are dead now.
+			if resps[bi].Code == wire.RespValue {
+				wire.PutBuf(resps[bi].Value)
+			}
+			wire.PutBuf(t.req.Value)
+			s.record(t.req.Op, t.start)
+			t.c.pending.Done()
+		}
 	}
 }
 
@@ -425,7 +462,9 @@ func execOnShard(st *nvmstore.Store, req wire.Request) wire.Response {
 	}
 	switch req.Op {
 	case wire.OpGet:
-		buf := make([]byte, tab.RowSize())
+		// Pooled row buffer; the shard worker recycles it after the
+		// response is encoded (reply copies it into the frame).
+		buf := wire.GetBufN(tab.RowSize())
 		var found bool
 		err := st.Update(func() error {
 			var err error
@@ -434,10 +473,12 @@ func execOnShard(st *nvmstore.Store, req wire.Request) wire.Response {
 		})
 		switch {
 		case err != nil:
+			wire.PutBuf(buf)
 			resp.Code, resp.Err = wire.RespErr, err.Error()
 		case found:
 			resp.Code, resp.Value = wire.RespValue, buf
 		default:
+			wire.PutBuf(buf)
 			resp.Code = wire.RespNotFound
 		}
 	case wire.OpPut:
@@ -448,7 +489,7 @@ func execOnShard(st *nvmstore.Store, req wire.Request) wire.Response {
 		}
 	case wire.OpDelete:
 		var found bool
-		err := st.Update(func() error {
+		err := st.UpdateNoFlush(func() error {
 			var err error
 			found, err = tab.Delete(req.Key)
 			return err
@@ -469,23 +510,35 @@ func execOnShard(st *nvmstore.Store, req wire.Request) wire.Response {
 
 // putOnShard upserts row under an open shard lock: overwrite when the
 // key exists, insert (zero-padded to the row size) when it does not.
+// The commit does not flush — the shard worker's batch-end FlushWAL
+// makes it durable before the response is released.
 func putOnShard(st *nvmstore.Store, tab *nvmstore.Table, key uint64, row []byte) error {
 	size := tab.RowSize()
 	if len(row) > size {
 		return fmt.Errorf("put of %d bytes into %d-byte rows", len(row), size)
 	}
-	return st.Update(func() error {
+	return st.UpdateNoFlush(func() error {
 		found, err := tab.UpdateField(key, 0, row)
 		if err != nil || found {
 			return err
 		}
-		if len(row) < size {
-			full := make([]byte, size)
-			copy(full, row)
-			row = full
-		}
-		return tab.Insert(key, row)
+		return insertPadded(tab, key, row, size)
 	})
+}
+
+// insertPadded inserts row zero-padded to the table's row size through
+// a pooled scratch buffer (Insert copies the payload into the page, so
+// the scratch is recycled on return).
+func insertPadded(tab *nvmstore.Table, key uint64, row []byte, size int) error {
+	if len(row) == size {
+		return tab.Insert(key, row)
+	}
+	full := wire.GetBufN(size)
+	clear(full)
+	copy(full, row)
+	err := tab.Insert(key, full)
+	wire.PutBuf(full)
+	return err
 }
 
 // txWrite is one buffered write of a connection transaction.
@@ -530,12 +583,12 @@ func (c *conn) closeRead() {
 // deadline guarantees the queue always drains, so reply never blocks
 // longer than roughly one WriteTimeout.
 func (c *conn) reply(resp wire.Response) {
-	c.out <- wire.AppendResponse(nil, resp)
+	c.out <- wire.AppendResponse(wire.GetBuf(), resp)
 }
 
 func (c *conn) readLoop() {
 	defer c.srv.connWG.Done()
-	var buf []byte
+	buf := wire.GetBuf()
 	var payload []byte
 	var err error
 	for {
@@ -559,6 +612,7 @@ func (c *conn) readLoop() {
 	// Half-close so a blocked peer write fails rather than waiting for
 	// responses that will never come, then let in-flight responses
 	// drain before the writer is told it is done.
+	wire.PutBuf(buf) // every alias died with the loop
 	c.closeRead()
 	go func() {
 		c.pending.Wait()
@@ -586,7 +640,7 @@ func (c *conn) dispatch(req wire.Request) {
 			c.srv.record(req.Op, start)
 			return
 		}
-		c.route(req, start, append([]byte(nil), req.Value...))
+		c.route(req, start, append(wire.GetBuf(), req.Value...))
 	case wire.OpDelete:
 		if c.txActive {
 			c.txWrites = append(c.txWrites, txWrite{req.Table, req.Key, nil, true})
@@ -596,7 +650,9 @@ func (c *conn) dispatch(req wire.Request) {
 		}
 		c.route(req, start, nil)
 	case wire.OpScan:
-		c.reply(c.scan(req))
+		resp, scratch := c.scan(req)
+		c.reply(resp)
+		wire.PutBuf(scratch) // reply copied the entries into the frame
 		c.srv.record(req.Op, start)
 	case wire.OpBegin:
 		resp := wire.Response{Code: wire.RespOK, ID: req.ID}
@@ -714,22 +770,18 @@ func putInTx(tab *nvmstore.Table, key uint64, row []byte) error {
 	if err != nil || found {
 		return err
 	}
-	if len(row) < size {
-		full := make([]byte, size)
-		copy(full, row)
-		row = full
-	}
-	return tab.Insert(key, row)
+	return insertPadded(tab, key, row, size)
 }
 
 // scan merges rows from every shard (ShardedTable.Scan) up to the
-// clamped limit.
-func (c *conn) scan(req wire.Request) wire.Response {
+// clamped limit. The returned scratch backs the entries' values; the
+// caller recycles it after encoding the response.
+func (c *conn) scan(req wire.Request) (_ wire.Response, scratch []byte) {
 	resp := wire.Response{ID: req.ID}
 	tab := c.srv.store.Table(req.Table)
 	if tab == nil {
 		resp.Code, resp.Err = wire.RespErr, fmt.Sprintf("unknown table %d", req.Table)
-		return resp
+		return resp, nil
 	}
 	limit := int(req.Limit)
 	if limit <= 0 || limit > c.srv.opts.MaxScan {
@@ -744,57 +796,35 @@ func (c *conn) scan(req wire.Request) wire.Response {
 			limit = 1 // a single >8MiB row cannot be framed anyway
 		}
 	}
+	// One pooled scratch holds every entry's row copy: its capacity
+	// covers the worst case up front, so the appends below never
+	// reallocate and the entry slices stay valid. dispatch recycles it
+	// once the response frame is encoded.
+	vals := wire.GetBufN(limit * tab.RowSize())[:0]
 	var entries []wire.Entry
 	err := tab.Scan(req.Key, limit, 0, tab.RowSize(), func(key uint64, field []byte) bool {
-		entries = append(entries, wire.Entry{Key: key, Value: append([]byte(nil), field...)})
+		off := len(vals)
+		vals = append(vals, field...)
+		entries = append(entries, wire.Entry{Key: key, Value: vals[off:len(vals):len(vals)]})
 		return true
 	})
 	if err != nil {
+		wire.PutBuf(vals)
 		resp.Code, resp.Err = wire.RespErr, err.Error()
-		return resp
+		return resp, nil
 	}
 	resp.Code, resp.Entries = wire.RespScan, entries
-	return resp
+	return resp, vals
 }
 
 func (c *conn) writeLoop() {
 	defer c.srv.connWG.Done()
 	var err error
 	for buf := range c.out {
-		if err != nil {
-			continue // peer gone: discard, keep the queue draining
-		}
-		if in := c.srv.opts.Faults; in != nil {
-			if in.Check(fault.NetDrop).Fire {
-				err = errors.New("injected connection drop")
-				c.nc.Close()
-				continue
-			}
-			if in.Check(fault.NetPartial).Fire {
-				// Half a frame, then sever: the client sees a short read
-				// on a frame it can neither finish nor trust.
-				c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.WriteTimeout))
-				c.nc.Write(buf[:len(buf)/2])
-				err = errors.New("injected partial frame")
-				c.nc.Close()
-				continue
-			}
-		}
-		// The deadline is what makes a stalled peer (TCP zero window)
-		// a bounded problem: Write fails at the latest after
-		// WriteTimeout, the connection is severed, and every later
-		// response is discarded — shard workers blocked on this
-		// connection's full queue unblock.
-		c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.WriteTimeout))
-		if _, werr := c.nc.Write(buf); werr != nil {
-			err = werr
-			// Sever the connection so the reader unblocks; its
-			// remaining in-flight responses will be discarded above.
-			c.nc.Close()
-			if !errors.Is(werr, net.ErrClosed) {
-				c.srv.logf("server: %s: write: %v", c.nc.RemoteAddr(), werr)
-			}
-		}
+		err = c.writeFrame(buf, err)
+		// The frame is on the wire (or discarded): recycle it. Written
+		// and dropped frames alike, so the pool sees every buffer back.
+		wire.PutBuf(buf)
 	}
 	c.nc.Close()
 	s := c.srv
@@ -803,4 +833,43 @@ func (c *conn) writeLoop() {
 	s.mu.Unlock()
 	s.stats.conns.Add(-1)
 	<-s.connSem
+}
+
+// writeFrame sends one encoded response frame, threading the sticky
+// write error: once the peer is gone every later frame is discarded so
+// the queue keeps draining.
+func (c *conn) writeFrame(buf []byte, err error) error {
+	if err != nil {
+		return err // peer gone: discard
+	}
+	if in := c.srv.opts.Faults; in != nil {
+		if in.Check(fault.NetDrop).Fire {
+			c.nc.Close()
+			return errors.New("injected connection drop")
+		}
+		if in.Check(fault.NetPartial).Fire {
+			// Half a frame, then sever: the client sees a short read
+			// on a frame it can neither finish nor trust.
+			c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.WriteTimeout))
+			c.nc.Write(buf[:len(buf)/2])
+			c.nc.Close()
+			return errors.New("injected partial frame")
+		}
+	}
+	// The deadline is what makes a stalled peer (TCP zero window)
+	// a bounded problem: Write fails at the latest after
+	// WriteTimeout, the connection is severed, and every later
+	// response is discarded — shard workers blocked on this
+	// connection's full queue unblock.
+	c.nc.SetWriteDeadline(time.Now().Add(c.srv.opts.WriteTimeout))
+	if _, werr := c.nc.Write(buf); werr != nil {
+		// Sever the connection so the reader unblocks; its
+		// remaining in-flight responses will be discarded above.
+		c.nc.Close()
+		if !errors.Is(werr, net.ErrClosed) {
+			c.srv.logf("server: %s: write: %v", c.nc.RemoteAddr(), werr)
+		}
+		return werr
+	}
+	return nil
 }

@@ -106,6 +106,15 @@ type Log struct {
 	nextTx  TxID
 
 	stats Stats
+	// unflushedCommits counts commit records appended since the last
+	// flush; the next flush makes them all durable at once.
+	unflushedCommits int64
+
+	// scratch is the reusable record-encoding buffer: the device copies
+	// the payload on WriteAt, so no record survives its append and one
+	// buffer serves every Update/mark on the hot path (a Log is
+	// single-threaded by contract).
+	scratch []byte
 
 	rec obs.Recorder
 	clk *simclock.Clock
@@ -131,12 +140,34 @@ func (l *Log) SetRecorder(r obs.Recorder, clk *simclock.Clock) {
 }
 
 // Stats counts log activity.
+//
+// Commits counts transactions whose commit record was appended, whether
+// by Commit (flushes immediately) or CommitNoFlush (group commit: the
+// record becomes durable at the next flush of the tail). Flushes counts
+// physical tail flushes from any path — commits, aborts, the page
+// write-back barrier, and explicit FlushTail calls. Without group commit
+// every commit performs its own flush and Commits ≤ Flushes; under group
+// commit many commits share one flush and Commits can exceed Flushes
+// arbitrarily. The ratio of the two is the amortization factor group
+// commit achieves.
 type Stats struct {
 	Records   int64
 	Commits   int64
 	Aborts    int64
 	Flushes   int64
 	Truncates int64
+}
+
+// OpsPerFlush returns Commits/Flushes, the average number of committed
+// transactions each physical log-tail flush made durable — the
+// flush-amortization factor of group commit. It returns 0 when no flush
+// has happened. Values below 1 are possible without group commit because
+// non-commit paths (aborts, the write-back barrier) also flush.
+func (s Stats) OpsPerFlush() float64 {
+	if s.Flushes == 0 {
+		return 0
+	}
+	return float64(s.Commits) / float64(s.Flushes)
 }
 
 const (
@@ -169,7 +200,7 @@ func (l *Log) Begin() TxID {
 // is not durable until Flush, Commit, or Abort.
 func (l *Log) Update(tx TxID, pid uint64, pageOff int, before, after []byte) (LSN, error) {
 	nb, na := len(before), len(after)
-	payload := make([]byte, updateHdr+nb+na)
+	payload := l.buf(updateHdr + nb + na)
 	payload[0] = recUpdate
 	lsn := l.nextLSN
 	binary.LittleEndian.PutUint64(payload[1:], uint64(lsn))
@@ -194,10 +225,50 @@ func (l *Log) Commit(tx TxID) error {
 	if err := l.mark(recCommit, tx); err != nil {
 		return err
 	}
+	l.unflushedCommits++
+	l.stats.Commits++
 	l.Flush()
+	return nil
+}
+
+// CommitNoFlush appends a commit record without flushing the log tail.
+// The transaction is NOT durable until the next Flush or FlushTail; a
+// crash before then loses it, and recovery rolls it back like any loser.
+// Callers implementing group commit must therefore not acknowledge the
+// transaction before flushing. Counted in Stats.Commits immediately.
+func (l *Log) CommitNoFlush(tx TxID) error {
+	if err := l.mark(recCommit, tx); err != nil {
+		return err
+	}
+	l.unflushedCommits++
 	l.stats.Commits++
 	return nil
 }
+
+// FlushTail flushes the log tail and returns how many commit records the
+// flush made durable — the batch size of this group commit. It returns 0
+// without flushing when the tail is already durable.
+//
+// FlushTail is the fault.WALGroupCrash site: when at least one commit is
+// pending, an armed injector can crash *before* the flush — the power
+// failure between a batch's last commit record and the coalesced persist
+// barrier. Every pending commit is torn off the log and recovery rolls
+// the transactions back; group-commit callers must not have acknowledged
+// them yet.
+func (l *Log) FlushTail() int64 {
+	n := l.unflushedCommits
+	if n > 0 {
+		if dec := l.faults.Check(fault.WALGroupCrash); dec.Fire {
+			panic(fault.Crash{Kind: fault.WALGroupCrash, Site: "wal.groupflush"})
+		}
+	}
+	l.Flush()
+	return n
+}
+
+// UnflushedCommits returns the number of commit records appended since
+// the last flush — the transactions that would be lost by a crash now.
+func (l *Log) UnflushedCommits() int64 { return l.unflushedCommits }
 
 // Abort appends an abort record. The caller must have undone the
 // transaction's changes and logged the compensating operations first
@@ -213,8 +284,16 @@ func (l *Log) Abort(tx TxID) error {
 	return nil
 }
 
+// buf returns the scratch buffer resized to n bytes.
+func (l *Log) buf(n int) []byte {
+	if cap(l.scratch) < n {
+		l.scratch = make([]byte, n)
+	}
+	return l.scratch[:n]
+}
+
 func (l *Log) mark(kind byte, tx TxID) error {
-	payload := make([]byte, markHdr)
+	payload := l.buf(markHdr)
 	payload[0] = kind
 	binary.LittleEndian.PutUint64(payload[1:], uint64(l.nextLSN))
 	binary.LittleEndian.PutUint64(payload[9:], uint64(tx))
@@ -273,7 +352,13 @@ func (l *Log) Flush() {
 	l.dev.Flush(l.off+l.flushedTo, int(l.head-l.flushedTo)+4)
 	if l.rec != nil {
 		l.rec.Latency(obs.OpWALFlush, l.clk.Ns()-t0)
+		if l.unflushedCommits > 0 {
+			// The ops-per-flush distribution: value is a commit count,
+			// not nanoseconds (see obs.OpWALBatch).
+			l.rec.Latency(obs.OpWALBatch, l.unflushedCommits)
+		}
 	}
+	l.unflushedCommits = 0
 	l.flushedTo = l.head
 	l.stats.Flushes++
 }
@@ -285,6 +370,7 @@ func (l *Log) Truncate() {
 	l.dev.Persist(sentinel[:], l.off)
 	l.head = 0
 	l.flushedTo = 0
+	l.unflushedCommits = 0
 	l.stats.Truncates++
 }
 
@@ -441,6 +527,7 @@ scan:
 
 	l.head = pos
 	l.flushedTo = pos
+	l.unflushedCommits = 0
 	l.nextLSN = maxLSN + 1
 	l.nextTx = maxTx + 1
 	return stats, nil

@@ -38,6 +38,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Version is the protocol version carried in every frame header.
@@ -330,14 +331,59 @@ func DecodeResponse(payload []byte) (Response, error) {
 	return r, nil
 }
 
+// bufPool recycles frame and row buffers across connections and
+// requests. The serving path allocates one buffer per frame read, per
+// response written, and per row looked up; at tens of thousands of
+// requests per second that garbage dominates the profile, so the hot
+// paths draw from this pool instead. Capacities converge on the
+// workload's frame sizes; buffers that prove too small are dropped and
+// replaced by larger ones.
+var bufPool sync.Pool
+
+// GetBuf returns a zero-length recycled buffer (possibly nil: appending
+// grows it like any other slice). Pair with PutBuf once every alias of
+// the buffer is dead.
+func GetBuf() []byte {
+	if p, ok := bufPool.Get().(*[]byte); ok {
+		return (*p)[:0]
+	}
+	return nil
+}
+
+// GetBufN returns a recycled buffer of length n with unspecified
+// contents. A pooled buffer with insufficient capacity is returned to
+// the pool and a fresh one allocated, so capacities ratchet up to the
+// workload's sizes.
+func GetBufN(n int) []byte {
+	b := GetBuf()
+	if cap(b) >= n {
+		return b[:n]
+	}
+	PutBuf(b)
+	return make([]byte, n)
+}
+
+// PutBuf recycles buf for a later GetBuf. The caller must not retain
+// any alias of buf; a nil or empty-capacity buf is a no-op.
+func PutBuf(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	buf = buf[:0]
+	bufPool.Put(&buf)
+}
+
 // ReadFrame reads one length-prefixed payload from r into buf (grown as
 // needed) and returns the payload slice, which aliases the returned
 // buffer. Callers loop:
 //
 //	payload, buf, err = wire.ReadFrame(r, buf)
 //
-// io.EOF is returned unwrapped on a clean close before the prefix; a
-// close mid-frame is io.ErrUnexpectedEOF.
+// Growing recycles the old buffer through the frame pool, so callers
+// must treat the previous payload as dead across calls (the reuse
+// contract above already requires that). io.EOF is returned unwrapped
+// on a clean close before the prefix; a close mid-frame is
+// io.ErrUnexpectedEOF.
 func ReadFrame(r io.Reader, buf []byte) (payload, newBuf []byte, err error) {
 	var prefix [4]byte
 	if _, err := io.ReadFull(r, prefix[:]); err != nil {
@@ -354,6 +400,7 @@ func ReadFrame(r io.Reader, buf []byte) (payload, newBuf []byte, err error) {
 		return nil, buf, fmt.Errorf("%w: %d-byte payload", ErrShortFrame, n)
 	}
 	if cap(buf) < int(n) {
+		PutBuf(buf)
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]

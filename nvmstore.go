@@ -131,6 +131,20 @@ type Options struct {
 	NVMReadLatency  time.Duration
 	NVMWriteLatency time.Duration
 
+	// CommitBatch bounds how many autocommit writes a shard coalesces
+	// into one WAL flush (group commit) in a ShardedStore. Zero selects
+	// the default (DefaultCommitBatch); 1 or a negative value disables
+	// coalescing so every commit flushes individually. Single Stores
+	// ignore it — they are single-threaded, so there is nothing to
+	// coalesce transparently; use ApplyBatch for explicit batching.
+	CommitBatch int
+	// CommitDelay bounds, in simulated time, how long a committed but
+	// unflushed write may wait for companions before the group leader
+	// flushes anyway. Zero means no delay bound: a leader flushes as soon
+	// as no further writer is in flight or the batch is full. Measured on
+	// the shard's virtual clock, not wall time.
+	CommitDelay time.Duration
+
 	// StrictPersistence makes NVM writes that were never flushed vanish
 	// on CrashRestart — the adversarial model for recovery testing.
 	StrictPersistence bool
@@ -256,6 +270,54 @@ func (s *Store) Update(fn func() error) error {
 	return s.Commit()
 }
 
+// CommitNoFlush commits the running transaction without flushing the
+// write-ahead log: the commit record is appended, but the transaction is
+// not durable until FlushWAL (or the next flushing commit). Group-commit
+// building block — callers must not acknowledge the write before a flush
+// lands. On NVMDirect it behaves exactly like Commit (durable on
+// return), as in-place persistence leaves nothing to coalesce.
+func (s *Store) CommitNoFlush() error { return s.e.CommitNoFlush() }
+
+// FlushWAL flushes the write-ahead log tail, making every CommitNoFlush
+// since the last flush durable, and returns how many commits the flush
+// covered.
+func (s *Store) FlushWAL() (int64, error) { return s.e.FlushWAL() }
+
+// UpdateNoFlush is Update with the final flush elided: fn runs inside a
+// transaction that is committed with CommitNoFlush on success. The write
+// is durable only after a later FlushWAL. Rollbacks still flush — abort
+// records always go to the medium immediately.
+func (s *Store) UpdateNoFlush(fn func() error) error {
+	s.Begin()
+	if err := fn(); err != nil {
+		if rbErr := s.Rollback(); rbErr != nil {
+			return errors.Join(err, rbErr)
+		}
+		return err
+	}
+	return s.CommitNoFlush()
+}
+
+// ApplyBatch runs each op in its own transaction, coalescing their
+// commit flushes into a single WAL flush at the end of the batch — the
+// explicit form of group commit. Ops that fail are rolled back
+// individually and reported in the returned error; the remaining ops
+// still run. When ApplyBatch returns, every op that succeeded is
+// durable. The amortization shows up in Metrics().Log: Commits grows by
+// the batch size while Flushes grows by one.
+func (s *Store) ApplyBatch(ops []func() error) error {
+	var errs []error
+	for _, op := range ops {
+		if err := s.UpdateNoFlush(op); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if _, err := s.FlushWAL(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
 // Checkpoint forces all dirty pages to persistent storage and truncates
 // the write-ahead log.
 func (s *Store) Checkpoint() error { return s.e.Checkpoint() }
@@ -317,8 +379,13 @@ type LatencyRow = obs.Row
 type Metrics struct {
 	// Buffer manager event counters (fixes, evictions, admissions, ...).
 	Buffer core.Stats
-	// Log activity (records, commits, flushes, truncations).
+	// Log activity (records, commits, flushes, truncations). Under group
+	// commit Commits exceeds Flushes; see wal.Stats.
 	Log wal.Stats
+	// OpsPerFlush is Log.OpsPerFlush(): the average number of commits
+	// each physical WAL flush made durable — group commit's amortization
+	// factor (0 when nothing was flushed).
+	OpsPerFlush float64
 	// NVMLinesRead counts cache lines read from NVM (including CPU-cache
 	// hits); NVMLinesFlushed counts lines made durable.
 	NVMLinesRead    int64
@@ -384,6 +451,7 @@ func (s *Store) Metrics() Metrics {
 		Buffer: s.e.Manager().Stats(),
 		Log:    s.e.Log().Stats(),
 	}
+	m.OpsPerFlush = m.Log.OpsPerFlush()
 	nvmStats := s.e.Manager().NVM().Stats()
 	m.NVMLinesRead = nvmStats.LinesRead
 	m.NVMLinesFlushed = nvmStats.LinesFlushed

@@ -32,6 +32,140 @@ import (
 type ShardedStore struct {
 	shards []*Store
 	slots  []shardSlot
+	// gc holds one group committer per shard, or nil when group commit
+	// is disabled (Options.CommitBatch <= 1 after defaulting, or the
+	// NVMDirect architecture, which persists in place per commit).
+	gc []*groupCommitter
+}
+
+// DefaultCommitBatch is the per-shard group-commit batch bound used when
+// Options.CommitBatch is zero: at most this many autocommit writes share
+// one WAL flush.
+const DefaultCommitBatch = 32
+
+// groupCommitter coalesces the WAL flushes of concurrent autocommit
+// writers on one shard. Writers append their commit record under the
+// shard lock without flushing, then rendezvous here: the first waiter
+// whose commit is not yet durable becomes the leader, waits while more
+// writers are in flight (bounded by maxBatch commits and maxDelayNs of
+// simulated time), performs one physical flush of the log tail covering
+// everyone, and wakes the group. A writer never returns before the flush
+// covering its commit has landed, so the ack⇒durable contract is
+// preserved — only the flush is shared.
+//
+// Liveness needs no timer: entered counts writers past enter() that have
+// not yet registered or cancelled, and every transition broadcasts. A
+// leader therefore only waits while some writer is demonstrably still on
+// its way, and a single uncontended writer flushes immediately with zero
+// added latency.
+type groupCommitter struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+
+	// entered counts writers between enter() and register/cancel.
+	entered int
+	// seq numbers registered (appended, unflushed) commits; flushedSeq
+	// is the newest seq known durable. flushedSeq lags the log's true
+	// durable frontier when another path (abort, write-back barrier)
+	// flushes the tail; laggards then perform one cheap no-op flush.
+	seq        uint64
+	flushedSeq uint64
+	// flushing marks that a leader is collecting a batch or flushing.
+	flushing bool
+	// oldestNs/newestNs bracket the pending commits' shard-clock
+	// timestamps; their spread bounds how long (in simulated time) an
+	// early commit may wait for companions. oldestNs is approximate
+	// after a flush leaves late registrants pending — see await.
+	oldestNs, newestNs int64
+
+	maxBatch   int
+	maxDelayNs int64
+}
+
+func newGroupCommitter(maxBatch int, maxDelay time.Duration) *groupCommitter {
+	g := &groupCommitter{maxBatch: maxBatch, maxDelayNs: maxDelay.Nanoseconds()}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+// enter announces an in-flight writer. It must precede acquiring the
+// shard lock so a collecting leader keeps waiting for this writer.
+func (g *groupCommitter) enter() {
+	g.mu.Lock()
+	g.entered++
+	g.mu.Unlock()
+}
+
+// cancel withdraws an entered writer whose transaction did not produce a
+// commit record to coalesce (error and rollback paths).
+func (g *groupCommitter) cancel() {
+	g.mu.Lock()
+	g.entered--
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// await registers a commit appended at shard-clock time ns and blocks
+// until a flush covering it has landed, leading that flush if no other
+// writer is. flush must perform one physical flush of the shard's log
+// tail (taking the shard lock) and is called without g.mu held.
+func (g *groupCommitter) await(ns int64, flush func() error) error {
+	g.mu.Lock()
+	g.entered--
+	g.seq++
+	my := g.seq
+	if g.seq-g.flushedSeq == 1 {
+		g.oldestNs = ns
+	}
+	g.newestNs = ns
+	g.cond.Broadcast()
+	for {
+		if g.flushedSeq >= my {
+			g.mu.Unlock()
+			return nil
+		}
+		if !g.flushing {
+			g.flushing = true
+			for int(g.seq-g.flushedSeq) < g.maxBatch && g.entered > 0 &&
+				(g.maxDelayNs <= 0 || g.newestNs-g.oldestNs < g.maxDelayNs) {
+				g.cond.Wait()
+			}
+			target := g.seq
+			g.mu.Unlock()
+			err := g.runFlush(flush)
+			g.mu.Lock()
+			g.flushing = false
+			// Commits through target are durable even when err is
+			// non-nil: FlushWAL's error comes from the checkpoint that
+			// runs after the tail flush succeeded. The leader reports
+			// it; followers' contract is already satisfied.
+			g.flushedSeq = target
+			// Any commits registered during the flush are the newest
+			// ones; restart the delay window at them.
+			g.oldestNs = g.newestNs
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			return err
+		}
+		g.cond.Wait()
+	}
+}
+
+// runFlush invokes flush, keeping the committer usable when an injected
+// fault.Crash (or any other panic) unwinds through it: the leader role
+// is released and the group woken before the panic continues, so other
+// writers do not block forever on a crashed leader.
+func (g *groupCommitter) runFlush(flush func() error) error {
+	defer func() {
+		if r := recover(); r != nil {
+			g.mu.Lock()
+			g.flushing = false
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			panic(r)
+		}
+	}()
+	return flush()
 }
 
 // shardSlot holds one shard's lock and operation counter, padded so that
@@ -66,6 +200,16 @@ func OpenSharded(n int, opts Options) (*ShardedStore, error) {
 			return nil, fmt.Errorf("nvmstore: open shard %d/%d: %w", i, n, err)
 		}
 		s.shards[i] = st
+	}
+	batch := opts.CommitBatch
+	if batch == 0 {
+		batch = DefaultCommitBatch
+	}
+	if batch > 1 && opts.Architecture != NVMDirect {
+		s.gc = make([]*groupCommitter, n)
+		for i := range s.gc {
+			s.gc[i] = newGroupCommitter(batch, opts.CommitDelay)
+		}
 	}
 	return s, nil
 }
@@ -107,6 +251,43 @@ func (s *ShardedStore) onShard(i int, fn func(*Store) error) error {
 	defer slot.mu.Unlock()
 	slot.ops++
 	return fn(s.shards[i])
+}
+
+// onShardDurable runs fn as one transaction on shard i and returns once
+// its commit is durable. With group commit enabled the WAL flush is
+// coalesced with concurrent writers on the same shard: the transaction
+// body runs under the shard lock with a non-flushing commit, the shard's
+// virtual-clock reading at commit is captured under the same lock (the
+// clock has no synchronization of its own), and the writer then waits on
+// the shard's group committer for a flush covering it. Without group
+// commit it is onShard + Store.Update, flushing per operation.
+func (s *ShardedStore) onShardDurable(i int, fn func(st *Store) error) error {
+	if s.gc == nil {
+		return s.onShard(i, func(st *Store) error {
+			return st.Update(func() error { return fn(st) })
+		})
+	}
+	g := s.gc[i]
+	g.enter()
+	slot := &s.slots[i]
+	slot.mu.Lock()
+	slot.ops++
+	st := s.shards[i]
+	err := st.UpdateNoFlush(func() error { return fn(st) })
+	ns := st.e.Clock().Ns()
+	slot.mu.Unlock()
+	if err != nil {
+		// Rolled back; the abort record flushed immediately. Nothing of
+		// ours is pending.
+		g.cancel()
+		return err
+	}
+	return g.await(ns, func() error {
+		return s.WithShard(i, func(st *Store) error {
+			_, err := st.FlushWAL()
+			return err
+		})
+	})
 }
 
 // Ops returns the total number of routed table operations.
@@ -333,6 +514,7 @@ func (s *ShardedStore) Metrics() Metrics {
 			total.Latency.Merge(m.Latency)
 		}
 	}
+	total.OpsPerFlush = total.Log.OpsPerFlush()
 	return total
 }
 
@@ -427,43 +609,97 @@ func (t *ShardedTable) shardTable(st *Store) (*Table, error) {
 	return tab, nil
 }
 
-// Insert adds a row on the owning shard, as one transaction.
+// Insert adds a row on the owning shard, as one transaction. Like every
+// write below, the operation is durable when the call returns; with
+// group commit the WAL flush backing that guarantee is shared with
+// concurrent writers on the same shard.
 func (t *ShardedTable) Insert(key uint64, row []byte) error {
-	return t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+	return t.s.onShardDurable(t.s.ShardFor(key), func(st *Store) error {
 		tab, err := t.shardTable(st)
 		if err != nil {
 			return err
 		}
-		return st.Update(func() error { return tab.Insert(key, row) })
+		return tab.Insert(key, row)
 	})
 }
 
+// putTx is the upsert transaction body shared by Put and PutBatch: a
+// short row overwrites only its leading bytes when the key exists and is
+// zero-padded when it does not.
+func (t *ShardedTable) putTx(tab *Table, key uint64, row []byte) error {
+	found, err := tab.UpdateField(key, 0, row)
+	if err != nil || found {
+		return err
+	}
+	if len(row) < t.rowSize {
+		full := make([]byte, t.rowSize)
+		copy(full, row)
+		row = full
+	}
+	return tab.Insert(key, row)
+}
+
 // Put inserts or replaces the row for key on the owning shard, as one
-// transaction — the upsert the KV serving layer maps PUT to. A short
-// row overwrites only its leading bytes when the key exists and is
-// zero-padded when it does not; a row longer than RowSize fails.
+// transaction — the upsert the KV serving layer maps PUT to. A row
+// longer than RowSize fails.
 func (t *ShardedTable) Put(key uint64, row []byte) error {
 	if len(row) > t.rowSize {
 		return fmt.Errorf("nvmstore: put of %d bytes into %d-byte rows", len(row), t.rowSize)
 	}
-	return t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+	return t.s.onShardDurable(t.s.ShardFor(key), func(st *Store) error {
 		tab, err := t.shardTable(st)
 		if err != nil {
 			return err
 		}
-		return st.Update(func() error {
-			found, err := tab.UpdateField(key, 0, row)
-			if err != nil || found {
-				return err
-			}
-			if len(row) < t.rowSize {
-				full := make([]byte, t.rowSize)
-				copy(full, row)
-				row = full
-			}
-			return tab.Insert(key, row)
-		})
+		return t.putTx(tab, key, row)
 	})
+}
+
+// PutBatch upserts len(keys) rows (rows[i] under keys[i]) with explicit
+// group commit: the keys are grouped by owning shard, and each shard
+// executes its group under one lock acquisition — one transaction per
+// row, one WAL flush per shard at the end of its group. Rows that fail
+// individually are rolled back and reported in the joined error while
+// the rest of the batch proceeds. Every row that succeeded is durable
+// when PutBatch returns.
+func (t *ShardedTable) PutBatch(keys []uint64, rows [][]byte) error {
+	if len(keys) != len(rows) {
+		return fmt.Errorf("nvmstore: put batch of %d keys with %d rows", len(keys), len(rows))
+	}
+	var errs []error
+	for _, row := range rows {
+		if len(row) > t.rowSize {
+			return fmt.Errorf("nvmstore: put of %d bytes into %d-byte rows", len(row), t.rowSize)
+		}
+	}
+	byShard := make(map[int][]int)
+	for i, key := range keys {
+		sh := t.s.ShardFor(key)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, idxs := range byShard {
+		slot := &t.s.slots[sh]
+		slot.mu.Lock()
+		st := t.s.shards[sh]
+		tab, err := t.shardTable(st)
+		if err != nil {
+			slot.mu.Unlock()
+			return err
+		}
+		for _, i := range idxs {
+			slot.ops++
+			i := i
+			if err := st.UpdateNoFlush(func() error { return t.putTx(tab, keys[i], rows[i]) }); err != nil {
+				errs = append(errs, fmt.Errorf("nvmstore: put key %d: %w", keys[i], err))
+			}
+		}
+		_, err = st.FlushWAL()
+		slot.mu.Unlock()
+		if err != nil {
+			errs = append(errs, fmt.Errorf("nvmstore: flush shard %d: %w", sh, err))
+		}
+	}
+	return errors.Join(errs...)
 }
 
 // Lookup copies the row for key into buf and reports whether it exists.
@@ -504,16 +740,13 @@ func (t *ShardedTable) LookupField(key uint64, off, n int, buf []byte) (bool, er
 // transaction.
 func (t *ShardedTable) UpdateField(key uint64, off int, val []byte) (bool, error) {
 	var found bool
-	err := t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+	err := t.s.onShardDurable(t.s.ShardFor(key), func(st *Store) error {
 		tab, err := t.shardTable(st)
 		if err != nil {
 			return err
 		}
-		return st.Update(func() error {
-			var err error
-			found, err = tab.UpdateField(key, off, val)
-			return err
-		})
+		found, err = tab.UpdateField(key, off, val)
+		return err
 	})
 	return found, err
 }
@@ -521,16 +754,13 @@ func (t *ShardedTable) UpdateField(key uint64, off int, val []byte) (bool, error
 // Delete removes a row and reports whether it existed.
 func (t *ShardedTable) Delete(key uint64) (bool, error) {
 	var found bool
-	err := t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+	err := t.s.onShardDurable(t.s.ShardFor(key), func(st *Store) error {
 		tab, err := t.shardTable(st)
 		if err != nil {
 			return err
 		}
-		return st.Update(func() error {
-			var err error
-			found, err = tab.Delete(key)
-			return err
-		})
+		found, err = tab.Delete(key)
+		return err
 	})
 	return found, err
 }
