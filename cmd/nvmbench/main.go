@@ -20,7 +20,11 @@
 // Remote mode (-remote addr) drives the YCSB mix against a running
 // nvmserver over the wire protocol instead of an in-process engine,
 // reporting wire-level round-trip percentiles alongside the server's
-// engine histograms. Combined with -experiment groupcommit it sweeps
+// engine histograms. -tracesample N stamps every Nth keyed request with
+// a trace header; the server records a per-stage timeline for each and
+// the run prints the p99 stage decomposition (reader dispatch, shard
+// queue, execution, WAL flush, response write), also embedded in the
+// -json output as "attribution". Combined with -experiment groupcommit it sweeps
 // client pipeline depth instead, measuring the server's group-commit
 // flush coalescing end to end.
 //
@@ -130,6 +134,7 @@ func run() int {
 		writePct   = flag.Int("writepct", 5, "remote mode: percentage of operations that are PUTs")
 		load       = flag.Bool("load", false, "remote mode: bulk-load the key space before measuring")
 		retries    = flag.Int("retries", 0, "remote mode: per-request retry budget for transport failures (0: client default, negative: fail fast)")
+		traceSamp  = flag.Int("tracesample", 0, "remote mode: stamp every Nth keyed request with a trace header and report the server's p99 stage decomposition (0: off, 1: every request)")
 	)
 	flag.Var(&jsonDir, "json", "write BENCH_<id>.json files (bare flag: current directory, or -json=dir)")
 	flag.Var(&traceDir, "trace", "record lifecycle events and write TRACE_<id>.jsonl (bare flag: current directory, or -trace=dir)")
@@ -158,16 +163,17 @@ func run() int {
 
 	if *remoteAddr != "" {
 		ro := remote.Options{
-			Addr:     *remoteAddr,
-			Clients:  *clients,
-			Depth:    *depth,
-			Rows:     *rows,
-			Load:     *load,
-			WritePct: *writePct,
-			Ops:      *ops,
-			Warmup:   *warmup,
-			Seed:     *seed,
-			Retries:  *retries,
+			Addr:        *remoteAddr,
+			Clients:     *clients,
+			Depth:       *depth,
+			Rows:        *rows,
+			Load:        *load,
+			WritePct:    *writePct,
+			Ops:         *ops,
+			Warmup:      *warmup,
+			Seed:        *seed,
+			Retries:     *retries,
+			TraceSample: *traceSamp,
 		}
 		// -remote -experiment groupcommit is the serving-layer variant
 		// of the group-commit sweep: pipeline depth, not -depth, is the
@@ -306,8 +312,10 @@ func emit(res bench.Result, format string) {
 	case "chart":
 		res.Chart(os.Stdout, 72, 18)
 		res.FormatLatency(os.Stdout)
+		res.FormatAttribution(os.Stdout)
 	default:
 		res.Format(os.Stdout)
+		res.FormatAttribution(os.Stdout)
 	}
 }
 

@@ -8,6 +8,13 @@
 //	nvmserver                                # 4 three-tier shards on :7070
 //	nvmserver -addr :7070 -shards 8 -arch three-tier -scale 16
 //	nvmserver -obs -http :6060               # with engine histograms + debug HTTP
+//	nvmserver -http :6060 -tracering 1024    # larger trace flight recorder
+//
+// With -http, /metrics serves Prometheus text-format counters, gauges,
+// and latency histograms; /metrics.json the raw STATS document; /trace
+// the flight recorder of traced request timelines (see nvmbench
+// -tracesample) with the p99 stage attribution.
+//
 //	nvmserver -faults "seed:7;ssd.read:p=0.001,transient=2;net.drop:p=0.0005"
 //
 // Capacities follow the paper's DRAM:NVM:SSD = 2:10:50 proportions,
@@ -24,9 +31,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -68,7 +77,9 @@ func run() int {
 		commitB    = flag.Int("commitbatch", 0, "max autocommit writes coalesced into one WAL flush per shard (0: store default, 1: disable group commit)")
 		commitD    = flag.Duration("commitdelay", 0, "max simulated time a committed write may wait for the group flush (0: no bound, size/idleness decide)")
 		observe    = flag.Bool("obs", false, "record engine latency histograms (reported via STATS and /metrics)")
-		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars, and /debug/pprof/ on this address")
+		httpAddr   = flag.String("http", "", "serve /metrics (Prometheus), /metrics.json, /trace, /debug/vars, and /debug/pprof/ on this address")
+		traceRing  = flag.Int("tracering", 0, "flight-recorder reservoir size for traced request timelines (0: server default)")
+		traceSlow  = flag.Int("traceslow", 0, "slowest-N traced timelines kept alongside the reservoir (0: server default)")
 		checkpoint = flag.Bool("checkpoint-on-close", false, "write back all dirty pages on shutdown so the next start recovers instantly")
 		faultSpec  = flag.String("faults", "", `fault-injection spec armed on every shard's devices and on the response path, e.g. "seed:7;ssd.read:p=0.001,transient=2;net.drop:p=0.0005" (see internal/fault)`)
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before connections are severed")
@@ -111,8 +122,10 @@ func run() int {
 	}
 
 	srvOpts := server.Options{
-		MaxConns: *maxConns,
-		Logf:     logger.Printf,
+		MaxConns:  *maxConns,
+		Logf:      logger.Printf,
+		TraceRing: *traceRing,
+		TraceSlow: *traceSlow,
 	}
 	if *faultSpec != "" {
 		plan, err := fault.ParseSpec(*faultSpec)
@@ -129,13 +142,19 @@ func run() int {
 	srv := server.New(store, srvOpts)
 
 	if *httpAddr != "" {
-		dbg, err := obs.StartDebug(*httpAddr, func() any { return srv.Stats() })
+		trace := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(srv.TraceSnapshot())
+		})
+		dbg, err := obs.StartDebug(*httpAddr, func() any { return srv.Stats() },
+			obs.Endpoint{Path: "/metrics", Handler: obs.PromHandler(srv.WritePrometheus)},
+			obs.Endpoint{Path: "/trace", Handler: trace})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nvmserver: -http: %v\n", err)
 			return 1
 		}
 		defer dbg.Close()
-		logger.Printf("debug endpoints on http://%s (/metrics, /debug/vars, /debug/pprof/)", dbg.Addr())
+		logger.Printf("debug endpoints on http://%s (/metrics Prometheus, /metrics.json, /trace, /debug/vars, /debug/pprof/)", dbg.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -23,6 +23,7 @@ var lintedPackages = []string{
 	"internal/fault",
 	"internal/fault/harness",
 	"internal/remote",
+	"internal/bench",
 }
 
 // TestExportedIdentifiersDocumented fails for every exported top-level

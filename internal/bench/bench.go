@@ -106,6 +106,10 @@ type Result struct {
 	// Latency is the merged per-operation latency table recorded when
 	// the run had Options.Obs installed; nil otherwise.
 	Latency []obs.Row
+	// Attribution is the tail-latency stage decomposition of the run's
+	// sampled request timelines, recorded when the run traced requests
+	// (remote mode with TraceSample); nil otherwise.
+	Attribution *obs.Attribution
 }
 
 // Tag returns the file-name tag: FileTag if set, else the ID.

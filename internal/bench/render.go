@@ -34,6 +34,10 @@ type jsonResult struct {
 	Series     map[string][][2]float64 `json:"series"`
 	Notes      []string                `json:"notes,omitempty"`
 	Latency    []obs.Row               `json:"latency,omitempty"`
+	// Attribution is the p99 stage decomposition of the traced request
+	// timelines (remote mode with -tracesample); its stage fields sum
+	// exactly to total_ns.
+	Attribution *obs.Attribution `json:"attribution,omitempty"`
 }
 
 // SaveJSON writes the result to BENCH_<tag>.json in dir and returns the
@@ -42,13 +46,14 @@ type jsonResult struct {
 // different -threads keep all their points).
 func (r Result) SaveJSON(dir string) (string, error) {
 	out := jsonResult{
-		Experiment: r.ID,
-		Title:      r.Title,
-		XLabel:     r.XLabel,
-		YLabel:     r.YLabel,
-		Series:     make(map[string][][2]float64, len(r.Series)),
-		Notes:      r.Notes,
-		Latency:    r.Latency,
+		Experiment:  r.ID,
+		Title:       r.Title,
+		XLabel:      r.XLabel,
+		YLabel:      r.YLabel,
+		Series:      make(map[string][][2]float64, len(r.Series)),
+		Notes:       r.Notes,
+		Latency:     r.Latency,
+		Attribution: r.Attribution,
 	}
 	for _, s := range r.Series {
 		pts := make([][2]float64, len(s.X))
@@ -82,6 +87,19 @@ func (r Result) FormatLatency(w io.Writer) {
 		fmt.Fprintf(w, "%-13s %12d %9d %9d %9d %9d %9d\n",
 			row.Op, row.Count, row.P50, row.P90, row.P99, row.Max, row.Mean)
 	}
+	fmt.Fprintln(w)
+}
+
+// FormatAttribution prints the tail-latency stage decomposition of the
+// run's traced request timelines — where the p99 request actually spent
+// its time across the server pipeline. No-op when the run did not trace.
+func (r Result) FormatAttribution(w io.Writer) {
+	if r.Attribution == nil || r.Attribution.Count == 0 {
+		return
+	}
+	fmt.Fprintf(w, "-- %s tail attribution (%d spans, %d in tail) --\n",
+		r.ID, r.Attribution.Count, r.Attribution.TailCount)
+	fmt.Fprintln(w, r.Attribution.Format())
 	fmt.Fprintln(w)
 }
 

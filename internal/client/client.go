@@ -50,6 +50,14 @@ type Options struct {
 	// RetryBackoff is the wait before the first retry; it doubles per
 	// attempt (default 2ms).
 	RetryBackoff time.Duration
+	// TraceSample enables end-to-end span tracing: every TraceSample-th
+	// keyed request (GET/PUT/DELETE, across the whole client) is stamped
+	// with a fresh trace id and the wire.FlagTraced header, telling the
+	// server to record a per-stage timeline for it (0 disables; 1 traces
+	// everything). Untraced requests stay on the version-1 wire format,
+	// so a client with TraceSample 0 is byte-identical to an untracing
+	// one.
+	TraceSample int
 }
 
 func (o *Options) applyDefaults() {
@@ -119,6 +127,11 @@ type Client struct {
 
 	// retries counts reissued requests (see Retries).
 	retries atomic.Int64
+
+	// traceSeq drives TraceSample's every-Nth selection and seeds the
+	// trace ids; stamped counts requests actually traced.
+	traceSeq atomic.Uint64
+	stamped  atomic.Int64
 
 	// hist[op] is the round-trip wall-clock histogram per request
 	// opcode.
@@ -250,9 +263,50 @@ func (c *Client) connAt(i int) (*conn, error) {
 // accounting subtracts them from throughput math.
 func (c *Client) Retries() int64 { return c.retries.Load() }
 
+// TraceStamped returns how many requests this client stamped for span
+// tracing (see Options.TraceSample).
+func (c *Client) TraceStamped() int64 { return c.stamped.Load() }
+
+// traceMix is the SplitMix64 mixer, turning the stamp sequence number
+// into a well-spread 64-bit trace id.
+func traceMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// maybeTrace stamps req with a trace context when TraceSample selects
+// it. Only keyed requests are stamped — they are the ones the server
+// timelines — and a zero-id collision is nudged to 1 (ids only need to
+// be nonzero and unique enough to correlate).
+func (c *Client) maybeTrace(req *wire.Request) {
+	n := c.opts.TraceSample
+	if n <= 0 {
+		return
+	}
+	switch req.Op {
+	case wire.OpGet, wire.OpPut, wire.OpDelete:
+	default:
+		return
+	}
+	seq := c.traceSeq.Add(1)
+	if seq%uint64(n) != 0 {
+		return
+	}
+	id := traceMix(seq)
+	if id == 0 {
+		id = 1
+	}
+	req.Flags |= wire.FlagTraced
+	req.TraceID = id
+	c.stamped.Add(1)
+}
+
 // asyncCall issues req on the next pooled connection, folding a dial
 // failure into the returned Call.
 func (c *Client) asyncCall(req wire.Request) *Call {
+	c.maybeTrace(&req)
 	cn, err := c.next()
 	if err != nil {
 		call := &Call{op: req.Op, done: make(chan struct{}), err: err}

@@ -37,8 +37,9 @@ func (c *Collector) Event(e Event) {
 	}
 }
 
-// Trace returns the event ring, or nil when tracing is disabled. The ring
-// is single-writer; read it only while the owning engine is quiesced.
+// Trace returns the event ring, or nil when tracing is disabled. The
+// ring's reads are sequence-validated, so it may be read while the
+// owning engine is still appending (see Trace).
 func (c *Collector) Trace() *Trace { return c.trace }
 
 // Snapshot copies every histogram. Safe to call while the engine records.

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func flightSpan(total int64) *Timeline {
+	tl := &Timeline{TotalNs: total}
+	tl.Stages[StageExec] = total
+	return tl
+}
+
+func TestFlightRecorderSlowest(t *testing.T) {
+	f := NewFlightRecorder(64, 4)
+	for i := int64(1); i <= 100; i++ {
+		f.Record(flightSpan(i * 1000))
+	}
+	s := f.Snapshot()
+	if s.Sampled != 100 {
+		t.Fatalf("Sampled = %d", s.Sampled)
+	}
+	if len(s.Slowest) != 4 {
+		t.Fatalf("len(Slowest) = %d, want 4", len(s.Slowest))
+	}
+	want := []int64{100000, 99000, 98000, 97000}
+	for i, tl := range s.Slowest {
+		if tl.TotalNs != want[i] {
+			t.Fatalf("Slowest[%d] = %d, want %d", i, tl.TotalNs, want[i])
+		}
+	}
+	if len(s.Sample) != 64 {
+		t.Fatalf("len(Sample) = %d, want full reservoir", len(s.Sample))
+	}
+	if s.P99.Count != len(s.Sample) || s.P99.SumNs() != s.P99.TotalNs {
+		t.Fatalf("snapshot attribution inconsistent: %+v", s.P99)
+	}
+}
+
+func TestFlightRecorderReservoirUniform(t *testing.T) {
+	// With many more records than capacity, the reservoir must hold a
+	// spread of the whole run, not just the newest records.
+	f := NewFlightRecorder(128, 1)
+	const n = 100000
+	for i := int64(1); i <= n; i++ {
+		f.Record(flightSpan(i))
+	}
+	s := f.Snapshot()
+	firstHalf := 0
+	for _, tl := range s.Sample {
+		if tl.TotalNs <= n/2 {
+			firstHalf++
+		}
+	}
+	// Expect ~64 of 128 from the first half; accept any clearly-mixed
+	// outcome (a last-wins ring would hold zero).
+	if firstHalf < 20 || firstHalf > 108 {
+		t.Fatalf("reservoir skewed: %d of %d samples from first half", firstHalf, len(s.Sample))
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(32, 8)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 5000; i++ {
+				f.Record(flightSpan(int64(w+1)*10 + i%7))
+			}
+		}(w)
+	}
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := f.Snapshot()
+			for _, tl := range s.Slowest {
+				if tl.TotalNs <= 0 {
+					t.Error("invalid slow timeline in snapshot")
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	s := f.Snapshot()
+	if s.Sampled != 4*5000 {
+		t.Fatalf("Sampled = %d, want %d", s.Sampled, 4*5000)
+	}
+	if len(s.Slowest) != 8 {
+		t.Fatalf("len(Slowest) = %d, want 8", len(s.Slowest))
+	}
+	// The true maximum must be retained.
+	if s.Slowest[0].TotalNs != 4*10+6 {
+		t.Fatalf("max retained = %d, want %d", s.Slowest[0].TotalNs, 4*10+6)
+	}
+}

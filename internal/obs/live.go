@@ -49,10 +49,14 @@ func (l *Live) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
 }
 
 // DebugServer bundles the diagnostics endpoints the long-running
-// commands (nvmbench, nvmserver) share: /metrics serving a Live JSON
-// snapshot, /debug/vars (expvar), and /debug/pprof/. The snapshot
-// function is polled once a second and on Publish; it must be safe to
-// call while the instrumented system runs (histogram snapshots are).
+// commands (nvmbench, nvmserver) share: /metrics and /metrics.json
+// serving a Live JSON snapshot, /debug/vars (expvar), and /debug/pprof/.
+// Callers can mount extra endpoints (a Prometheus /metrics, a /trace
+// flight-recorder dump) via StartDebug; an extra endpoint at /metrics
+// replaces the default JSON there, and /metrics.json always keeps the
+// JSON document. The snapshot function is polled once a second and on
+// Publish; it must be safe to call while the instrumented system runs
+// (histogram snapshots are).
 type DebugServer struct {
 	live     *Live
 	snapshot func() any
@@ -62,9 +66,19 @@ type DebugServer struct {
 	wg       sync.WaitGroup
 }
 
+// Endpoint is one extra handler to mount on a DebugServer's mux.
+type Endpoint struct {
+	// Path is the mux pattern, e.g. "/trace".
+	Path string
+	// Handler serves it.
+	Handler http.Handler
+}
+
 // StartDebug listens on addr and serves the diagnostics endpoints until
-// Close. snapshot produces the /metrics document.
-func StartDebug(addr string, snapshot func() any) (*DebugServer, error) {
+// Close. snapshot produces the JSON metrics document; extra endpoints
+// are mounted as given (a /metrics endpoint overrides the default JSON
+// handler there).
+func StartDebug(addr string, snapshot func() any, extra ...Endpoint) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -76,7 +90,17 @@ func StartDebug(addr string, snapshot func() any) (*DebugServer, error) {
 		done:     make(chan struct{}),
 	}
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", d.live)
+	metricsTaken := false
+	for _, e := range extra {
+		mux.Handle(e.Path, e.Handler)
+		if e.Path == "/metrics" {
+			metricsTaken = true
+		}
+	}
+	if !metricsTaken {
+		mux.Handle("/metrics", d.live)
+	}
+	mux.Handle("/metrics.json", d.live)
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,429 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromWriter renders metrics in the Prometheus text exposition format
+// (version 0.0.4): `# HELP`/`# TYPE` once per metric family, then one
+// sample line per label set. Histograms are emitted with cumulative
+// `_bucket{le="..."}` series plus `_sum` and `_count`, mapping the
+// layer's power-of-two buckets to le = 2^k − 1 (the largest value bucket
+// k can hold).
+//
+// Write methods for the same family must be called consecutively (group
+// all label sets of one name together); the writer emits the family
+// header on first use of each name. Errors are sticky — check Err once
+// after rendering.
+type PromWriter struct {
+	w     io.Writer
+	typed map[string]bool
+	err   error
+}
+
+// NewPromWriter returns a writer rendering to w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, typed: make(map[string]bool)}
+}
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+// Label is one Prometheus label pair.
+type Label struct {
+	// Name is the label name ([a-zA-Z_][a-zA-Z0-9_]*).
+	Name string
+	// Value is the label value (escaped on output).
+	Value string
+}
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// header emits # HELP and # TYPE for name once.
+func (p *PromWriter) header(name, help, typ string) {
+	if p.typed[name] {
+		return
+	}
+	p.typed[name] = true
+	p.printf("# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// labelString renders {a="b",...}, or "" for no labels.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, l.Name, escapeLabel(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelStringLe is labelString with an le pair appended (for buckets).
+func labelStringLe(labels []Label, le string) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, l := range labels {
+		fmt.Fprintf(&b, `%s=%q,`, l.Name, escapeLabel(l.Value))
+	}
+	fmt.Fprintf(&b, `le=%q}`, le)
+	return b.String()
+}
+
+// Counter emits one counter sample.
+func (p *PromWriter) Counter(name, help string, labels []Label, v float64) {
+	p.header(name, help, "counter")
+	p.printf("%s%s %s\n", name, labelString(labels), formatFloat(v))
+}
+
+// Gauge emits one gauge sample.
+func (p *PromWriter) Gauge(name, help string, labels []Label, v float64) {
+	p.header(name, help, "gauge")
+	p.printf("%s%s %s\n", name, labelString(labels), formatFloat(v))
+}
+
+// Histogram emits one histogram sample set from a HistSnapshot:
+// cumulative buckets up to the highest populated power-of-two bucket,
+// the +Inf bucket, _sum, and _count.
+func (p *PromWriter) Histogram(name, help string, labels []Label, h HistSnapshot) {
+	p.header(name, help, "histogram")
+	hi := -1
+	for k := len(h.Counts) - 1; k >= 0; k-- {
+		if h.Counts[k] != 0 {
+			hi = k
+			break
+		}
+	}
+	var cum int64
+	for k := 0; k <= hi; k++ {
+		cum += h.Counts[k]
+		// Bucket 0 holds exactly zero; bucket k>=1 holds [2^(k-1), 2^k),
+		// so its inclusive integer upper bound is 2^k - 1.
+		le := "0"
+		if k > 0 {
+			le = strconv.FormatUint(1<<uint(k)-1, 10)
+		}
+		p.printf("%s_bucket%s %d\n", name, labelStringLe(labels, le), cum)
+	}
+	p.printf("%s_bucket%s %d\n", name, labelStringLe(labels, "+Inf"), h.Count())
+	p.printf("%s_sum%s %d\n", name, labelString(labels), h.Sum)
+	p.printf("%s_count%s %d\n", name, labelString(labels), h.Count())
+}
+
+// formatFloat renders a sample value: integers without an exponent,
+// everything else via strconv 'g'.
+func formatFloat(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PromHandler adapts a render function to an http.Handler serving the
+// Prometheus text format with the standard content type. Render errors
+// surface as a 500 with the error text.
+func PromHandler(render func(*PromWriter)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		p := NewPromWriter(&b)
+		render(p)
+		if err := p.Err(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		io.WriteString(w, b.String())
+	})
+}
+
+// LintPromText validates Prometheus text-format output: line syntax,
+// metric/label name charsets, TYPE declarations preceding samples, and
+// histogram consistency (cumulative nondecreasing buckets with
+// increasing le, a +Inf bucket present and equal to _count). It is a
+// test-support linter, not a full parser — it checks what this layer
+// emits plus the invariants Prometheus itself enforces on scrape.
+func LintPromText(data []byte) error {
+	types := make(map[string]string)
+	// histogram bookkeeping per base-name+labels series
+	type histState struct {
+		lastLe  float64
+		lastCum int64
+		infSeen bool
+		infVal  int64
+		count   int64
+		hasCnt  bool
+	}
+	hists := make(map[string]*histState)
+	lines := strings.Split(string(data), "\n")
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				if len(fields) >= 2 && (fields[1] == "HELP" || fields[1] == "TYPE") {
+					return fmt.Errorf("line %d: malformed %s comment", lineNo, fields[1])
+				}
+				continue // free-form comment
+			}
+			if !validMetricName(fields[2]) {
+				return fmt.Errorf("line %d: invalid metric name %q", lineNo, fields[2])
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE comment", lineNo)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				if _, dup := types[fields[2]]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, fields[2])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		base, suffix := histBase(name, types)
+		if base == "" {
+			continue // not part of a declared histogram family
+		}
+		key := base + "\x00" + stripLe(labels)
+		st := hists[key]
+		if st == nil {
+			st = &histState{lastLe: -1}
+			hists[key] = st
+		}
+		switch suffix {
+		case "_bucket":
+			le, err := parseLe(labels)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			cum := int64(value)
+			if le <= st.lastLe {
+				return fmt.Errorf("line %d: histogram %s le %g not increasing", lineNo, base, le)
+			}
+			if cum < st.lastCum {
+				return fmt.Errorf("line %d: histogram %s bucket counts decreasing", lineNo, base)
+			}
+			st.lastLe, st.lastCum = le, cum
+			if le == inf {
+				st.infSeen, st.infVal = true, cum
+			}
+		case "_count":
+			st.count, st.hasCnt = int64(value), true
+		}
+	}
+	for key, st := range hists {
+		base := key[:strings.IndexByte(key, 0)]
+		if !st.infSeen {
+			return fmt.Errorf("histogram %s: missing +Inf bucket", base)
+		}
+		if !st.hasCnt {
+			return fmt.Errorf("histogram %s: missing _count", base)
+		}
+		if st.infVal != st.count {
+			return fmt.Errorf("histogram %s: +Inf bucket %d != _count %d", base, st.infVal, st.count)
+		}
+	}
+	return nil
+}
+
+var inf = float64(1 << 62) // sentinel for le="+Inf" comparisons
+
+// parseLe extracts the le label from a bucket's label string.
+func parseLe(labels string) (float64, error) {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return 0, fmt.Errorf("bucket missing le label")
+	}
+	rest := labels[i+len(`le="`):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return 0, fmt.Errorf("unterminated le label")
+	}
+	v := rest[:j]
+	if v == "+Inf" {
+		return inf, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad le value %q", v)
+	}
+	return f, nil
+}
+
+// stripLe removes the le pair so bucket series group with their family.
+func stripLe(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	var kept []string
+	for _, pair := range splitLabelPairs(labels) {
+		if !strings.HasPrefix(pair, "le=") {
+			kept = append(kept, pair)
+		}
+	}
+	sort.Strings(kept)
+	return strings.Join(kept, ",")
+}
+
+// histBase maps a sample name to its declared histogram family name and
+// suffix, or "" when the sample is not part of one.
+func histBase(name string, types map[string]string) (base, suffix string) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			b := strings.TrimSuffix(name, suf)
+			if types[b] == "histogram" {
+				return b, suf
+			}
+		}
+	}
+	return "", ""
+}
+
+// parsePromSample splits one sample line into name, raw label string
+// (without braces), and value, validating each part.
+func parsePromSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unterminated label set")
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", "", 0, fmt.Errorf("sample missing value")
+		}
+		name = rest[:sp]
+		rest = strings.TrimSpace(rest[sp:])
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	for _, pair := range splitLabelPairs(labels) {
+		eq := strings.IndexByte(pair, '=')
+		if eq < 0 {
+			return "", "", 0, fmt.Errorf("malformed label pair %q", pair)
+		}
+		if !validLabelName(pair[:eq]) {
+			return "", "", 0, fmt.Errorf("invalid label name %q", pair[:eq])
+		}
+		v := pair[eq+1:]
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return "", "", 0, fmt.Errorf("unquoted label value in %q", pair)
+		}
+	}
+	// Value (timestamps are not emitted by this layer; reject extras).
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		return "", "", 0, fmt.Errorf("expected one value, got %q", rest)
+	}
+	if fields[0] == "+Inf" || fields[0] == "-Inf" || fields[0] == "NaN" {
+		return name, labels, 0, nil
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q", fields[0])
+	}
+	return name, labels, value, nil
+}
+
+// splitLabelPairs splits a raw label string on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	if labels == "" {
+		return nil
+	}
+	var out []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(labels); i++ {
+		switch labels[i] {
+		case '\\':
+			if depth {
+				i++ // skip escaped char
+			}
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, labels[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(labels) {
+		out = append(out, labels[start:])
+	}
+	return out
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName reports whether s matches [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestPromWriterHistogram(t *testing.T) {
+	var h Histogram
+	h.Record(0)
+	h.Record(1)
+	h.Record(5) // bucket 3: [4,8)
+	h.Record(5)
+	snap := h.Snapshot()
+
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Histogram("nvm_op_ns", "per-op latency", []Label{{Name: "op", Value: "get"}}, snap)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE nvm_op_ns histogram",
+		`nvm_op_ns_bucket{op="get",le="0"} 1`,
+		`nvm_op_ns_bucket{op="get",le="1"} 2`,
+		`nvm_op_ns_bucket{op="get",le="7"} 4`,
+		`nvm_op_ns_bucket{op="get",le="+Inf"} 4`,
+		`nvm_op_ns_sum{op="get"} 11`,
+		`nvm_op_ns_count{op="get"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := LintPromText([]byte(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+}
+
+func TestPromWriterFamiliesAndEscaping(t *testing.T) {
+	var b strings.Builder
+	p := NewPromWriter(&b)
+	p.Gauge("nvm_shard_queue_depth", "queued requests", []Label{{Name: "shard", Value: "0"}}, 3)
+	p.Gauge("nvm_shard_queue_depth", "queued requests", []Label{{Name: "shard", Value: "1"}}, 0)
+	p.Counter("nvm_conn_waits_total", `saturation "stalls"`+"\n", nil, 7)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Count(out, "# TYPE nvm_shard_queue_depth") != 1 {
+		t.Fatalf("family header repeated:\n%s", out)
+	}
+	if !strings.Contains(out, "nvm_conn_waits_total 7") {
+		t.Fatalf("missing counter:\n%s", out)
+	}
+	if err := LintPromText([]byte(out)); err != nil {
+		t.Fatalf("lint: %v\n%s", err, out)
+	}
+}
+
+func TestLintPromTextRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad name":       "9metric 1\n",
+		"no value":       "metric\n",
+		"bad value":      "metric abc\n",
+		"bad type":       "# TYPE m widget\n",
+		"dup type":       "# TYPE m counter\n# TYPE m counter\n",
+		"bad label name": `m{9l="x"} 1` + "\n",
+		"unquoted label": `m{l=x} 1` + "\n",
+		"buckets decrease": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 5` + "\n" + `h_bucket{le="2"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n",
+		"le not increasing": "# TYPE h histogram\n" +
+			`h_bucket{le="2"} 1` + "\n" + `h_bucket{le="1"} 2` + "\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 2\n",
+		"missing inf": "# TYPE h histogram\n" +
+			`h_bucket{le="1"} 1` + "\nh_sum 1\nh_count 1\n",
+		"inf != count": "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 3` + "\nh_sum 1\nh_count 2\n",
+	}
+	for name, text := range cases {
+		if err := LintPromText([]byte(text)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, text)
+		}
+	}
+	ok := "# HELP m help text\n# TYPE m counter\nm 1\nm2{a=\"b\\\"c\"} 2.5\n"
+	if err := LintPromText([]byte(ok)); err != nil {
+		t.Errorf("valid text rejected: %v", err)
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	h := PromHandler(func(p *PromWriter) {
+		p.Gauge("up", "serving", nil, 1)
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "up 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+	if err := LintPromText(rec.Body.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTimelineMarks(t *testing.T) {
+	var tl Timeline
+	tl.Begin(42, "get", 1000)
+	tl.Mark(StageEnqueue, 1100) // 100
+	tl.Mark(StageQueue, 1400)   // 300
+	tl.Mark(StageExec, 1450)    // 50
+	tl.Mark(StageFlush, 2450)   // 1000
+	tl.Finish(2500)             // write: 50
+
+	want := [NumStages]int64{100, 300, 50, 1000, 50}
+	if tl.Stages != want {
+		t.Fatalf("stages = %v, want %v", tl.Stages, want)
+	}
+	if tl.TotalNs != 1500 {
+		t.Fatalf("total = %d, want 1500", tl.TotalNs)
+	}
+	var sum int64
+	for _, v := range tl.Stages {
+		sum += v
+	}
+	if sum != tl.TotalNs {
+		t.Fatalf("stage sum %d != total %d", sum, tl.TotalNs)
+	}
+}
+
+func TestTimelineMarkAccumulates(t *testing.T) {
+	var tl Timeline
+	tl.Begin(1, "put", 0)
+	tl.Mark(StageExec, 10)
+	tl.Mark(StageFlush, 30)
+	tl.Mark(StageExec, 35) // second exec slice
+	tl.Finish(40)
+	if tl.Stages[StageExec] != 15 {
+		t.Fatalf("exec = %d, want 15", tl.Stages[StageExec])
+	}
+	if tl.TotalNs != 40 {
+		t.Fatalf("total = %d, want 40", tl.TotalNs)
+	}
+}
+
+// mkSpan builds a finished timeline with the given stage split.
+func mkSpan(stages [NumStages]int64) Timeline {
+	var tl Timeline
+	var total int64
+	for _, v := range stages {
+		total += v
+	}
+	tl.Stages = stages
+	tl.TotalNs = total
+	return tl
+}
+
+func TestAttributeSumsExactly(t *testing.T) {
+	var spans []Timeline
+	for i := 1; i <= 200; i++ {
+		spans = append(spans, mkSpan([NumStages]int64{
+			int64(i * 7), int64(i * 13), int64(i * 3), int64(i * 31), int64(i * 5),
+		}))
+	}
+	a := Attribute(spans, 0.99)
+	if a.Count != 200 {
+		t.Fatalf("count = %d", a.Count)
+	}
+	if a.TailCount == 0 {
+		t.Fatal("no tail spans")
+	}
+	if got := a.SumNs(); got != a.TotalNs {
+		t.Fatalf("stage sum %d != quantile total %d", got, a.TotalNs)
+	}
+	// The synthetic split makes flush the dominant stage.
+	if a.Stages[StageFlush] <= a.Stages[StageQueue] {
+		t.Fatalf("expected flush-dominated decomposition, got %v", a.Stages)
+	}
+	// The exact quantile must be one of the observed totals.
+	found := false
+	for _, s := range spans {
+		if s.TotalNs == a.TotalNs {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("quantile total %d is not an observed span total", a.TotalNs)
+	}
+}
+
+func TestAttributeEmptyAndDegenerate(t *testing.T) {
+	a := Attribute(nil, 0.99)
+	if a.Count != 0 || a.TotalNs != 0 || a.SumNs() != 0 {
+		t.Fatalf("empty attribution not zero: %+v", a)
+	}
+	if !strings.Contains(a.Format(), "no samples") {
+		t.Fatalf("Format() = %q", a.Format())
+	}
+	// All-zero totals must not divide by zero.
+	z := Attribute([]Timeline{{}, {}}, 0.5)
+	if z.SumNs() != z.TotalNs {
+		t.Fatalf("degenerate sum mismatch: %+v", z)
+	}
+}
+
+func TestAttributionFormat(t *testing.T) {
+	spans := []Timeline{mkSpan([NumStages]int64{10, 210, 90, 620, 70})}
+	a := Attribute(spans, 0.99)
+	s := a.Format()
+	if !strings.Contains(s, "flush") || !strings.Contains(s, "62% flush") {
+		t.Fatalf("Format() = %q, want flush-led decomposition", s)
+	}
+	// Largest stage first.
+	if strings.Index(s, "flush") > strings.Index(s, "queue") {
+		t.Fatalf("Format() = %q, not sorted by share", s)
+	}
+}
+
+func TestTierDeltasSub(t *testing.T) {
+	a := TierDeltas{DRAMHits: 10, NVMLineLoads: 5, NVMPageLoads: 2, SSDReads: 1, JournalUndos: 3}
+	b := TierDeltas{DRAMHits: 4, NVMLineLoads: 5, SSDReads: 1}
+	got := a.Sub(b)
+	want := TierDeltas{DRAMHits: 6, NVMPageLoads: 2, JournalUndos: 3}
+	if got != want {
+		t.Fatalf("Sub = %+v, want %+v", got, want)
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageFlush.String() != "flush" || Stage(200).String() != "stage?" {
+		t.Fatal("Stage.String mismatch")
+	}
+}

@@ -4,19 +4,61 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
+	"sync/atomic"
 )
 
 // Trace is a fixed-capacity ring buffer of page-lifecycle events. Append
-// is a plain struct copy into preallocated storage — zero allocations,
-// no locks — which makes it safe to leave enabled on hot paths.
+// claims a slot with one atomic ticket and publishes the event through a
+// per-slot sequence (a seqlock): the sequence is odd while the write is
+// in progress and carries the ticket when complete, so readers validate
+// every entry instead of trusting it. Appending allocates nothing and
+// takes no locks, which keeps it safe to leave enabled on hot paths.
 //
-// The ring is single-writer: each engine (shard) owns one Trace. Reads
-// (Events, WriteJSONL) are not synchronized with the writer; callers
-// quiesce the shard first, exactly like Stats snapshots. When the ring
-// wraps, the oldest events are overwritten and Total keeps counting.
+// Unlike the original single-writer design, the ring now tolerates
+// concurrent appenders and — more importantly — concurrent readers:
+// Events and WriteJSONL may run while engines append, and a torn entry
+// (a reader catching a slot mid-overwrite during wraparound) is detected
+// by its sequence and skipped rather than returned. Two writers racing
+// for the same slot (a full wraparound during one append) drop the
+// loser's event and count it in Dropped; with realistic capacities that
+// never happens, but the ring stays consistent even when it does. When
+// the ring wraps, the oldest events are overwritten and Total keeps
+// counting.
 type Trace struct {
-	buf  []Event
-	next uint64 // total events ever appended; next%cap is the write slot
+	slots []traceSlot
+	next  atomic.Uint64 // total events ever appended; next%cap is the write slot
+	drops atomic.Uint64
+}
+
+// traceSlot holds one published event. The event words are atomics so a
+// seq-validated read is also race-detector clean: seq is odd while a
+// writer owns the slot and 2*(ticket+1) once the entry is complete.
+type traceSlot struct {
+	seq atomic.Uint64
+	w   [4]atomic.Uint64
+}
+
+// packEvent splits an Event across the slot's four words.
+func packEvent(e Event) [4]uint64 {
+	return [4]uint64{
+		uint64(e.SimNs),
+		e.PID,
+		uint64(uint32(e.Frame))<<32 | uint64(e.Detail),
+		uint64(e.Kind)<<8 | uint64(e.Tier),
+	}
+}
+
+// unpackEvent is the inverse of packEvent.
+func unpackEvent(w [4]uint64) Event {
+	return Event{
+		SimNs:  int64(w[0]),
+		PID:    w[1],
+		Frame:  int32(uint32(w[2] >> 32)),
+		Detail: uint32(w[2]),
+		Kind:   EventKind(w[3] >> 8),
+		Tier:   Tier(uint8(w[3])),
+	}
 }
 
 // NewTrace returns a ring holding the most recent cap events (min 1).
@@ -24,36 +66,88 @@ func NewTrace(cap int) *Trace {
 	if cap < 1 {
 		cap = 1
 	}
-	return &Trace{buf: make([]Event, cap)}
+	return &Trace{slots: make([]traceSlot, cap)}
 }
 
-// Append records one event, overwriting the oldest when full.
+// Append records one event, overwriting the oldest when full. If the
+// ring wraps all the way around while another append is still writing
+// the same slot, the newer event is dropped (and counted) instead of
+// tearing the older one.
 func (t *Trace) Append(e Event) {
-	t.buf[t.next%uint64(len(t.buf))] = e
-	t.next++
+	ticket := t.next.Add(1) - 1
+	slot := &t.slots[ticket%uint64(len(t.slots))]
+	claim := 2*ticket + 1 // odd: write in progress, encodes the ticket
+	s := slot.seq.Load()
+	if s >= claim || s&1 == 1 || !slot.seq.CompareAndSwap(s, claim) {
+		// The slot is owned by a concurrent writer (or already holds a
+		// newer lap's entry). Dropping the new event keeps every
+		// published entry internally consistent.
+		t.drops.Add(1)
+		return
+	}
+	w := packEvent(e)
+	for i := range w {
+		slot.w[i].Store(w[i])
+	}
+	slot.seq.Store(claim + 1) // 2*(ticket+1): complete
 }
 
 // Total returns how many events were ever appended (including ones the
-// ring has since overwritten).
-func (t *Trace) Total() uint64 { return t.next }
+// ring has since overwritten or dropped).
+func (t *Trace) Total() uint64 { return t.next.Load() }
 
-// Len returns how many events are currently retained.
+// Dropped returns how many events were discarded because the ring
+// wrapped onto a slot another appender was still writing.
+func (t *Trace) Dropped() uint64 { return t.drops.Load() }
+
+// Len returns how many events are currently retained (at most the
+// capacity; concurrent drops can make the true count slightly lower).
 func (t *Trace) Len() int {
-	if t.next < uint64(len(t.buf)) {
-		return int(t.next)
+	n := t.next.Load()
+	if n < uint64(len(t.slots)) {
+		return int(n)
 	}
-	return len(t.buf)
+	return len(t.slots)
+}
+
+// ticketed pairs a validated event with its append ticket for ordering.
+type ticketed struct {
+	ticket uint64
+	e      Event
+}
+
+// snapshot returns every validated entry, ordered by append ticket.
+// Entries a concurrent writer is mid-way through are skipped.
+func (t *Trace) snapshot() []ticketed {
+	out := make([]ticketed, 0, len(t.slots))
+	for i := range t.slots {
+		slot := &t.slots[i]
+		s1 := slot.seq.Load()
+		if s1 == 0 || s1&1 == 1 {
+			continue // empty or write in progress
+		}
+		var w [4]uint64
+		for j := range w {
+			w[j] = slot.w[j].Load()
+		}
+		if slot.seq.Load() != s1 {
+			continue // overwritten while reading: discard the torn copy
+		}
+		out = append(out, ticketed{ticket: s1/2 - 1, e: unpackEvent(w)})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ticket < out[b].ticket })
+	return out
 }
 
 // Events returns the retained events in append order (oldest first). The
 // slice is freshly allocated; the ring keeps recording into its own
-// storage.
+// storage. Safe to call while appenders run — every returned event is
+// sequence-validated.
 func (t *Trace) Events() []Event {
-	n := t.Len()
-	out := make([]Event, 0, n)
-	start := t.next - uint64(n)
-	for i := uint64(0); i < uint64(n); i++ {
-		out = append(out, t.buf[(start+i)%uint64(len(t.buf))])
+	snap := t.snapshot()
+	out := make([]Event, 0, len(snap))
+	for _, te := range snap {
+		out = append(out, te.e)
 	}
 	return out
 }

@@ -14,6 +14,7 @@ import (
 
 	"nvmstore/internal/bench"
 	"nvmstore/internal/client"
+	"nvmstore/internal/obs"
 	"nvmstore/internal/server"
 	"nvmstore/internal/shard"
 	"nvmstore/internal/ycsb"
@@ -61,6 +62,13 @@ type Options struct {
 	// Seed is the base seed of the per-worker Zipf streams (default
 	// ycsb.DefaultSeed); worker i draws from shard.SeedFor(Seed, i).
 	Seed uint64
+	// TraceSample, when positive, stamps every Nth keyed request with a
+	// wire-level trace header; the server records a per-stage timeline
+	// for each stamped request and the run reports the p99 stage
+	// decomposition (reader dispatch, shard queue, execution, WAL flush,
+	// response write) from the server's flight recorder. 1 traces every
+	// request; 0 disables tracing.
+	TraceSample int
 }
 
 func (o *Options) applyDefaults() {
@@ -106,8 +114,9 @@ func Run(o Options) (bench.Result, error) {
 		Conns: o.Conns,
 		// Every worker must be able to fill its pipeline even if the
 		// round-robin lands them all on one connection.
-		Depth:   o.Clients * o.Depth,
-		Retries: o.Retries,
+		Depth:       o.Clients * o.Depth,
+		Retries:     o.Retries,
+		TraceSample: o.TraceSample,
 	})
 	if err != nil {
 		return bench.Result{}, err
@@ -175,7 +184,41 @@ func Run(o Options) (bench.Result, error) {
 			"%d pipelined ops reissued after transport failures (%d client-level retries); reissues cost time but add no ops",
 			n, cl.Retries()))
 	}
+	if o.TraceSample > 0 {
+		if after.Trace == nil || after.Trace.Sampled == 0 {
+			res.Notes = append(res.Notes,
+				"tracing requested but the server recorded no timelines (old server version?)")
+		} else {
+			attr := after.Trace.P99
+			res.Attribution = &attr
+			note := fmt.Sprintf("trace: 1/%d of keyed requests stamped, %d timelines sampled server-side",
+				o.TraceSample, after.Trace.Sampled)
+			// The span total is the server-side residence (reader to
+			// writer); the client's wire p99 adds the network round trip
+			// and client-side queueing on top. Report the coverage so a
+			// widening gap flags where time is hiding.
+			if wp99 := wireP99(cl.Latency()); wp99 > 0 && attr.TotalNs > 0 {
+				note += fmt.Sprintf("; server span p99 %v covers %.0f%% of wire p99 %v",
+					time.Duration(attr.TotalNs).Round(time.Microsecond),
+					100*float64(attr.TotalNs)/float64(wp99),
+					time.Duration(wp99).Round(time.Microsecond))
+			}
+			res.Notes = append(res.Notes, note)
+		}
+	}
 	return res, nil
+}
+
+// wireP99 picks the worst client-observed p99 across the keyed wire
+// rows — the number the span decomposition is attributed against.
+func wireP99(rows []obs.Row) int64 {
+	var worst int64
+	for _, r := range rows {
+		if (r.Op == "wire.get" || r.Op == "wire.put" || r.Op == "wire.delete") && r.P99 > worst {
+			worst = r.P99
+		}
+	}
+	return worst
 }
 
 // pending pairs an in-flight pipelined call with a closure that can

@@ -95,6 +95,14 @@ type Options struct {
 	// injector is shared by all connections, so probability rules model
 	// a server-wide fault rate.
 	Faults *fault.Injector
+	// TraceRing is the flight recorder's uniform-sample capacity
+	// (default 256) and TraceSlow how many slowest traced requests it
+	// always keeps (default 8). Tracing itself is request-driven: the
+	// server records a span timeline for every keyed request whose wire
+	// header carries wire.FlagTraced, and an untraced request pays only
+	// a nil check per stage.
+	TraceRing int
+	TraceSlow int
 }
 
 func (o *Options) applyDefaults() {
@@ -116,6 +124,12 @@ func (o *Options) applyDefaults() {
 	if o.WriteTimeout <= 0 {
 		o.WriteTimeout = 30 * time.Second
 	}
+	if o.TraceRing <= 0 {
+		o.TraceRing = 256
+	}
+	if o.TraceSlow <= 0 {
+		o.TraceSlow = 8
+	}
 }
 
 // task is one keyed request on its way to a shard worker.
@@ -123,6 +137,19 @@ type task struct {
 	c     *conn
 	req   wire.Request // Value owned by the task (copied off the read buffer)
 	start time.Time
+	// tl is the request's span timeline when it is traced, else nil.
+	// Ownership follows the request: the reader stamps the enqueue
+	// stage before the channel send, the shard worker stamps queue /
+	// exec / flush, and the connection writer finishes it — each
+	// handoff (channel send) orders the accesses.
+	tl *obs.Timeline
+}
+
+// shardGauge is a cache-line-padded per-shard in-flight counter, so
+// adjacent shards' gauges do not false-share.
+type shardGauge struct {
+	n atomic.Int64
+	_ [56]byte
 }
 
 // Server serves a ShardedStore over TCP. Create with New, start with
@@ -134,7 +161,12 @@ type Server struct {
 	opts  Options
 
 	shardQ   []chan task
+	inflight []shardGauge
 	workerWG sync.WaitGroup
+
+	// flight retains sampled span timelines (uniform sample + slowest)
+	// for STATS, /trace, and the remote bench's p99 attribution.
+	flight *obs.FlightRecorder
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -150,9 +182,10 @@ type Server struct {
 	wireHist [wire.OpStats + 1]obs.Histogram
 
 	stats struct {
-		conns    atomic.Int64 // currently open
-		accepted atomic.Int64 // total accepted
-		ops      atomic.Int64 // requests answered
+		conns     atomic.Int64 // currently open
+		accepted  atomic.Int64 // total accepted
+		ops       atomic.Int64 // requests answered
+		connWaits atomic.Int64 // accepts that waited on MaxConns
 	}
 }
 
@@ -187,6 +220,19 @@ type StatsDoc struct {
 	LogCommits  int64   `json:"log_commits"`
 	LogFlushes  int64   `json:"log_flushes"`
 	OpsPerFlush float64 `json:"ops_per_flush"`
+	// MaxConns is the connection cap and ConnWaits how many accepts had
+	// to wait for a free slot — the MaxConns saturation counter.
+	MaxConns  int   `json:"max_conns"`
+	ConnWaits int64 `json:"conn_waits"`
+	// ShardQueueDepth and ShardInflight are per-shard-worker gauges:
+	// requests sitting in each shard's queue right now, and requests
+	// routed to each shard whose responses are not yet enqueued.
+	ShardQueueDepth []int   `json:"shard_queue_depth,omitempty"`
+	ShardInflight   []int64 `json:"shard_inflight,omitempty"`
+	// Trace is the flight recorder's snapshot — sampled span timelines,
+	// the slowest requests, and the p99 stage attribution — present once
+	// at least one traced request was served.
+	Trace *obs.FlightSnapshot `json:"trace,omitempty"`
 }
 
 // New creates a server over store. The store must already hold the
@@ -198,6 +244,7 @@ func New(store *nvmstore.ShardedStore, opts Options) *Server {
 		opts:    opts,
 		conns:   make(map[*conn]struct{}),
 		connSem: make(chan struct{}, opts.MaxConns),
+		flight:  obs.NewFlightRecorder(opts.TraceRing, opts.TraceSlow),
 	}
 }
 
@@ -229,6 +276,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.ln = ln
 	n := s.store.NumShards()
 	s.shardQ = make([]chan task, n)
+	s.inflight = make([]shardGauge, n)
 	for i := range s.shardQ {
 		s.shardQ[i] = make(chan task, s.opts.ShardQueue)
 		s.workerWG.Add(1)
@@ -237,7 +285,15 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Unlock()
 
 	for {
-		s.connSem <- struct{}{}
+		select {
+		case s.connSem <- struct{}{}:
+		default:
+			// Every connection slot is taken: this accept waits on
+			// MaxConns. The counter is the saturation signal operators
+			// watch to size the cap.
+			s.stats.connWaits.Add(1)
+			s.connSem <- struct{}{}
+		}
 		nc, err := ln.Accept()
 		if err != nil {
 			<-s.connSem
@@ -259,7 +315,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		c := &conn{
 			srv: s,
 			nc:  nc,
-			out: make(chan []byte, s.opts.WriteQueue),
+			out: make(chan outFrame, s.opts.WriteQueue),
 		}
 		s.conns[c] = struct{}{}
 		s.mu.Unlock()
@@ -365,12 +421,29 @@ func (s *Server) WireLatency() []obs.Row {
 // Stats assembles the STATS document.
 func (s *Server) Stats() StatsDoc {
 	doc := StatsDoc{
-		Shards:   s.store.NumShards(),
-		Conns:    s.stats.conns.Load(),
-		Accepted: s.stats.accepted.Load(),
-		Ops:      s.stats.ops.Load(),
-		MaxSimNs: s.store.MaxSimulatedTime().Nanoseconds(),
-		Wire:     s.WireLatency(),
+		Shards:    s.store.NumShards(),
+		Conns:     s.stats.conns.Load(),
+		Accepted:  s.stats.accepted.Load(),
+		Ops:       s.stats.ops.Load(),
+		MaxSimNs:  s.store.MaxSimulatedTime().Nanoseconds(),
+		Wire:      s.WireLatency(),
+		MaxConns:  s.opts.MaxConns,
+		ConnWaits: s.stats.connWaits.Load(),
+	}
+	s.mu.Lock()
+	qs, inflight := s.shardQ, s.inflight
+	s.mu.Unlock()
+	if qs != nil {
+		doc.ShardQueueDepth = make([]int, len(qs))
+		doc.ShardInflight = make([]int64, len(qs))
+		for i := range qs {
+			doc.ShardQueueDepth[i] = len(qs[i])
+			doc.ShardInflight[i] = inflight[i].n.Load()
+		}
+	}
+	if s.flight.Sampled() > 0 {
+		snap := s.flight.Snapshot()
+		doc.Trace = &snap
 	}
 	m := s.store.Metrics()
 	doc.NVMTotalWrites = m.NVMTotalWrites
@@ -383,6 +456,58 @@ func (s *Server) Stats() StatsDoc {
 		doc.Engine = m.Latency.Rows()
 	}
 	return doc
+}
+
+// TraceSnapshot returns the flight recorder's current contents — the
+// uniform sample of traced requests, the slowest retained ones, and the
+// p99 attribution — for the /trace debug endpoint.
+func (s *Server) TraceSnapshot() obs.FlightSnapshot { return s.flight.Snapshot() }
+
+// WritePrometheus renders every server metric — wire and engine latency
+// histograms, connection and per-shard gauges, device and WAL counters —
+// into p in the Prometheus text exposition format. One call renders one
+// complete scrape.
+func (s *Server) WritePrometheus(p *obs.PromWriter) {
+	doc := s.Stats()
+	for op := wire.OpGet; op <= wire.OpStats; op++ {
+		h := s.wireHist[op].Snapshot()
+		if h.Count() == 0 {
+			continue
+		}
+		p.Histogram("nvmstore_wire_latency_ns", "server-side wall-clock request latency by opcode",
+			[]obs.Label{{Name: "op", Value: wire.OpName(op)}}, h)
+	}
+	m := s.store.Metrics()
+	if m.Latency != nil {
+		for op := obs.Op(0); op < obs.NumOps; op++ {
+			h := m.Latency.Ops[op]
+			if h.Count() == 0 {
+				continue
+			}
+			p.Histogram("nvmstore_engine_op_ns", "engine simulated-time latency by instrumented operation",
+				[]obs.Label{{Name: "op", Value: op.String()}}, h)
+		}
+	}
+	p.Gauge("nvmstore_conns", "currently open connections", nil, float64(doc.Conns))
+	p.Gauge("nvmstore_conns_max", "connection cap (Options.MaxConns)", nil, float64(doc.MaxConns))
+	p.Counter("nvmstore_conn_waits_total", "accepts that waited for a free connection slot", nil, float64(doc.ConnWaits))
+	p.Counter("nvmstore_accepted_total", "connections ever accepted", nil, float64(doc.Accepted))
+	p.Counter("nvmstore_ops_total", "requests answered", nil, float64(doc.Ops))
+	for i := range doc.ShardQueueDepth {
+		shard := []obs.Label{{Name: "shard", Value: fmt.Sprint(i)}}
+		p.Gauge("nvmstore_shard_queue_depth", "requests waiting in the shard worker queue", shard, float64(doc.ShardQueueDepth[i]))
+	}
+	for i := range doc.ShardInflight {
+		shard := []obs.Label{{Name: "shard", Value: fmt.Sprint(i)}}
+		p.Gauge("nvmstore_shard_inflight", "routed requests whose responses are not yet enqueued", shard, float64(doc.ShardInflight[i]))
+	}
+	p.Gauge("nvmstore_sim_ns_max", "slowest shard's simulated device time", nil, float64(doc.MaxSimNs))
+	p.Counter("nvmstore_nvm_writes_total", "NVM words written (wear proxy)", nil, float64(doc.NVMTotalWrites))
+	p.Counter("nvmstore_ssd_reads_total", "SSD pages read", nil, float64(doc.SSDPagesRead))
+	p.Counter("nvmstore_ssd_writes_total", "SSD pages written", nil, float64(doc.SSDPagesWrite))
+	p.Counter("nvmstore_log_commits_total", "WAL commits across shards", nil, float64(doc.LogCommits))
+	p.Counter("nvmstore_log_flushes_total", "physical WAL flushes across shards", nil, float64(doc.LogFlushes))
+	p.Counter("nvmstore_trace_sampled_total", "traced requests recorded by the flight recorder", nil, float64(s.flight.Sampled()))
 }
 
 // record notes one answered request of opcode op that started at t0.
@@ -406,6 +531,9 @@ func (s *Server) shardWorker(i int) {
 	batch := make([]task, 0, s.opts.BatchMax)
 	resps := make([]wire.Response, s.opts.BatchMax)
 	for t, ok := <-q; ok; t, ok = <-q {
+		if t.tl != nil {
+			t.tl.Mark(obs.StageQueue, time.Now().UnixNano())
+		}
 		batch = append(batch[:0], t)
 		for len(batch) < s.opts.BatchMax {
 			select {
@@ -413,15 +541,33 @@ func (s *Server) shardWorker(i int) {
 				if !ok {
 					break
 				}
+				if t.tl != nil {
+					t.tl.Mark(obs.StageQueue, time.Now().UnixNano())
+				}
 				batch = append(batch, t)
 				continue
 			default:
 			}
 			break
 		}
+		traced := false
 		err := s.store.WithShard(i, func(st *nvmstore.Store) error {
 			for bi := range batch {
-				resps[bi] = execOnShard(st, batch[bi].req)
+				if tl := batch[bi].tl; tl != nil {
+					traced = true
+					// Differencing the engine's cumulative counters
+					// around this one execution attributes its tier
+					// work; the shard lock makes the reads exact.
+					before, simBefore := st.TierCounters()
+					resps[bi] = execOnShard(st, batch[bi].req)
+					after, simAfter := st.TierCounters()
+					tl.Tiers = after.Sub(before)
+					tl.SimNs += simAfter - simBefore
+					tl.Shard = int32(i)
+					tl.Mark(obs.StageExec, time.Now().UnixNano())
+				} else {
+					resps[bi] = execOnShard(st, batch[bi].req)
+				}
 			}
 			// One flush covers every commit of the batch; the
 			// fault.WALGroupCrash site sits between the executed batch
@@ -435,8 +581,18 @@ func (s *Server) shardWorker(i int) {
 			// the acks below are durable regardless. Surface it.
 			s.logf("server: shard %d: flush: %v", i, err)
 		}
+		var flushedAt int64
+		if traced {
+			flushedAt = time.Now().UnixNano()
+		}
 		for bi, t := range batch {
-			t.c.reply(resps[bi])
+			if t.tl != nil {
+				// Charges the batch-end flush wait plus any batch peers
+				// executed after this request — the group-commit price
+				// this request paid.
+				t.tl.Mark(obs.StageFlush, flushedAt)
+			}
+			t.c.reply(resps[bi], t.tl)
 			// reply copied the response into its frame; the pooled
 			// buffers behind it (a GET's row, a PUT's routed value
 			// copy) are dead now.
@@ -445,6 +601,7 @@ func (s *Server) shardWorker(i int) {
 			}
 			wire.PutBuf(t.req.Value)
 			s.record(t.req.Op, t.start)
+			s.inflight[i].n.Add(-1)
 			t.c.pending.Done()
 		}
 	}
@@ -548,11 +705,19 @@ type txWrite struct {
 	del        bool
 }
 
+// outFrame is one encoded response frame on its way to the connection
+// writer, paired with the request's timeline when it is traced (the
+// writer stamps the final stage after the socket write).
+type outFrame struct {
+	buf []byte
+	tl  *obs.Timeline
+}
+
 // conn is one client connection.
 type conn struct {
 	srv *Server
 	nc  net.Conn
-	out chan []byte // encoded response frames
+	out chan outFrame // encoded response frames
 
 	// pending counts requests handed to shard workers whose responses
 	// have not been enqueued yet; out closes only after it reaches zero
@@ -578,12 +743,13 @@ func (c *conn) closeRead() {
 	})
 }
 
-// reply encodes and enqueues a response. Blocking here is the server's
+// reply encodes and enqueues a response, with the request's timeline
+// when traced (nil otherwise). Blocking here is the server's
 // backpressure (see the package comment); the write loop's per-write
 // deadline guarantees the queue always drains, so reply never blocks
 // longer than roughly one WriteTimeout.
-func (c *conn) reply(resp wire.Response) {
-	c.out <- wire.AppendResponse(wire.GetBuf(), resp)
+func (c *conn) reply(resp wire.Response, tl *obs.Timeline) {
+	c.out <- outFrame{buf: wire.AppendResponse(wire.GetBuf(), resp), tl: tl}
 }
 
 func (c *conn) readLoop() {
@@ -627,7 +793,7 @@ func (c *conn) dispatch(req wire.Request) {
 	case wire.OpGet:
 		if c.txActive {
 			if resp, hit := c.txRead(req); hit {
-				c.reply(resp)
+				c.reply(resp, nil)
 				c.srv.record(req.Op, start)
 				return
 			}
@@ -636,7 +802,7 @@ func (c *conn) dispatch(req wire.Request) {
 	case wire.OpPut:
 		if c.txActive {
 			c.txWrites = append(c.txWrites, txWrite{req.Table, req.Key, append([]byte(nil), req.Value...), false})
-			c.reply(wire.Response{Code: wire.RespOK, ID: req.ID})
+			c.reply(wire.Response{Code: wire.RespOK, ID: req.ID}, nil)
 			c.srv.record(req.Op, start)
 			return
 		}
@@ -644,14 +810,14 @@ func (c *conn) dispatch(req wire.Request) {
 	case wire.OpDelete:
 		if c.txActive {
 			c.txWrites = append(c.txWrites, txWrite{req.Table, req.Key, nil, true})
-			c.reply(wire.Response{Code: wire.RespOK, ID: req.ID})
+			c.reply(wire.Response{Code: wire.RespOK, ID: req.ID}, nil)
 			c.srv.record(req.Op, start)
 			return
 		}
 		c.route(req, start, nil)
 	case wire.OpScan:
 		resp, scratch := c.scan(req)
-		c.reply(resp)
+		c.reply(resp, nil)
 		wire.PutBuf(scratch) // reply copied the entries into the frame
 		c.srv.record(req.Op, start)
 	case wire.OpBegin:
@@ -661,15 +827,15 @@ func (c *conn) dispatch(req wire.Request) {
 		} else {
 			c.txActive = true
 		}
-		c.reply(resp)
+		c.reply(resp, nil)
 		c.srv.record(req.Op, start)
 	case wire.OpCommit:
-		c.reply(c.commit(req))
+		c.reply(c.commit(req), nil)
 		c.srv.record(req.Op, start)
 	case wire.OpRollback:
 		c.txActive = false
 		c.txWrites = c.txWrites[:0]
-		c.reply(wire.Response{Code: wire.RespOK, ID: req.ID})
+		c.reply(wire.Response{Code: wire.RespOK, ID: req.ID}, nil)
 		c.srv.record(req.Op, start)
 	case wire.OpStats:
 		resp := wire.Response{ID: req.ID}
@@ -679,23 +845,37 @@ func (c *conn) dispatch(req wire.Request) {
 		} else {
 			resp.Code, resp.Value = wire.RespStats, buf
 		}
-		c.reply(resp)
+		c.reply(resp, nil)
 		c.srv.record(req.Op, start)
 	}
 }
 
 // route hands a keyed request to its shard worker. value, when non-nil,
 // replaces req.Value with a copy the task owns (the read buffer is
-// about to be reused).
+// about to be reused). A traced request gets its span timeline here —
+// the only per-request allocation tracing adds, and only on sampled
+// requests; transaction-buffered requests answer inline and are not
+// timelined.
 func (c *conn) route(req wire.Request, start time.Time, value []byte) {
 	if value != nil {
 		req.Value = value
 	} else {
 		req.Value = nil
 	}
+	var tl *obs.Timeline
+	if req.Traced() {
+		tl = new(obs.Timeline)
+		tl.Begin(req.TraceID, wire.OpName(req.Op), start.UnixNano())
+		// The enqueue stage is the reader-side dispatch work; the send
+		// below may also block on a full shard queue, which the queue
+		// stage absorbs (backpressure is time spent waiting for the
+		// shard either way).
+		tl.Mark(obs.StageEnqueue, time.Now().UnixNano())
+	}
 	shard := c.srv.store.ShardFor(req.Key)
 	c.pending.Add(1)
-	c.srv.shardQ[shard] <- task{c: c, req: req, start: start}
+	c.srv.inflight[shard].n.Add(1)
+	c.srv.shardQ[shard] <- task{c: c, req: req, start: start, tl: tl}
 }
 
 // txRead answers a GET from the connection's transaction buffer, most
@@ -820,11 +1000,18 @@ func (c *conn) scan(req wire.Request) (_ wire.Response, scratch []byte) {
 func (c *conn) writeLoop() {
 	defer c.srv.connWG.Done()
 	var err error
-	for buf := range c.out {
-		err = c.writeFrame(buf, err)
+	for f := range c.out {
+		err = c.writeFrame(f.buf, err)
 		// The frame is on the wire (or discarded): recycle it. Written
 		// and dropped frames alike, so the pool sees every buffer back.
-		wire.PutBuf(buf)
+		wire.PutBuf(f.buf)
+		if f.tl != nil {
+			// The timeline is complete once the response bytes hit the
+			// socket (or were discarded on a dead peer); after Record
+			// it is published and must not be touched again.
+			f.tl.Finish(time.Now().UnixNano())
+			c.srv.flight.Record(f.tl)
+		}
 	}
 	c.nc.Close()
 	s := c.srv

@@ -1,0 +1,295 @@
+package server_test
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"nvmstore/internal/client"
+	"nvmstore/internal/obs"
+	"nvmstore/internal/server"
+	"nvmstore/internal/wire"
+)
+
+// statsDoc fetches and decodes the server's STATS document.
+func statsDoc(t *testing.T, cl *client.Client) server.StatsDoc {
+	t.Helper()
+	raw, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc server.StatsDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestTracingEndToEnd drives traced pipelined traffic through the full
+// path — client stamp, wire v2, shard queue, batched execution, group
+// commit, writer — and checks the flight recorder's timelines are
+// internally consistent.
+func TestTracingEndToEnd(t *testing.T) {
+	srv, _, addr := startServer(t, 2, server.Options{})
+	cl, err := client.Dial(addr, client.Options{Conns: 2, Depth: 32, TraceSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const ops = 256
+	var calls []*client.Call
+	for i := uint64(0); i < ops; i++ {
+		if i%2 == 0 {
+			calls = append(calls, cl.PutAsync(testTable, i, rowFor(i)))
+		} else {
+			calls = append(calls, cl.GetAsync(testTable, i-1))
+		}
+	}
+	for _, call := range calls {
+		if _, err := call.Result(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.TraceStamped(); got != ops {
+		t.Fatalf("TraceStamped = %d, want %d", got, ops)
+	}
+
+	snap := srv.TraceSnapshot()
+	if snap.Sampled != ops {
+		t.Fatalf("flight recorder sampled %d, want %d", snap.Sampled, ops)
+	}
+	if len(snap.Sample) == 0 || len(snap.Slowest) == 0 {
+		t.Fatal("empty flight recorder snapshot")
+	}
+	for _, tl := range snap.Sample {
+		if tl.TraceID == 0 {
+			t.Fatal("timeline with zero trace id")
+		}
+		if tl.Op != "get" && tl.Op != "put" {
+			t.Fatalf("unexpected op %q", tl.Op)
+		}
+		if tl.Shard < 0 || tl.Shard >= 2 {
+			t.Fatalf("timeline shard %d out of range", tl.Shard)
+		}
+		var sum int64
+		for _, ns := range tl.Stages {
+			if ns < 0 {
+				t.Fatalf("negative stage in %+v", tl)
+			}
+			sum += ns
+		}
+		if sum != tl.TotalNs {
+			t.Fatalf("stage sum %d != total %d (%+v)", sum, tl.TotalNs, tl)
+		}
+		if tl.Tiers.DRAMHits < 0 || tl.Tiers.NVMLineLoads < 0 || tl.Tiers.SSDReads < 0 {
+			t.Fatalf("negative tier delta: %+v", tl.Tiers)
+		}
+	}
+	if snap.P99.Count != len(snap.Sample) || snap.P99.SumNs() != snap.P99.TotalNs {
+		t.Fatalf("attribution inconsistent: %+v", snap.P99)
+	}
+
+	// The same snapshot must surface through STATS.
+	doc := statsDoc(t, cl)
+	if doc.Trace == nil || doc.Trace.Sampled != ops {
+		t.Fatalf("STATS trace section missing or wrong: %+v", doc.Trace)
+	}
+	if len(doc.ShardQueueDepth) != 2 || len(doc.ShardInflight) != 2 {
+		t.Fatalf("per-shard gauges missing: %+v", doc)
+	}
+	if doc.MaxConns == 0 {
+		t.Fatal("MaxConns not reported")
+	}
+}
+
+// TestTracingSampling checks every-Nth selection: with TraceSample 4,
+// about a quarter of keyed requests are stamped.
+func TestTracingSampling(t *testing.T) {
+	srv, _, addr := startServer(t, 1, server.Options{})
+	cl, err := client.Dial(addr, client.Options{TraceSample: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	const ops = 100
+	for i := uint64(0); i < ops; i++ {
+		if err := cl.Put(testTable, i, rowFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.TraceStamped(); got != ops/4 {
+		t.Fatalf("TraceStamped = %d, want %d", got, ops/4)
+	}
+	if snap := srv.TraceSnapshot(); snap.Sampled != ops/4 {
+		t.Fatalf("server sampled %d, want %d", snap.Sampled, ops/4)
+	}
+	// STATS itself must not be stamped (not a keyed op).
+	if _, err := cl.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.TraceStamped(); got != ops/4 {
+		t.Fatalf("non-keyed op was stamped: %d", got)
+	}
+}
+
+// TestTracingConcurrent hammers the traced path from many pipelined
+// clients at once — the -race CI job runs this to pin down the
+// timeline handoff ordering (reader → worker → writer → recorder).
+func TestTracingConcurrent(t *testing.T) {
+	srv, _, addr := startServer(t, 4, server.Options{BatchMax: 8})
+	const clients = 4
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl, err := client.Dial(addr, client.Options{Conns: 2, Depth: 16, TraceSample: 2})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer cl.Close()
+			var calls []*client.Call
+			for i := uint64(0); i < 200; i++ {
+				key := uint64(c)*1000 + i
+				calls = append(calls, cl.PutAsync(testTable, key, rowFor(key)))
+				calls = append(calls, cl.GetAsync(testTable, key))
+				if len(calls) >= 16 {
+					if _, err := calls[0].Result(); err != nil {
+						t.Error(err)
+						return
+					}
+					calls = calls[1:]
+				}
+			}
+			for _, call := range calls {
+				if _, err := call.Result(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	// Snapshot concurrently with the load: readers must be safe.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			snap := srv.TraceSnapshot()
+			for _, tl := range snap.Sample {
+				var sum int64
+				for _, ns := range tl.Stages {
+					sum += ns
+				}
+				if tl.TotalNs != 0 && sum != tl.TotalNs {
+					t.Errorf("torn timeline in snapshot: %+v", tl)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if snap := srv.TraceSnapshot(); snap.Sampled == 0 {
+		t.Fatal("nothing sampled")
+	}
+}
+
+// TestPrometheusExport renders the server's metrics and lints them as
+// Prometheus text format — the acceptance check behind curl /metrics.
+func TestPrometheusExport(t *testing.T) {
+	srv, _, addr := startServer(t, 2, server.Options{})
+	cl, err := client.Dial(addr, client.Options{TraceSample: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := uint64(0); i < 64; i++ {
+		if err := cl.Put(testTable, i, rowFor(i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := cl.Get(testTable, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var b strings.Builder
+	p := obs.NewPromWriter(&b)
+	srv.WritePrometheus(p)
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if err := obs.LintPromText([]byte(out)); err != nil {
+		t.Fatalf("prometheus lint: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`nvmstore_wire_latency_ns_bucket{op="get",le="+Inf"}`,
+		`nvmstore_wire_latency_ns_count{op="put"}`,
+		`nvmstore_shard_queue_depth{shard="0"}`,
+		`nvmstore_shard_inflight{shard="1"}`,
+		"nvmstore_conns ",
+		"nvmstore_conn_waits_total ",
+		"nvmstore_ops_total ",
+		"nvmstore_log_flushes_total ",
+		"nvmstore_trace_sampled_total ",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}
+
+// TestConnWaitsSaturation pins the MaxConns saturation counter: with a
+// single connection slot occupied, the acceptor finds the cap exhausted
+// and counts it.
+func TestConnWaitsSaturation(t *testing.T) {
+	_, _, addr := startServer(t, 1, server.Options{MaxConns: 1})
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	// The acceptor, having handed the only slot to cl's connection,
+	// now waits for a free slot before the next accept and counts the
+	// saturation. Poll STATS until it shows.
+	for i := 0; i < 200; i++ {
+		doc := statsDoc(t, cl)
+		if doc.MaxConns != 1 {
+			t.Fatalf("MaxConns = %d, want 1", doc.MaxConns)
+		}
+		if doc.ConnWaits >= 1 {
+			return
+		}
+	}
+	t.Fatal("ConnWaits never incremented under MaxConns saturation")
+}
+
+// TestUntracedRequestsRecordNothing: with TraceSample off, the flight
+// recorder stays empty and STATS carries no trace section.
+func TestUntracedRequestsRecordNothing(t *testing.T) {
+	srv, _, addr := startServer(t, 1, server.Options{})
+	cl, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for i := uint64(0); i < 32; i++ {
+		if err := cl.Put(testTable, i, rowFor(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snap := srv.TraceSnapshot(); snap.Sampled != 0 {
+		t.Fatalf("untraced run sampled %d", snap.Sampled)
+	}
+	if doc := statsDoc(t, cl); doc.Trace != nil {
+		t.Fatalf("untraced run has trace section: %+v", doc.Trace)
+	}
+	// And the wire stayed on version 1 end to end (the client would
+	// have stamped Flags otherwise).
+	if cl.TraceStamped() != 0 {
+		t.Fatal("client stamped without TraceSample")
+	}
+	_ = wire.FlagTraced // keep the import honest about what's off
+}

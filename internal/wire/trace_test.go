@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestUntracedStaysV1 pins cross-version interop: a request with no
+// trace state must encode byte-identically to the version-1 format, so
+// a new client with tracing off speaks to an old server unchanged.
+func TestUntracedStaysV1(t *testing.T) {
+	r := Request{Op: OpPut, ID: 7, Table: 1, Key: 9, Value: []byte("row")}
+	frame := AppendRequest(nil, r)
+	if frame[4] != Version {
+		t.Fatalf("untraced request encoded as version %d", frame[4])
+	}
+	want := []byte{0, 0, 0, byte(headerSize + 16 + 3), Version, OpPut, 0, 0, 0, 7}
+	if !bytes.Equal(frame[:10], want) {
+		t.Fatalf("v1 prefix changed: % x != % x", frame[:10], want)
+	}
+}
+
+// TestTracedRequestRoundTrip round-trips every opcode with the trace
+// extension and checks the context survives.
+func TestTracedRequestRoundTrip(t *testing.T) {
+	for _, base := range []Request{
+		{Op: OpGet, ID: 1, Table: 1, Key: 42},
+		{Op: OpPut, ID: 2, Table: 1, Key: 9, Value: []byte("hello")},
+		{Op: OpDelete, ID: 3, Table: 4, Key: 5},
+		{Op: OpScan, ID: 4, Table: 2, Key: 100, Limit: 50},
+		{Op: OpStats, ID: 8},
+	} {
+		want := base
+		want.Flags = FlagTraced
+		want.TraceID = 0xDEADBEEFCAFEF00D
+		frame := AppendRequest(nil, want)
+		if frame[4] != VersionTraced {
+			t.Fatalf("%s: traced request encoded as version %d", OpName(want.Op), frame[4])
+		}
+		got, err := DecodeRequest(frame[4:])
+		if err != nil {
+			t.Fatalf("%s: %v", OpName(want.Op), err)
+		}
+		if got.Flags != want.Flags || got.TraceID != want.TraceID || !got.Traced() {
+			t.Fatalf("%s: trace context lost: %+v", OpName(want.Op), got)
+		}
+		if got.Op != want.Op || got.ID != want.ID || got.Table != want.Table ||
+			got.Key != want.Key || got.Limit != want.Limit || !bytes.Equal(got.Value, want.Value) {
+			t.Fatalf("%s: round trip %+v != %+v", OpName(want.Op), got, want)
+		}
+	}
+}
+
+// TestMixedVersionStream interleaves v1 and v2 frames on one stream —
+// the decode loop must handle both without resync.
+func TestMixedVersionStream(t *testing.T) {
+	reqs := []Request{
+		{Op: OpGet, ID: 1, Table: 1, Key: 1},
+		{Op: OpPut, ID: 2, Table: 1, Key: 2, Value: []byte("v"), Flags: FlagTraced, TraceID: 99},
+		{Op: OpGet, ID: 3, Table: 1, Key: 3},
+		{Op: OpDelete, ID: 4, Table: 1, Key: 4, Flags: FlagTraced, TraceID: 100},
+	}
+	var stream []byte
+	for _, r := range reqs {
+		stream = AppendRequest(stream, r)
+	}
+	rd := bytes.NewReader(stream)
+	var buf, payload []byte
+	var err error
+	for i, want := range reqs {
+		payload, buf, err = ReadFrame(rd, buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.ID != want.ID || got.TraceID != want.TraceID || got.Flags != want.Flags {
+			t.Fatalf("frame %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+// TestTracedResponseRoundTrip checks the response side keeps the trace
+// context symmetric (servers normally leave it zero).
+func TestTracedResponseRoundTrip(t *testing.T) {
+	want := Response{Code: RespValue, ID: 3, Value: []byte("row"), Flags: FlagTraced, TraceID: 42}
+	frame := AppendResponse(nil, want)
+	if frame[4] != VersionTraced {
+		t.Fatalf("traced response encoded as version %d", frame[4])
+	}
+	got, err := DecodeResponse(frame[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flags != want.Flags || got.TraceID != want.TraceID || !bytes.Equal(got.Value, want.Value) {
+		t.Fatalf("round trip %+v != %+v", got, want)
+	}
+}
+
+// TestTracedHeaderErrors drives hostile v2 headers through the decoder:
+// truncations anywhere in the trace extension must fail cleanly.
+func TestTracedHeaderErrors(t *testing.T) {
+	full := AppendRequest(nil, Request{Op: OpGet, ID: 1, Table: 1, Key: 2, Flags: FlagTraced, TraceID: 7})[4:]
+	// Cut inside the extension and inside the body.
+	for cut := headerSize; cut < len(full); cut++ {
+		if _, err := DecodeRequest(full[:cut]); !errors.Is(err, ErrShortFrame) {
+			t.Errorf("cut at %d: got %v, want ErrShortFrame", cut, err)
+		}
+	}
+	// Unknown flag bits are preserved, not rejected.
+	odd := AppendRequest(nil, Request{Op: OpGet, ID: 1, Table: 1, Key: 2, Flags: 0xF0, TraceID: 7})[4:]
+	got, err := DecodeRequest(odd)
+	if err != nil {
+		t.Fatalf("unknown flags rejected: %v", err)
+	}
+	if got.Flags != 0xF0 || got.Traced() {
+		t.Fatalf("flags not preserved or Traced() wrong: %+v", got)
+	}
+	// Flag set but zero trace id: decodes, but not Traced.
+	zid := AppendRequest(nil, Request{Op: OpGet, ID: 1, Table: 1, Key: 2, Flags: FlagTraced})[4:]
+	if got, err := DecodeRequest(zid); err != nil || got.Traced() {
+		t.Fatalf("zero trace id: err=%v traced=%v", err, got.Traced())
+	}
+}
+
+// FuzzDecodeTraced targets the trace-header decode path: arbitrary
+// payloads stamped with the traced version byte must never panic or
+// over-read, and whatever decodes must re-encode losslessly including
+// the trace context.
+func FuzzDecodeTraced(f *testing.F) {
+	for _, r := range []Request{
+		{Op: OpGet, ID: 1, Table: 1, Key: 42, Flags: FlagTraced, TraceID: 7},
+		{Op: OpPut, ID: 2, Table: 1, Key: 9, Value: []byte("hello"), Flags: FlagTraced, TraceID: 1 << 63},
+		{Op: OpScan, ID: 4, Table: 2, Key: 100, Limit: 50, Flags: 0xFF, TraceID: 3},
+	} {
+		f.Add(AppendRequest(nil, r)[4:])
+	}
+	f.Add([]byte{VersionTraced, OpGet})
+	f.Add([]byte{VersionTraced, OpGet, 0, 0, 0, 1, 1, 2, 3, 4, 5, 6, 7, 8})      // cut mid trace id
+	f.Add([]byte{VersionTraced, OpStats, 0, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 9}) // minimal v2
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		r, err := DecodeRequest(payload)
+		if err != nil {
+			return
+		}
+		again, err := DecodeRequest(AppendRequest(nil, r)[4:])
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded request failed: %v", err)
+		}
+		if again.Op != r.Op || again.ID != r.ID || again.Table != r.Table ||
+			again.Key != r.Key || again.Limit != r.Limit || !bytes.Equal(again.Value, r.Value) ||
+			again.Flags != r.Flags || again.TraceID != r.TraceID {
+			t.Fatalf("round trip changed request: %+v != %+v", again, r)
+		}
+	})
+}

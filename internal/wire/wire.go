@@ -10,6 +10,13 @@
 // pipeline: many requests may be in flight on one connection, and
 // responses may return in any order.
 //
+// Version 2 frames extend the header with a trace context: one flags
+// byte and an 8-byte big-endian trace id, inserted between the request
+// id and the body. The encoders emit version 2 only when a frame
+// actually carries trace state (Flags or TraceID nonzero), so untraced
+// traffic is byte-identical to version 1 and old peers interoperate as
+// long as tracing is off. Decoders accept both versions.
+//
 // Request bodies:
 //
 //	GET, DELETE           table uint64 | key uint64
@@ -41,10 +48,22 @@ import (
 	"sync"
 )
 
-// Version is the protocol version carried in every frame header.
-// Receivers reject frames whose version they do not speak, so the
-// framing itself can evolve.
+// Version is the base protocol version: the 6-byte header with no trace
+// context. Receivers reject frames whose version they do not speak, so
+// the framing itself can evolve.
 const Version = 1
+
+// VersionTraced is the version of frames carrying the trace extension
+// (flags byte + 8-byte trace id after the request id).
+const VersionTraced = 2
+
+// Flag bits of a VersionTraced frame's flags byte. Unknown bits are
+// preserved by the decoders for forward compatibility.
+const (
+	// FlagTraced marks a request sampled for span tracing: the server
+	// records a per-stage timeline for it under the frame's trace id.
+	FlagTraced byte = 1 << 0
+)
 
 // MaxFrame bounds a single frame's payload (header + body). It caps
 // both the server's per-request buffering and the client's per-response
@@ -54,6 +73,9 @@ const MaxFrame = 8 << 20
 
 // headerSize is version(1) + opcode(1) + request id(4).
 const headerSize = 6
+
+// headerSizeV2 adds the trace extension: flags(1) + trace id(8).
+const headerSizeV2 = headerSize + 9
 
 // Request opcodes.
 const (
@@ -138,7 +160,16 @@ type Request struct {
 	Value []byte
 	// Limit is the SCAN row limit (0 means the server's maximum).
 	Limit uint32
+	// Flags is the trace-extension flags byte (see FlagTraced). Nonzero
+	// Flags or TraceID makes AppendRequest emit a VersionTraced frame.
+	Flags byte
+	// TraceID is the client-stamped trace id of a sampled request.
+	TraceID uint64
 }
+
+// Traced reports whether the request asks for span tracing: the sampled
+// flag set and a usable (nonzero) trace id.
+func (r *Request) Traced() bool { return r.Flags&FlagTraced != 0 && r.TraceID != 0 }
 
 // Response is one decoded server response.
 type Response struct {
@@ -154,6 +185,12 @@ type Response struct {
 	// Entries are the SCAN results for RespScan; each entry's Value
 	// aliases the decode buffer.
 	Entries []Entry
+	// Flags and TraceID mirror the request fields: servers may echo the
+	// trace context, and nonzero values make AppendResponse emit a
+	// VersionTraced frame. The serving layer keeps responses at Version
+	// (the timeline lives server-side), so these are normally zero.
+	Flags   byte
+	TraceID uint64
 }
 
 // Entry is one SCAN result row.
@@ -174,7 +211,7 @@ func AppendRequest(dst []byte, r Request) []byte {
 	case OpScan:
 		body = 20
 	}
-	dst = appendHeader(dst, headerSize+body, r.Op, r.ID)
+	dst = appendHeader(dst, body, r.Op, r.ID, r.Flags, r.TraceID)
 	switch r.Op {
 	case OpGet, OpDelete:
 		dst = binary.BigEndian.AppendUint64(dst, r.Table)
@@ -206,7 +243,7 @@ func AppendResponse(dst []byte, r Response) []byte {
 			body += 12 + len(e.Value)
 		}
 	}
-	dst = appendHeader(dst, headerSize+body, r.Code, r.ID)
+	dst = appendHeader(dst, body, r.Code, r.ID, r.Flags, r.TraceID)
 	switch r.Code {
 	case RespValue, RespStats:
 		dst = append(dst, r.Value...)
@@ -223,32 +260,49 @@ func AppendResponse(dst []byte, r Response) []byte {
 	return dst
 }
 
-func appendHeader(dst []byte, payloadLen int, op byte, id uint32) []byte {
-	dst = binary.BigEndian.AppendUint32(dst, uint32(payloadLen))
-	dst = append(dst, Version, op)
-	return binary.BigEndian.AppendUint32(dst, id)
+// appendHeader writes the length prefix and the frame header for a
+// bodyLen-byte body, choosing Version or VersionTraced by whether the
+// frame carries trace state.
+func appendHeader(dst []byte, bodyLen int, op byte, id uint32, flags byte, traceID uint64) []byte {
+	if flags == 0 && traceID == 0 {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(headerSize+bodyLen))
+		dst = append(dst, Version, op)
+		return binary.BigEndian.AppendUint32(dst, id)
+	}
+	dst = binary.BigEndian.AppendUint32(dst, uint32(headerSizeV2+bodyLen))
+	dst = append(dst, VersionTraced, op)
+	dst = binary.BigEndian.AppendUint32(dst, id)
+	dst = append(dst, flags)
+	return binary.BigEndian.AppendUint64(dst, traceID)
 }
 
-// decodeHeader validates the fixed header and returns opcode, id, and
-// the body.
-func decodeHeader(payload []byte) (op byte, id uint32, body []byte, err error) {
+// decodeHeader validates the fixed header (either version) and returns
+// opcode, id, trace context, and the body.
+func decodeHeader(payload []byte) (op byte, id uint32, flags byte, traceID uint64, body []byte, err error) {
 	if len(payload) < headerSize {
-		return 0, 0, nil, ErrShortFrame
+		return 0, 0, 0, 0, nil, ErrShortFrame
 	}
-	if payload[0] != Version {
-		return 0, 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, payload[0])
+	switch payload[0] {
+	case Version:
+		return payload[1], binary.BigEndian.Uint32(payload[2:6]), 0, 0, payload[headerSize:], nil
+	case VersionTraced:
+		if len(payload) < headerSizeV2 {
+			return 0, 0, 0, 0, nil, fmt.Errorf("%w: %d-byte traced header", ErrShortFrame, len(payload))
+		}
+		return payload[1], binary.BigEndian.Uint32(payload[2:6]),
+			payload[6], binary.BigEndian.Uint64(payload[7:15]), payload[headerSizeV2:], nil
 	}
-	return payload[1], binary.BigEndian.Uint32(payload[2:6]), payload[headerSize:], nil
+	return 0, 0, 0, 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, payload[0])
 }
 
 // DecodeRequest decodes a request payload (a frame minus its length
 // prefix). Returned slices alias payload.
 func DecodeRequest(payload []byte) (Request, error) {
-	op, id, body, err := decodeHeader(payload)
+	op, id, flags, traceID, body, err := decodeHeader(payload)
 	if err != nil {
 		return Request{}, err
 	}
-	r := Request{Op: op, ID: id}
+	r := Request{Op: op, ID: id, Flags: flags, TraceID: traceID}
 	switch op {
 	case OpGet, OpDelete:
 		if len(body) != 16 {
@@ -283,11 +337,11 @@ func DecodeRequest(payload []byte) (Request, error) {
 // DecodeResponse decodes a response payload. Returned slices alias
 // payload.
 func DecodeResponse(payload []byte) (Response, error) {
-	code, id, body, err := decodeHeader(payload)
+	code, id, flags, traceID, body, err := decodeHeader(payload)
 	if err != nil {
 		return Response{}, err
 	}
-	r := Response{Code: code, ID: id}
+	r := Response{Code: code, ID: id, Flags: flags, TraceID: traceID}
 	switch code {
 	case RespOK, RespNotFound:
 		if len(body) != 0 {

@@ -201,6 +201,7 @@ func FuzzDecodeRequest(f *testing.F) {
 	} {
 		f.Add(AppendRequest(nil, r)[4:]) // payload without the length prefix
 	}
+	f.Add(AppendRequest(nil, Request{Op: OpGet, ID: 9, Table: 1, Key: 2, Flags: FlagTraced, TraceID: 77})[4:])
 	f.Add([]byte{Version, OpGet})
 	f.Add([]byte{0, 0, 0, 0, 0, 0})
 	f.Fuzz(func(t *testing.T, payload []byte) {
@@ -213,7 +214,8 @@ func FuzzDecodeRequest(f *testing.F) {
 			t.Fatalf("re-decode of re-encoded request failed: %v", err)
 		}
 		if again.Op != r.Op || again.ID != r.ID || again.Table != r.Table ||
-			again.Key != r.Key || again.Limit != r.Limit || !bytes.Equal(again.Value, r.Value) {
+			again.Key != r.Key || again.Limit != r.Limit || !bytes.Equal(again.Value, r.Value) ||
+			again.Flags != r.Flags || again.TraceID != r.TraceID {
 			t.Fatalf("round trip changed request: %+v != %+v", again, r)
 		}
 	})
@@ -241,7 +243,8 @@ func FuzzDecodeResponse(f *testing.F) {
 			t.Fatalf("re-decode of re-encoded response failed: %v", err)
 		}
 		if again.Code != r.Code || again.ID != r.ID || again.Err != r.Err ||
-			!bytes.Equal(again.Value, r.Value) || len(again.Entries) != len(r.Entries) {
+			!bytes.Equal(again.Value, r.Value) || len(again.Entries) != len(r.Entries) ||
+			again.Flags != r.Flags || again.TraceID != r.TraceID {
 			t.Fatalf("round trip changed response: %+v != %+v", again, r)
 		}
 	})

@@ -362,6 +362,24 @@ func (s *Store) CheckInvariants() error { return s.e.Manager().CheckInvariants()
 // reports.
 func (s *Store) SimulatedTime() time.Duration { return s.e.Clock().Elapsed() }
 
+// TierCounters returns the engine's cumulative storage-hierarchy work
+// counters plus the current simulated clock, cheap enough to snapshot
+// around a single operation: the serving layer differences two
+// snapshots to attribute tier work (DRAM hits, NVM line loads, SSD
+// reads, journal undos) to one traced request. Like Manager.Stats, it
+// must only be called while no operation runs on this shard — under the
+// sharded driver, while holding the shard lock (WithShard).
+func (s *Store) TierCounters() (obs.TierDeltas, int64) {
+	st := s.e.Manager().Stats()
+	return obs.TierDeltas{
+		DRAMHits:     st.SwizzleHits + st.TableHits,
+		NVMLineLoads: st.LinesLoaded,
+		NVMPageLoads: st.NVMPageLoads,
+		SSDReads:     st.SSDLoads,
+		JournalUndos: st.JournalUndos,
+	}, s.e.Clock().Ns()
+}
+
 // Residency is the set of per-tier residency gauges: pages and cache
 // lines currently resident per tier, dirty and pin counts.
 type Residency = core.Residency
