@@ -9,6 +9,7 @@
 //	nvmbench -experiment all -scale 16 -ops 30000
 //	nvmbench -experiment figA1 -threads 4 -json -trace -http :6060
 //	nvmbench -remote localhost:7070 -clients 4 -load
+//	nvmbench -experiment repl -replicas 2 -json
 //
 // Capacities follow the paper's DRAM:NVM:SSD = 2:10:50 proportions, scaled
 // by -scale (megabytes per "paper gigabyte"). Output is one aligned text
@@ -27,6 +28,13 @@
 // -json output as "attribution". Combined with -experiment groupcommit it sweeps
 // client pipeline depth instead, measuring the server's group-commit
 // flush coalescing end to end.
+//
+// The repl experiment (-experiment repl) measures read-replica scaling:
+// it builds an in-process cluster — a served primary, a background
+// writer, and -replicas replicas fed over the replication protocol —
+// and sweeps the replica count, reporting aggregate read throughput and
+// ship→ack replication lag (p50/p99) per point; -json writes
+// BENCH_repl.json.
 //
 // Fault injection (-faults spec) arms a deterministic injection plan on
 // every engine an experiment builds, so any figure can be regenerated
@@ -130,6 +138,7 @@ func run() int {
 		remoteAddr = flag.String("remote", "", "drive a running nvmserver at this address instead of in-process engines")
 		clients    = flag.Int("clients", 4, "remote mode: concurrent pipelined client workers")
 		depth      = flag.Int("depth", 16, "remote mode: pipeline depth per worker")
+		replicas   = flag.Int("replicas", 2, "repl experiment: largest replica count swept")
 		rows       = flag.Int("rows", 10000, "remote mode: key-space size")
 		writePct   = flag.Int("writepct", 5, "remote mode: percentage of operations that are PUTs")
 		load       = flag.Bool("load", false, "remote mode: bulk-load the key space before measuring")
@@ -144,6 +153,8 @@ func run() int {
 		for _, e := range bench.Experiments() {
 			fmt.Printf("  %-6s %s\n", e.ID, e.Description)
 		}
+		// Cluster experiments dispatch outside the single-store registry.
+		fmt.Printf("  %-6s %s\n", "repl", "read-replica scaling over WAL-shipping replication (not in the paper)")
 		return 0
 	}
 
@@ -159,6 +170,52 @@ func run() int {
 			return 2
 		}
 		defer pprof.StopCPUProfile()
+	}
+
+	// The repl experiment builds its own in-process cluster — a served
+	// primary plus a sweep of replicas — so it takes no -remote address.
+	if *experiment == "repl" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		ro := remote.ReplicationOptions{MaxReplicas: *replicas, Seed: *seed}
+		// The remote-mode flag defaults (4 clients, depth 16, 10k rows)
+		// are sized for driving one server; the experiment's own defaults
+		// apply unless the flag was given explicitly.
+		if set["clients"] {
+			ro.Readers = *clients
+		}
+		if set["depth"] {
+			ro.Depth = *depth
+		}
+		if set["rows"] {
+			ro.Rows = *rows
+		}
+		if set["ops"] {
+			ro.Ops = *ops
+		}
+		if set["warmup"] {
+			ro.Warmup = *warmup
+		}
+		if *quick && !set["ops"] {
+			ro.Ops = 12000
+		}
+		start := time.Now()
+		res, err := remote.Replication(ro)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmbench: repl: %v\n", err)
+			return 1
+		}
+		emit(res, *format)
+		if jsonDir.dir != "" {
+			path, err := res.SaveJSON(jsonDir.dir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "nvmbench: repl: %v\n", err)
+				return 1
+			}
+			fmt.Printf("(wrote %s)\n", path)
+		}
+		fmt.Printf("(repl finished in %v)\n", time.Since(start).Round(time.Millisecond))
+		return 0
 	}
 
 	if *remoteAddr != "" {

@@ -17,6 +17,22 @@
 //
 //	nvmserver -faults "seed:7;ssd.read:p=0.001,transient=2;net.drop:p=0.0005"
 //
+// Replication (see internal/repl and DESIGN.md §12): every server can
+// act as a log-shipping primary — replicas subscribe over the same
+// port. -replicaof makes this server a read replica of a running
+// primary: it bootstraps (snapshot + log catch-up), serves reads with
+// the staleness-bound WAIT barrier, and rejects writes with a
+// READONLY-classified error until promoted. -promote N is a client
+// action, not a serving mode: it sends a PROMOTE for epoch N to the
+// server at -addr and exits — sent to a replica it promotes it, sent to
+// the old primary it fences it (writes then fail with FENCED so clients
+// fail over). -syncreplicas K holds write acks until K replicas
+// acknowledged (semi-synchronous replication).
+//
+//	nvmserver -addr :7070                          # primary
+//	nvmserver -addr :7071 -replicaof localhost:7070  # read replica
+//	nvmserver -promote 2 -addr localhost:7071        # fail over to it
+//
 // Capacities follow the paper's DRAM:NVM:SSD = 2:10:50 proportions,
 // scaled by -scale (megabytes per "paper gigabyte") and split across
 // the shards. One table (-table, rows of -rowsize bytes) is created at
@@ -42,8 +58,10 @@ import (
 	"time"
 
 	"nvmstore"
+	"nvmstore/internal/client"
 	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
+	"nvmstore/internal/repl"
 	"nvmstore/internal/server"
 )
 
@@ -83,9 +101,34 @@ func run() int {
 		checkpoint = flag.Bool("checkpoint-on-close", false, "write back all dirty pages on shutdown so the next start recovers instantly")
 		faultSpec  = flag.String("faults", "", `fault-injection spec armed on every shard's devices and on the response path, e.g. "seed:7;ssd.read:p=0.001,transient=2;net.drop:p=0.0005" (see internal/fault)`)
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget before connections are severed")
+		replicaOf  = flag.String("replicaof", "", "serve as a read replica of the primary at this address (writes rejected as READONLY until promoted)")
+		promote    = flag.Uint64("promote", 0, "send a PROMOTE for this epoch to the server at -addr and exit (promotes a replica; fences the old primary)")
+		syncRepl   = flag.Int("syncreplicas", 0, "hold write acks until this many replicas acknowledged (0: asynchronous replication)")
 	)
 	flag.Parse()
 	logger := log.New(os.Stderr, "nvmserver: ", log.LstdFlags)
+
+	// -promote is a one-shot client action against a running server, not
+	// a serving mode: no store is opened here.
+	if *promote > 0 {
+		cl, err := client.Dial(*addr, client.Options{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmserver: -promote: dial %s: %v\n", *addr, err)
+			return 1
+		}
+		defer cl.Close()
+		applied, err := cl.Promote(*promote)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmserver: -promote: %v\n", err)
+			return 1
+		}
+		if applied != nil {
+			fmt.Printf("promoted %s to primary at epoch %d; serving from applied LSNs %v\n", *addr, *promote, applied)
+		} else {
+			fmt.Printf("fenced %s at epoch %d; it now rejects writes\n", *addr, *promote)
+		}
+		return 0
+	}
 
 	a, ok := architectures[*arch]
 	if !ok {
@@ -126,6 +169,22 @@ func run() int {
 		Logf:      logger.Printf,
 		TraceRing: *traceRing,
 		TraceSlow: *traceSlow,
+		// Every server carries a replication source: it costs nothing
+		// until a replica subscribes (the WAL taps install lazily), and it
+		// lets a promoted replica feed its own replicas at the new epoch.
+		Repl: repl.NewSource(store, repl.SourceOptions{SyncReplicas: *syncRepl}),
+	}
+	var replica *repl.Replica
+	if *replicaOf != "" {
+		replica, err = repl.NewReplica(store, repl.ReplicaOptions{
+			Primary: *replicaOf,
+			Logf:    logger.Printf,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nvmserver: -replicaof: %v\n", err)
+			return 1
+		}
+		srvOpts.Replica = replica
 	}
 	if *faultSpec != "" {
 		plan, err := fault.ParseSpec(*faultSpec)
@@ -162,8 +221,12 @@ func run() int {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe(*addr) }()
-	logger.Printf("%s: %d × %s shards, table %d (%d-byte rows), serving on %s",
-		store.Shard(0).Architecture(), *shards, fmtBytes(opts.NVMBytes), *tableID, *rowSize, *addr)
+	role := "primary-capable"
+	if replica != nil {
+		role = "read replica of " + *replicaOf
+	}
+	logger.Printf("%s: %d × %s shards, table %d (%d-byte rows), %s, serving on %s",
+		store.Shard(0).Architecture(), *shards, fmtBytes(opts.NVMBytes), *tableID, *rowSize, role, *addr)
 
 	select {
 	case err := <-errc:
@@ -181,6 +244,11 @@ func run() int {
 			logger.Printf("drain incomplete: %v", err)
 		}
 		<-errc // Serve has returned once Shutdown closed the listener
+	}
+	if replica != nil {
+		// Stop the feed before the store goes away; the last applied
+		// position is durable and the next start resumes from it.
+		replica.Close()
 	}
 	if err := store.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "nvmserver: close store: %v\n", err)

@@ -24,6 +24,7 @@ var lintedPackages = []string{
 	"internal/fault/harness",
 	"internal/remote",
 	"internal/bench",
+	"internal/repl",
 }
 
 // TestExportedIdentifiersDocumented fails for every exported top-level

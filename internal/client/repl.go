@@ -1,0 +1,90 @@
+package client
+
+// Replication-aware client helpers: error classifiers for failover and
+// the two calls behind staleness-bounded reads (LSNS on the primary,
+// WAIT on a replica — see internal/repl).
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"nvmstore/internal/wire"
+)
+
+// Classified prefixes of replication write rejections, matching the
+// server's (internal/server.FencedPrefix / ReadOnlyPrefix — not
+// imported here to keep the client importable without the server).
+const (
+	fencedPrefix   = "FENCED: "
+	readOnlyPrefix = "READONLY: "
+)
+
+// IsFenced reports whether err is a write rejected by a fenced (ex-)
+// primary: a newer epoch exists, so the caller should rediscover the
+// current primary and retry there.
+func IsFenced(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Msg, fencedPrefix)
+}
+
+// IsReadOnly reports whether err is a write rejected by an unpromoted
+// read replica.
+func IsReadOnly(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Msg, readOnlyPrefix)
+}
+
+// ReplLSNs asks the server for its replication position: its epoch,
+// role, and per-shard LSN vector (a primary's durable LSNs, a replica's
+// applied LSNs). Pass a primary's vector to WaitLSN on a replica for
+// read-your-writes.
+func (c *Client) ReplLSNs() (wire.ReplLSNs, error) {
+	resp, err := c.doRetry(wire.Request{Op: wire.OpReplLSNs})
+	if err != nil {
+		return wire.ReplLSNs{}, err
+	}
+	if resp.Code != wire.RespReplLSNs {
+		return wire.ReplLSNs{}, fmt.Errorf("client: unexpected response %s to repl lsns", wire.OpName(resp.Code))
+	}
+	return wire.DecodeReplLSNs(resp.Value)
+}
+
+// WaitLSN blocks until the server's applied vector covers lsns, up to
+// timeout (0: the server's default). On a primary it returns
+// immediately — acked writes are already durable there.
+func (c *Client) WaitLSN(lsns []uint64, timeout time.Duration) error {
+	var ms uint32
+	if timeout > 0 {
+		ms = uint32(timeout / time.Millisecond)
+		if ms == 0 {
+			ms = 1
+		}
+	}
+	body := wire.AppendReplWait(nil, wire.ReplWait{TimeoutMs: ms, LSNs: lsns})
+	_, err := c.asyncCall(wire.Request{Op: wire.OpReplWait, Value: body}).Result()
+	return err
+}
+
+// Promote sends a PROMOTE for epoch to the server. Sent to a replica it
+// returns the applied LSN vector the new primary serves from; sent to
+// the old primary it fences it (nil vector).
+func (c *Client) Promote(epoch uint64) ([]uint64, error) {
+	body := wire.AppendReplPromote(nil, wire.ReplPromote{Epoch: epoch})
+	resp, err := c.asyncCall(wire.Request{Op: wire.OpReplPromote, Value: body}).Result()
+	if err != nil {
+		return nil, err
+	}
+	switch resp.Code {
+	case wire.RespOK:
+		return nil, nil
+	case wire.RespReplLSNs:
+		doc, err := wire.DecodeReplLSNs(resp.Value)
+		if err != nil {
+			return nil, err
+		}
+		return doc.LSNs, nil
+	}
+	return nil, fmt.Errorf("client: unexpected response %s to promote", wire.OpName(resp.Code))
+}

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 
 	"nvmstore/internal/btree"
 	"nvmstore/internal/core"
@@ -184,6 +185,25 @@ func (e *Engine) CreateTree(id uint64, payloadSize int, layout btree.LeafLayout)
 
 // Tree returns a previously created (or recovered) tree, or nil.
 func (e *Engine) Tree(id uint64) *btree.Tree { return e.tree[id] }
+
+// TreeIDs returns the ids of all registered trees in ascending order.
+func (e *Engine) TreeIDs() []uint64 {
+	ids := make([]uint64, 0, len(e.tree))
+	for id := range e.tree {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// IsPageImage reports whether a WAL update record is a physical page
+// image (logged for B+-tree splits) rather than a logical operation.
+// Page images are meaningful only on the engine that wrote them — page
+// ids and layouts differ across stores — so replication ships only the
+// logical records and lets the replica's own trees split independently.
+func IsPageImage(r wal.Record) bool {
+	return r.Kind == wal.RecUpdate && r.Off&3 == opImage
+}
 
 func (e *Engine) register(t *btree.Tree) {
 	t.SetLogger(e)
@@ -428,6 +448,38 @@ func (e *Engine) Redo(r wal.Record) error {
 		return err
 	}
 	return fmt.Errorf("engine: unknown opcode %d", op)
+}
+
+// ApplyLogical validates and replays one logical record from another
+// engine's log inside the running transaction — the replica apply path.
+// Unlike Redo during recovery, the engine is NOT in replay mode, so the
+// tree operations are logged into this engine's own WAL: the replica
+// has its own durability and crash recovery for everything it applied.
+// Commit/abort marks are ignored (the caller delimits transactions);
+// page-image records are rejected because page ids are meaningless
+// across engines. Image lengths are validated so a malformed or hostile
+// record returns an error instead of panicking.
+func (e *Engine) ApplyLogical(r wal.Record) error {
+	if r.Kind != wal.RecUpdate {
+		return nil
+	}
+	op := r.Off & 3
+	switch op {
+	case opImage:
+		return fmt.Errorf("engine: page-image record %d cannot be applied logically", r.LSN)
+	case opInsert, opUpdate:
+		if len(r.After) < 8 {
+			return fmt.Errorf("engine: logical record %d: short after image", r.LSN)
+		}
+	case opDelete:
+		if len(r.Before) < 8 {
+			return fmt.Errorf("engine: logical record %d: short before image", r.LSN)
+		}
+	}
+	if !e.txActive {
+		return ErrNoTransaction
+	}
+	return e.Redo(r)
 }
 
 // Undo implements wal.Handler: roll back one loser record. Page-image

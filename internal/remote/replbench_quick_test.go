@@ -1,0 +1,13 @@
+package remote
+
+import "testing"
+
+func TestReplScalingQuick(t *testing.T) {
+	res, err := Replication(ReplicationOptions{Ops: 8000, Warmup: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Notes {
+		t.Log(n)
+	}
+}

@@ -1,0 +1,408 @@
+package remote
+
+// The read-replica scaling experiment: an in-process primary with a
+// sweep of replica counts, a background writer keeping the replication
+// stream busy, and pipelined readers spread across the replicas. It
+// measures what read replicas buy — aggregate read throughput versus
+// replica count under a constant write load — and what they cost:
+// replication lag, reported from the primary source's ship→ack
+// histogram as p50/p99.
+//
+// Throughput uses the repo's hybrid-time model: wall clock plus the
+// slowest *read endpoint's* simulated device-time advance. Each replica
+// runs its own store with its own virtual device clocks, so spreading
+// reads across R replicas divides the simulated device time each
+// endpoint accrues — the same reason real replicas scale reads: more
+// aggregate device bandwidth. The R=0 baseline reads the primary
+// itself, where reads also contend with the writer's device time.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvmstore"
+	"nvmstore/internal/bench"
+	"nvmstore/internal/client"
+	"nvmstore/internal/repl"
+	"nvmstore/internal/server"
+	"nvmstore/internal/shard"
+	"nvmstore/internal/ycsb"
+	"nvmstore/internal/zipfian"
+)
+
+// ReplicationOptions configures the read-replica scaling experiment.
+type ReplicationOptions struct {
+	// Shards is the per-node shard count (default 2).
+	Shards int
+	// MaxReplicas is the largest replica count swept; the sweep runs
+	// R = 0 (reads on the primary) through MaxReplicas (default 2).
+	MaxReplicas int
+	// Readers is the number of concurrent read workers (default 6 — a
+	// multiple of every swept endpoint count up to 3, so each endpoint
+	// serves an equal share at every point).
+	Readers int
+	// Depth is each reader's pipeline depth (default 32).
+	Depth int
+	// Rows is the key-space size (default 200000 — sized well past the
+	// DRAM and NVM cache tiers so uniform reads pay SSD device time,
+	// which is what replicas scale).
+	Rows int
+	// ValueSize is the row payload size in bytes (default 100).
+	ValueSize int
+	// Ops is the number of measured reads per point (default 20000);
+	// Warmup reads run first (default Ops/4).
+	Ops    int
+	Warmup int
+	// Seed derives the per-worker key streams (default ycsb.DefaultSeed).
+	Seed uint64
+}
+
+func (o *ReplicationOptions) applyDefaults() {
+	if o.Shards <= 0 {
+		o.Shards = 2
+	}
+	if o.MaxReplicas <= 0 {
+		o.MaxReplicas = 2
+	}
+	if o.Readers <= 0 {
+		o.Readers = 6
+	}
+	if o.Depth <= 0 {
+		o.Depth = 32
+	}
+	if o.Rows <= 0 {
+		o.Rows = 200000
+	}
+	if o.ValueSize <= 0 {
+		o.ValueSize = ycsb.FieldSize
+	}
+	if o.Ops <= 0 {
+		o.Ops = 20000
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = o.Ops / 4
+	}
+	if o.Seed == 0 {
+		o.Seed = ycsb.DefaultSeed
+	}
+}
+
+const replBenchTable = 1
+
+// Replication sweeps replica counts and reports read throughput and
+// replication lag per point. The result lands in BENCH_repl.json under
+// -json: series "reads" (ops/s vs replica count) plus "lag_p50_ms" and
+// "lag_p99_ms" (ship→ack lag vs replica count, R >= 1).
+func Replication(o ReplicationOptions) (bench.Result, error) {
+	o.applyDefaults()
+	res := bench.Result{
+		ID: "repl",
+		Title: fmt.Sprintf("read-replica scaling: %d readers × depth %d, %d rows, background writer",
+			o.Readers, o.Depth, o.Rows),
+		XLabel:  "replicas",
+		YLabel:  "reads/s",
+		FileTag: "repl",
+	}
+	reads := bench.Series{Name: "reads"}
+	lag50 := bench.Series{Name: "lag_p50_ms"}
+	lag99 := bench.Series{Name: "lag_p99_ms"}
+	var base float64
+	for r := 0; r <= o.MaxReplicas; r++ {
+		pt, err := replicationPoint(o, r)
+		if err != nil {
+			return res, fmt.Errorf("replication point R=%d: %w", r, err)
+		}
+		reads.X = append(reads.X, float64(r))
+		reads.Y = append(reads.Y, pt.perSec)
+		if base == 0 {
+			base = pt.perSec
+		}
+		note := fmt.Sprintf("R=%d: %.3g reads/s (%.2fx vs R=0), wall %v + sim %v, %d background writes",
+			r, pt.perSec, pt.perSec/base, pt.wall.Round(time.Millisecond),
+			pt.sim.Round(time.Millisecond), pt.writes)
+		if r > 0 {
+			lag50.X = append(lag50.X, float64(r))
+			lag50.Y = append(lag50.Y, pt.lagP50Ms)
+			lag99.X = append(lag99.X, float64(r))
+			lag99.Y = append(lag99.Y, pt.lagP99Ms)
+			note += fmt.Sprintf(", lag p50 %.3gms p99 %.3gms", pt.lagP50Ms, pt.lagP99Ms)
+		}
+		res.Notes = append(res.Notes, note)
+	}
+	res.Series = append(res.Series, reads, lag50, lag99)
+	res.Notes = append(res.Notes,
+		"reads/s is measured reads over wall clock plus the slowest read endpoint's simulated device-time advance;",
+		"lag quantiles come from the primary source's ship-to-ack histogram over the whole point")
+	return res, nil
+}
+
+type replScalePoint struct {
+	perSec             float64
+	lagP50Ms, lagP99Ms float64
+	writes             int64
+	wall, sim          time.Duration
+}
+
+func openReplBenchStore(o ReplicationOptions) (*nvmstore.ShardedStore, error) {
+	st, err := nvmstore.OpenSharded(o.Shards, nvmstore.Options{
+		// Cache tiers deliberately small next to the key space: the
+		// experiment measures device-bandwidth scaling, so most reads
+		// must reach the SSD tier and pay real (simulated) device time.
+		Architecture: nvmstore.ThreeTier,
+		DRAMBytes:    1 << 20,
+		NVMBytes:     2 << 20,
+		SSDBytes:     256 << 20,
+		// Room for the loaded key space's log: a live feed's retention
+		// watermark holds truncation back until replicas acknowledge.
+		WALBytes: 64 << 20,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := st.CreateTable(replBenchTable, o.ValueSize); err != nil {
+		st.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// replicationPoint builds a primary plus `replicas` replicas, loads the
+// key space, lets the replicas catch up, then measures pipelined reads
+// against the read endpoints while a writer keeps updating the primary.
+func replicationPoint(o ReplicationOptions, replicas int) (replScalePoint, error) {
+	var pt replScalePoint
+	var cleanup []func()
+	defer func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}()
+	shutdown := func(srv *server.Server, errc chan error) func() {
+		return func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx)
+			<-errc
+		}
+	}
+	serveStore := func(st *nvmstore.ShardedStore, opts server.Options) (string, error) {
+		srv := server.New(st, opts)
+		errc := make(chan error, 1)
+		go func() { errc <- srv.ListenAndServe("127.0.0.1:0") }()
+		for i := 0; ; i++ {
+			if a := srv.Addr(); a != nil {
+				cleanup = append(cleanup, shutdown(srv, errc))
+				return a.String(), nil
+			}
+			if i > 2000 {
+				return "", fmt.Errorf("server never started listening")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	pstore, err := openReplBenchStore(o)
+	if err != nil {
+		return pt, err
+	}
+	cleanup = append(cleanup, func() { pstore.Close() })
+	src := repl.NewSource(pstore, repl.SourceOptions{})
+	paddr, err := serveStore(pstore, server.Options{Repl: src})
+	if err != nil {
+		return pt, err
+	}
+
+	// Load the key space through the primary first; replicas started
+	// afterwards bootstrap from a snapshot instead of replaying the
+	// whole load through the log stream.
+	pcl, err := client.Dial(paddr, client.Options{Conns: 2, Depth: 256})
+	if err != nil {
+		return pt, err
+	}
+	cleanup = append(cleanup, func() { pcl.Close() })
+	if err := replLoad(pcl, o); err != nil {
+		return pt, fmt.Errorf("load: %w", err)
+	}
+
+	// Reads go to every node in the cluster, primary included — the
+	// standard read-scaling deployment. R replicas give R+1 read
+	// endpoints over the R=0 baseline of the primary alone.
+	endpoints := []string{paddr}
+	var rps []*repl.Replica
+	for i := 0; i < replicas; i++ {
+		rstore, err := openReplBenchStore(o)
+		if err != nil {
+			return pt, err
+		}
+		cleanup = append(cleanup, func() { rstore.Close() })
+		rp, err := repl.NewReplica(rstore, repl.ReplicaOptions{Primary: paddr})
+		if err != nil {
+			return pt, err
+		}
+		cleanup = append(cleanup, rp.Close)
+		raddr, err := serveStore(rstore, server.Options{Replica: rp})
+		if err != nil {
+			return pt, err
+		}
+		rps = append(rps, rp)
+		endpoints = append(endpoints, raddr)
+	}
+	lsns := make([]uint64, pstore.NumShards())
+	for i := range lsns {
+		i := i
+		_ = pstore.WithShard(i, func(s *nvmstore.Store) error {
+			lsns[i] = s.DurableLSN()
+			return nil
+		})
+	}
+	for _, rp := range rps {
+		if err := rp.WaitLSN(lsns, 60*time.Second); err != nil {
+			return pt, fmt.Errorf("replica catch-up: %w", err)
+		}
+	}
+
+	// One client per read endpoint; readers round-robin across them.
+	// The reader count is rounded up to a multiple of the endpoint count
+	// so every endpoint serves the same share of the reads — throughput
+	// is gated by the *slowest* endpoint's simulated device time, so an
+	// endpoint with one extra reader would cap the whole point.
+	readers := o.Readers
+	if rem := readers % len(endpoints); rem != 0 {
+		readers += len(endpoints) - rem
+	}
+	rcls := make([]*client.Client, len(endpoints))
+	for i, addr := range endpoints {
+		cl, err := client.Dial(addr, client.Options{Conns: 2, Depth: readers * o.Depth})
+		if err != nil {
+			return pt, err
+		}
+		cleanup = append(cleanup, func() { cl.Close() })
+		rcls[i] = cl
+	}
+	if err := replReads(rcls, o, readers, o.Warmup); err != nil {
+		return pt, fmt.Errorf("warmup: %w", err)
+	}
+
+	// The background writer keeps the replication stream busy for the
+	// whole measured window, so the lag histogram reflects reads under
+	// write pressure, not an idle stream.
+	stop := make(chan struct{})
+	var writes atomic.Int64
+	var wwg sync.WaitGroup
+	wwg.Add(1)
+	go func() {
+		defer wwg.Done()
+		val := make([]byte, o.ValueSize)
+		gen := zipfian.New(uint64(o.Rows), zipfian.Theta1, shard.SeedFor(o.Seed, 101))
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Zipf-hot updates, YCSB-style: the write working set stays
+			// cache-resident, so replica apply does not eat into the
+			// device bandwidth the read endpoints are scaling.
+			key := gen.NextScrambled()
+			ycsb.FillField(key+uint64(i), 0, val)
+			if err := pcl.Put(replBenchTable, key, val); err != nil {
+				return
+			}
+			writes.Add(1)
+		}
+	}()
+
+	before := make([]int64, len(rcls))
+	for i, cl := range rcls {
+		doc, err := remoteStats(cl)
+		if err != nil {
+			return pt, err
+		}
+		before[i] = doc.MaxSimNs
+	}
+	start := time.Now()
+	err = replReads(rcls, o, readers, o.Ops)
+	pt.wall = time.Since(start)
+	close(stop)
+	wwg.Wait()
+	if err != nil {
+		return pt, fmt.Errorf("measured reads: %w", err)
+	}
+	for i, cl := range rcls {
+		doc, serr := remoteStats(cl)
+		if serr != nil {
+			return pt, serr
+		}
+		if d := time.Duration(doc.MaxSimNs - before[i]); d > pt.sim {
+			pt.sim = d
+		}
+	}
+	if combined := pt.wall + pt.sim; combined > 0 {
+		pt.perSec = float64(o.Ops) / combined.Seconds()
+	}
+	st := src.Stats()
+	pt.lagP50Ms = float64(st.LagP50Ns) / 1e6
+	pt.lagP99Ms = float64(st.LagP99Ns) / 1e6
+	pt.writes = writes.Load()
+	return pt, nil
+}
+
+// replLoad bulk-loads the key space through pipelined PUTs.
+func replLoad(cl *client.Client, o ReplicationOptions) error {
+	val := make([]byte, o.ValueSize)
+	var inflight []*client.Call
+	for key := uint64(0); key < uint64(o.Rows); key++ {
+		ycsb.FillField(key, 0, val)
+		inflight = append(inflight, cl.PutAsync(replBenchTable, key, val))
+		if len(inflight) >= 256 {
+			if _, err := inflight[0].Result(); err != nil {
+				return err
+			}
+			inflight = inflight[1:]
+		}
+	}
+	for _, call := range inflight {
+		if _, err := call.Result(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replReads issues total uniformly-distributed pipelined GETs across
+// `readers` workers, each bound to one endpoint round-robin; readers is
+// a multiple of the endpoint count, so every endpoint serves an equal
+// share.
+func replReads(rcls []*client.Client, o ReplicationOptions, readers, total int) error {
+	base, extra := total/readers, total%readers
+	return remoteWorkers(readers, func(wid int) error {
+		per := base
+		if wid < extra {
+			per++
+		}
+		cl := rcls[wid%len(rcls)]
+		// Uniform keys, not Zipf: the point is device-time scaling, so
+		// the stream must keep missing the DRAM tier.
+		gen := zipfian.New(uint64(o.Rows), zipfian.Theta1, shard.SeedFor(o.Seed, wid))
+		var inflight []*client.Call
+		for i := 0; i < per; i++ {
+			key := gen.Uint64n(uint64(o.Rows))
+			inflight = append(inflight, cl.GetAsync(replBenchTable, key))
+			if len(inflight) >= o.Depth {
+				if _, err := inflight[0].Result(); err != nil {
+					return err
+				}
+				inflight = inflight[1:]
+			}
+		}
+		for _, call := range inflight {
+			if _, err := call.Result(); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

@@ -1,0 +1,71 @@
+package remote
+
+import (
+	"testing"
+	"time"
+
+	"nvmstore"
+	"nvmstore/internal/client"
+	"nvmstore/internal/repl"
+	"nvmstore/internal/server"
+)
+
+func TestReplProbeQuick(t *testing.T) {
+	o := ReplicationOptions{}
+	o.applyDefaults()
+	o.Rows = 100000
+	var cleanup []func()
+	defer func() {
+		for i := len(cleanup) - 1; i >= 0; i-- {
+			cleanup[i]()
+		}
+	}()
+	pstore, err := openReplBenchStore(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup = append(cleanup, func() { pstore.Close() })
+	src := repl.NewSource(pstore, repl.SourceOptions{})
+	psrv := server.New(pstore, server.Options{Repl: src})
+	go psrv.ListenAndServe("127.0.0.1:0")
+	for psrv.Addr() == nil {
+		time.Sleep(time.Millisecond)
+	}
+	paddr := psrv.Addr().String()
+	pcl, err := client.Dial(paddr, client.Options{Conns: 2, Depth: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup = append(cleanup, func() { pcl.Close() })
+	if err := replLoad(pcl, o); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("load done")
+	rstore, err := openReplBenchStore(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup = append(cleanup, func() { rstore.Close() })
+	rp, err := repl.NewReplica(rstore, repl.ReplicaOptions{Primary: paddr, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanup = append(cleanup, rp.Close)
+	lsns := make([]uint64, pstore.NumShards())
+	for i := range lsns {
+		i := i
+		pstore.WithShard(i, func(s *nvmstore.Store) error {
+			lsns[i] = s.DurableLSN()
+			return nil
+		})
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := rp.WaitLSN(lsns, 2*time.Second); err == nil {
+			t.Logf("caught up, stats=%+v", rp.Stats())
+			return
+		}
+		t.Logf("applied=%v want=%v stats=%+v srcstats=%+v", rp.Applied(), lsns, rp.Stats(), src.Stats())
+	}
+	t.Fatal("never caught up")
+}

@@ -1,0 +1,531 @@
+package repl_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"nvmstore"
+	"nvmstore/internal/client"
+	"nvmstore/internal/fault"
+	"nvmstore/internal/repl"
+	"nvmstore/internal/server"
+	"nvmstore/internal/wire"
+)
+
+const (
+	testTable   = 1
+	testRowSize = 64
+)
+
+// newStore opens a small sharded three-tier store with the test table.
+func newStore(t *testing.T, shards int) *nvmstore.ShardedStore {
+	t.Helper()
+	store, err := nvmstore.OpenSharded(shards, nvmstore.Options{
+		Architecture: nvmstore.ThreeTier,
+		DRAMBytes:    8 << 20,
+		NVMBytes:     32 << 20,
+		SSDBytes:     128 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.CreateTable(testTable, testRowSize); err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// serve starts a server over store and returns its address.
+func serve(t *testing.T, store *nvmstore.ShardedStore, sopts server.Options) string {
+	t.Helper()
+	srv := server.New(store, sopts)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe("127.0.0.1:0") }()
+	var addr string
+	for i := 0; ; i++ {
+		if a := srv.Addr(); a != nil {
+			addr = a.String()
+			break
+		}
+		if i > 500 {
+			t.Fatal("server never started listening")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-errc; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return addr
+}
+
+// startReplica connects a replica store to the primary and serves it.
+func startReplica(t *testing.T, store *nvmstore.ShardedStore, primary string) (*repl.Replica, string) {
+	t.Helper()
+	rp, err := repl.NewReplica(store, repl.ReplicaOptions{Primary: primary, Backoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rp.Close)
+	addr := serve(t, store, server.Options{Replica: rp, Repl: repl.NewSource(store, repl.SourceOptions{})})
+	return rp, addr
+}
+
+// dial opens a client pool on addr.
+func dial(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	cl, err := client.Dial(addr, client.Options{Conns: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// rowFor builds a deterministic full-size row for key.
+func rowFor(key uint64) []byte {
+	row := make([]byte, testRowSize)
+	binary.BigEndian.PutUint64(row, key)
+	for i := 8; i < len(row); i++ {
+		row[i] = byte(key + uint64(i))
+	}
+	return row
+}
+
+// dump reads every row of the test table.
+func dump(t *testing.T, store *nvmstore.ShardedStore) map[uint64][]byte {
+	t.Helper()
+	out := make(map[uint64][]byte)
+	tab := store.Table(testTable)
+	err := tab.Scan(0, 1<<30, 0, testRowSize, func(key uint64, row []byte) bool {
+		out[key] = append([]byte(nil), row...)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// syncReplica blocks until the replica covers the primary's durable
+// vector (read-your-writes through the wire calls clients use).
+func syncReplica(t *testing.T, primaryCl, replicaCl *client.Client) {
+	t.Helper()
+	lsns, err := primaryCl.ReplLSNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsns.Role != wire.RolePrimary {
+		t.Fatalf("primary reports role %d", lsns.Role)
+	}
+	if err := replicaCl.WaitLSN(lsns.LSNs, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveReplication(t *testing.T) {
+	primary := newStore(t, 2)
+	src := repl.NewSource(primary, repl.SourceOptions{})
+	paddr := serve(t, primary, server.Options{Repl: src})
+	replica := newStore(t, 2)
+	rp, raddr := startReplica(t, replica, paddr)
+
+	pcl, rcl := dial(t, paddr), dial(t, raddr)
+	const n = 200
+	for k := uint64(0); k < n; k++ {
+		if err := pcl.Put(testTable, k, rowFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncReplica(t, pcl, rcl)
+
+	for k := uint64(0); k < n; k++ {
+		row, found, err := rcl.Get(testTable, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !found {
+			t.Fatalf("key %d missing on replica", k)
+		}
+		if !bytes.Equal(row, rowFor(k)) {
+			t.Fatalf("key %d differs on replica", k)
+		}
+	}
+
+	// Deletes replicate too.
+	if _, err := pcl.Delete(testTable, 0); err != nil {
+		t.Fatal(err)
+	}
+	syncReplica(t, pcl, rcl)
+	if _, found, err := rcl.Get(testTable, 0); err != nil || found {
+		t.Fatalf("deleted key still on replica (found=%v err=%v)", found, err)
+	}
+
+	// An unpromoted replica rejects writes with the READONLY class.
+	err := rcl.Put(testTable, 999, rowFor(999))
+	if !client.IsReadOnly(err) {
+		t.Fatalf("replica write: got %v, want READONLY rejection", err)
+	}
+	if got := rp.Stats(); !got.Connected || got.Batches == 0 {
+		t.Fatalf("replica stats: %+v", got)
+	}
+}
+
+func TestSnapshotBootstrap(t *testing.T) {
+	primary := newStore(t, 2)
+	src := repl.NewSource(primary, repl.SourceOptions{SnapRows: 64})
+	paddr := serve(t, primary, server.Options{Repl: src})
+
+	pcl := dial(t, paddr)
+	const n = 300
+	for k := uint64(0); k < n; k++ {
+		if err := pcl.Put(testTable, k, rowFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The replica attaches after the fact: nothing in the ring covers
+	// LSN 0, so it must bootstrap from a snapshot, then go live.
+	replica := newStore(t, 2)
+	_, raddr := startReplica(t, replica, paddr)
+	rcl := dial(t, raddr)
+	syncReplica(t, pcl, rcl)
+	if src.Stats().SnapshotChunks == 0 {
+		t.Fatal("no snapshot chunks streamed")
+	}
+
+	// And live writes keep flowing after the bootstrap.
+	for k := uint64(n); k < n+50; k++ {
+		if err := pcl.Put(testTable, k, rowFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	syncReplica(t, pcl, rcl)
+	want, got := dump(t, primary), dump(t, replica)
+	if len(got) != len(want) {
+		t.Fatalf("replica has %d rows, primary %d", len(got), len(want))
+	}
+	for k, row := range want {
+		if !bytes.Equal(got[k], row) {
+			t.Fatalf("key %d differs after bootstrap", k)
+		}
+	}
+}
+
+func TestResumeAfterReconnect(t *testing.T) {
+	primary := newStore(t, 2)
+	src := repl.NewSource(primary, repl.SourceOptions{})
+	paddr := serve(t, primary, server.Options{Repl: src})
+	replica := newStore(t, 2)
+
+	rp, err := repl.NewReplica(replica, repl.ReplicaOptions{Primary: paddr, Backoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcl := dial(t, paddr)
+	for k := uint64(0); k < 100; k++ {
+		if err := pcl.Put(testTable, k, rowFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsns, err := pcl.ReplLSNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.WaitLSN(lsns.LSNs, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rp.Close() // replica goes away mid-stream
+
+	for k := uint64(100); k < 200; k++ {
+		if err := pcl.Put(testTable, k, rowFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A new replica over the same store resumes from its durable meta
+	// row — never re-applying what it already has, never skipping.
+	rp2, err := repl.NewReplica(replica, repl.ReplicaOptions{Primary: paddr, Backoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp2.Close()
+	if lsns, err = pcl.ReplLSNs(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp2.WaitLSN(lsns.LSNs, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want, got := dump(t, primary), dump(t, replica)
+	if len(got) != len(want) {
+		t.Fatalf("replica has %d rows, primary %d", len(got), len(want))
+	}
+	for k, row := range want {
+		if !bytes.Equal(got[k], row) {
+			t.Fatalf("key %d differs after resume", k)
+		}
+	}
+}
+
+func TestPromoteAndFence(t *testing.T) {
+	primary := newStore(t, 2)
+	// Semi-synchronous: an acked write is on the replica before the ack.
+	src := repl.NewSource(primary, repl.SourceOptions{SyncReplicas: 1, SyncTimeout: 5 * time.Second})
+	paddr := serve(t, primary, server.Options{Repl: src})
+	replica := newStore(t, 2)
+	rp, raddr := startReplica(t, replica, paddr)
+
+	pcl, rcl := dial(t, paddr), dial(t, raddr)
+	// Wait until the feed is live on every shard so semi-sync is armed.
+	syncReplica(t, pcl, rcl)
+	const n = 100
+	for k := uint64(0); k < n; k++ {
+		if err := pcl.Put(testTable, k, rowFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Promote the replica to epoch 2, then fence the old primary.
+	applied, err := rcl.Promote(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(applied) != 2 {
+		t.Fatalf("promote returned %d shards", len(applied))
+	}
+	if !rp.Promoted() || rp.Epoch() != 2 {
+		t.Fatalf("replica not promoted: epoch %d", rp.Epoch())
+	}
+	if _, err := pcl.Promote(2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fenced primary rejects writes with the FENCED class...
+	err = pcl.Put(testTable, 7777, rowFor(7777))
+	if !client.IsFenced(err) {
+		t.Fatalf("fenced primary write: got %v, want FENCED rejection", err)
+	}
+	// ...and the client retry lands on the new primary.
+	if err := rcl.Put(testTable, 7777, rowFor(7777)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Zero acked-write loss: every write the old primary acknowledged
+	// under semi-sync is on the promoted store.
+	got := dump(t, replica)
+	for k := uint64(0); k < n; k++ {
+		if !bytes.Equal(got[k], rowFor(k)) {
+			t.Fatalf("acked key %d lost by failover", k)
+		}
+	}
+	lsns, err := rcl.ReplLSNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsns.Role != wire.RolePrimary || lsns.Epoch != 2 {
+		t.Fatalf("promoted replica reports role %d epoch %d", lsns.Role, lsns.Epoch)
+	}
+}
+
+func TestTruncationWatermark(t *testing.T) {
+	store := newStore(t, 1)
+	src := repl.NewSource(store, repl.SourceOptions{})
+	f := src.NewFeed("test")
+	if err := src.Attach(f, wire.ReplSubscribe{Epoch: 1, From: []uint64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	tab := store.Table(testTable)
+	for k := uint64(0); k < 50; k++ {
+		if err := tab.Put(k, rowFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The feed never acks, so the watermark pins the log: checkpoints
+	// must refuse to truncate it.
+	if err := store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m := store.Metrics()
+	if m.Log.TruncateSkips == 0 {
+		t.Fatalf("expected truncation skips with an unacked feed, got %+v", m.Log)
+	}
+	skipsBefore := m.Log.TruncateSkips
+
+	// Detaching lifts the watermark.
+	src.Detach(f)
+	if err := store.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	m = store.Metrics()
+	if m.Log.TruncateSkips != skipsBefore {
+		t.Fatalf("truncation still skipped after detach: %+v", m.Log)
+	}
+	if m.Log.Truncates == 0 {
+		t.Fatal("log never truncated after detach")
+	}
+}
+
+func TestFeedOverflowDropsReplica(t *testing.T) {
+	store := newStore(t, 1)
+	src := repl.NewSource(store, repl.SourceOptions{FeedQueue: 4})
+	f := src.NewFeed("slow")
+	if err := src.Attach(f, wire.ReplSubscribe{Epoch: 1, From: []uint64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	tab := store.Table(testTable)
+	for k := uint64(0); k < 50; k++ {
+		if err := tab.Put(k, rowFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Nobody drains the feed: it must be dropped, not wedge writes.
+	select {
+	case _, ok := <-waitClosed(f):
+		_ = ok
+	case <-time.After(5 * time.Second):
+		t.Fatal("overflowing feed never dropped")
+	}
+	if src.Stats().DroppedFeeds == 0 {
+		t.Fatal("DroppedFeeds not counted")
+	}
+	// A fresh feed can still attach (bootstrapping by snapshot).
+	f2 := src.NewFeed("fresh")
+	if err := src.Attach(f2, wire.ReplSubscribe{Epoch: 1, From: []uint64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	src.Detach(f2)
+}
+
+// waitClosed drains f's items on a goroutine and closes the returned
+// channel when the feed's channel closes.
+func waitClosed(f *repl.Feed) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		for range f.Items() {
+		}
+		close(done)
+	}()
+	return done
+}
+
+func TestFenceKillsFeedsAndRejectsAttach(t *testing.T) {
+	store := newStore(t, 1)
+	src := repl.NewSource(store, repl.SourceOptions{})
+	f := src.NewFeed("r1")
+	if err := src.Attach(f, wire.ReplSubscribe{Epoch: 1, From: []uint64{0}}); err != nil {
+		t.Fatal(err)
+	}
+	drained := waitClosed(f)
+	if src.Fence(1) {
+		t.Fatal("fence to the current epoch accepted")
+	}
+	if !src.Fence(2) {
+		t.Fatal("fence to a newer epoch refused")
+	}
+	if !src.Fence(2) {
+		t.Fatal("fence retry for the same epoch refused (must be idempotent)")
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fencing did not drop the feed")
+	}
+	f2 := src.NewFeed("r2")
+	if err := src.Attach(f2, wire.ReplSubscribe{Epoch: 1, From: []uint64{0}}); err == nil {
+		t.Fatal("fenced primary accepted a new feed")
+	}
+}
+
+func TestCrashMidApplyRecovers(t *testing.T) {
+	primary := newStore(t, 1)
+	src := repl.NewSource(primary, repl.SourceOptions{})
+	paddr := serve(t, primary, server.Options{Repl: src})
+
+	// The replica store power-fails its WAL flush once, mid-apply: the
+	// worker must recover the shard from its own log and resume from
+	// the meta row with nothing lost and nothing doubled.
+	replica := newStore(t, 1)
+	replica.InjectFaults(&fault.Plan{Seed: 42, Rules: []fault.Rule{
+		{Kind: fault.WALFlushCrash, EveryN: 7, Limit: 1},
+	}})
+	rp, err := repl.NewReplica(replica, repl.ReplicaOptions{Primary: paddr, Backoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp.Close()
+
+	pcl := dial(t, paddr)
+	const n = 150
+	for k := uint64(0); k < n; k++ {
+		if err := pcl.Put(testTable, k, rowFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsns, err := pcl.ReplLSNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.WaitLSN(lsns.LSNs, 20*time.Second); err != nil {
+		t.Fatalf("replica never caught up after crash: %v (stats %+v)", err, rp.Stats())
+	}
+	if rp.Stats().ApplyCrashes == 0 {
+		t.Fatal("fault never fired; test exercised nothing")
+	}
+	want, got := dump(t, primary), dump(t, replica)
+	for k, row := range want {
+		if !bytes.Equal(got[k], row) {
+			t.Fatalf("key %d differs after crash recovery", k)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replica has %d rows, primary %d", len(got), len(want))
+	}
+}
+
+func TestSourceStatsShape(t *testing.T) {
+	store := newStore(t, 2)
+	src := repl.NewSource(store, repl.SourceOptions{})
+	st := src.Stats()
+	if st.Epoch != 1 || st.FencedBy != 0 || len(st.Replicas) != 0 {
+		t.Fatalf("fresh source stats: %+v", st)
+	}
+	f := src.NewFeed("a")
+	if err := src.Attach(f, wire.ReplSubscribe{Epoch: 1, From: []uint64{0, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	defer src.Detach(f)
+	go func() {
+		for range f.Items() {
+		}
+	}()
+	st = src.Stats()
+	if len(st.Replicas) != 1 || st.Replicas[0].Addr != "a" || len(st.Replicas[0].AckedLSN) != 2 {
+		t.Fatalf("attached source stats: %+v", st)
+	}
+}
+
+func TestSubscribeShardMismatch(t *testing.T) {
+	store := newStore(t, 2)
+	src := repl.NewSource(store, repl.SourceOptions{})
+	f := src.NewFeed("bad")
+	if err := src.Attach(f, wire.ReplSubscribe{Epoch: 1, From: []uint64{0}}); err == nil {
+		t.Fatal("shard-count mismatch accepted")
+	}
+}
+
+func init() {
+	// Guard against the meta table id colliding with the test table.
+	if repl.MetaTable == testTable {
+		panic(fmt.Sprintf("test table id %d collides with MetaTable", testTable))
+	}
+}

@@ -63,6 +63,7 @@ import (
 	"nvmstore"
 	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
+	"nvmstore/internal/repl"
 	"nvmstore/internal/wire"
 )
 
@@ -95,6 +96,17 @@ type Options struct {
 	// injector is shared by all connections, so probability rules model
 	// a server-wide fault rate.
 	Faults *fault.Injector
+	// Repl, when set, makes this server a replication primary: REPL
+	// SUBSCRIBE connections stream the store's WAL through it, acks
+	// advance its truncation watermark, and (with SyncReplicas set on
+	// the source) shard workers hold write acks until enough replicas
+	// confirmed — see internal/repl.
+	Repl *repl.Source
+	// Replica, when set, marks this server a read replica fed by it:
+	// writes are rejected with a "READONLY:"-classified error until the
+	// replica is promoted, and REPL WAIT blocks reads until the applied
+	// LSN vector covers the client's.
+	Replica *repl.Replica
 	// TraceRing is the flight recorder's uniform-sample capacity
 	// (default 256) and TraceSlow how many slowest traced requests it
 	// always keeps (default 8). Tracing itself is request-driven: the
@@ -233,6 +245,14 @@ type StatsDoc struct {
 	// the slowest requests, and the p99 stage attribution — present once
 	// at least one traced request was served.
 	Trace *obs.FlightSnapshot `json:"trace,omitempty"`
+	// Repl is the primary-side replication summary (epoch, per-replica
+	// acked LSNs and lag bytes, ship→ack lag quantiles), present when the
+	// server was started with a replication source.
+	Repl *repl.Stats `json:"repl,omitempty"`
+	// Replica is the replica-side summary (per-shard applied LSNs,
+	// epoch, connection state), present when the server feeds from a
+	// primary.
+	Replica *repl.ReplicaStats `json:"replica,omitempty"`
 }
 
 // New creates a server over store. The store must already hold the
@@ -455,6 +475,14 @@ func (s *Server) Stats() StatsDoc {
 	if m.Latency != nil {
 		doc.Engine = m.Latency.Rows()
 	}
+	if src := s.opts.Repl; src != nil {
+		rs := src.Stats()
+		doc.Repl = &rs
+	}
+	if rp := s.opts.Replica; rp != nil {
+		rs := rp.Stats()
+		doc.Replica = &rs
+	}
 	return doc
 }
 
@@ -508,6 +536,44 @@ func (s *Server) WritePrometheus(p *obs.PromWriter) {
 	p.Counter("nvmstore_log_commits_total", "WAL commits across shards", nil, float64(doc.LogCommits))
 	p.Counter("nvmstore_log_flushes_total", "physical WAL flushes across shards", nil, float64(doc.LogFlushes))
 	p.Counter("nvmstore_trace_sampled_total", "traced requests recorded by the flight recorder", nil, float64(s.flight.Sampled()))
+	if src := s.opts.Repl; src != nil {
+		rs := src.Stats()
+		p.Gauge("nvmstore_repl_epoch", "current replication epoch", nil, float64(rs.Epoch))
+		p.Gauge("nvmstore_repl_fenced_by", "epoch that superseded this primary (0: active)", nil, float64(rs.FencedBy))
+		p.Gauge("nvmstore_repl_replicas", "currently attached replica feeds", nil, float64(len(rs.Replicas)))
+		p.Counter("nvmstore_repl_snapshot_chunks_total", "bootstrap snapshot chunks streamed", nil, float64(rs.SnapshotChunks))
+		p.Counter("nvmstore_repl_dropped_feeds_total", "replica feeds dropped by flow control", nil, float64(rs.DroppedFeeds))
+		if lag := src.LagHistogram(); lag.Count() > 0 {
+			p.Histogram("nvmstore_repl_lag_ns", "ship→ack replication lag (wall ns)", nil, lag)
+		}
+		for _, f := range rs.Replicas {
+			rep := fmt.Sprint(f.ID)
+			p.Gauge("nvmstore_repl_lag_bytes", "bytes shipped to but not yet acknowledged by the replica",
+				[]obs.Label{{Name: "replica", Value: rep}}, float64(f.LagBytes))
+			for shard, lsn := range f.AckedLSN {
+				p.Gauge("nvmstore_repl_acked_lsn", "replica's acknowledged durable LSN",
+					[]obs.Label{{Name: "replica", Value: rep}, {Name: "shard", Value: fmt.Sprint(shard)}}, float64(lsn))
+			}
+		}
+	}
+	if rp := s.opts.Replica; rp != nil {
+		rs := rp.Stats()
+		if s.opts.Repl == nil {
+			p.Gauge("nvmstore_repl_epoch", "current replication epoch", nil, float64(rs.Epoch))
+		}
+		connected := 0.0
+		if rs.Connected {
+			connected = 1
+		}
+		p.Gauge("nvmstore_repl_connected", "whether the replica's feed session is up", nil, connected)
+		for shard, lsn := range rs.AppliedLSN {
+			p.Gauge("nvmstore_repl_applied_lsn", "replica's durable applied LSN",
+				[]obs.Label{{Name: "shard", Value: fmt.Sprint(shard)}}, float64(lsn))
+		}
+		p.Counter("nvmstore_repl_reconnects_total", "replica feed sessions ended and retried", nil, float64(rs.Reconnects))
+		p.Counter("nvmstore_repl_apply_crashes_total", "simulated crashes recovered during apply", nil, float64(rs.ApplyCrashes))
+		p.Counter("nvmstore_repl_batches_total", "replication batch items applied", nil, float64(rs.Batches))
+	}
 }
 
 // record notes one answered request of opcode op that started at t0.
@@ -580,6 +646,13 @@ func (s *Server) shardWorker(i int) {
 			// crashes); this is a checkpoint error after the flush, so
 			// the acks below are durable regardless. Surface it.
 			s.logf("server: shard %d: flush: %v", i, err)
+		}
+		if src := s.opts.Repl; src != nil {
+			// Semi-synchronous replication: with SyncReplicas set on the
+			// source, hold the batch's acks until enough replicas
+			// acknowledged the records this flush shipped. No-op (one
+			// atomic-free options check) otherwise.
+			src.WaitAcked(i)
 		}
 		var flushedAt int64
 		if traced {
@@ -726,6 +799,10 @@ type conn struct {
 
 	readClosed sync.Once
 
+	// feed is this connection's replication feed once it subscribed
+	// (written by the reader goroutine, detached when the reader exits).
+	feed *repl.Feed
+
 	// Transaction state; owned by the reader goroutine.
 	txActive bool
 	txWrites []txWrite
@@ -779,6 +856,11 @@ func (c *conn) readLoop() {
 	// responses that will never come, then let in-flight responses
 	// drain before the writer is told it is done.
 	wire.PutBuf(buf) // every alias died with the loop
+	if c.feed != nil {
+		// Dropping the feed closes its item channel; the feeder drains
+		// (it registered with pending) and the close below waits for it.
+		c.srv.opts.Repl.Detach(c.feed)
+	}
 	c.closeRead()
 	go func() {
 		c.pending.Wait()
@@ -800,6 +882,11 @@ func (c *conn) dispatch(req wire.Request) {
 		}
 		c.route(req, start, nil)
 	case wire.OpPut:
+		if msg := c.writeBlocked(); msg != "" {
+			c.reply(wire.Response{Code: wire.RespErr, ID: req.ID, Err: msg}, nil)
+			c.srv.record(req.Op, start)
+			return
+		}
 		if c.txActive {
 			c.txWrites = append(c.txWrites, txWrite{req.Table, req.Key, append([]byte(nil), req.Value...), false})
 			c.reply(wire.Response{Code: wire.RespOK, ID: req.ID}, nil)
@@ -808,6 +895,11 @@ func (c *conn) dispatch(req wire.Request) {
 		}
 		c.route(req, start, append(wire.GetBuf(), req.Value...))
 	case wire.OpDelete:
+		if msg := c.writeBlocked(); msg != "" {
+			c.reply(wire.Response{Code: wire.RespErr, ID: req.ID, Err: msg}, nil)
+			c.srv.record(req.Op, start)
+			return
+		}
 		if c.txActive {
 			c.txWrites = append(c.txWrites, txWrite{req.Table, req.Key, nil, true})
 			c.reply(wire.Response{Code: wire.RespOK, ID: req.ID}, nil)
@@ -830,6 +922,13 @@ func (c *conn) dispatch(req wire.Request) {
 		c.reply(resp, nil)
 		c.srv.record(req.Op, start)
 	case wire.OpCommit:
+		if msg := c.writeBlocked(); msg != "" {
+			c.txActive = false
+			c.txWrites = c.txWrites[:0]
+			c.reply(wire.Response{Code: wire.RespErr, ID: req.ID, Err: msg}, nil)
+			c.srv.record(req.Op, start)
+			return
+		}
 		c.reply(c.commit(req), nil)
 		c.srv.record(req.Op, start)
 	case wire.OpRollback:
@@ -847,6 +946,16 @@ func (c *conn) dispatch(req wire.Request) {
 		}
 		c.reply(resp, nil)
 		c.srv.record(req.Op, start)
+	case wire.OpReplSubscribe:
+		c.replSubscribe(req, start)
+	case wire.OpReplAck:
+		c.replAck(req, start)
+	case wire.OpReplPromote:
+		c.replPromote(req, start)
+	case wire.OpReplLSNs:
+		c.replLSNs(req, start)
+	case wire.OpReplWait:
+		c.replWait(req, start)
 	}
 }
 

@@ -19,6 +19,16 @@
 // the NVM-direct architecture — after every commit, because there the
 // tuples themselves are flushed before the transaction finishes).
 //
+// Replication invariant: "durable elsewhere" is not sufficient to
+// truncate once the log has remote subscribers. A catching-up replica
+// resumes from the records between its applied LSN and the head, so
+// Truncate consults the retention watermark installed by SetRetain and
+// becomes a counted no-op while any live subscriber still needs a
+// resident record. The ship hook (SetShip) delivers records strictly
+// after the flush that made them durable, so a subscriber can never
+// observe a record the primary could still lose — the ack⇒durable
+// contract extends to the replication stream.
+//
 // A Log is not safe for concurrent use, matching the single-threaded
 // engines in this reproduction.
 package wal
@@ -49,14 +59,27 @@ const (
 	recAbort  byte = 3
 )
 
+// Exported record kinds, as reported in Record.Kind by the ship hook
+// (SetShip) and by Recover. RecUpdate records carry before/after images;
+// RecCommit and RecAbort are transaction marks with no images.
+const (
+	RecUpdate = recUpdate
+	RecCommit = recCommit
+	RecAbort  = recAbort
+)
+
 // ErrLogFull is returned when the log region cannot hold another record;
 // the engine must checkpoint and truncate.
 var ErrLogFull = errors.New("wal: log region full")
 
 // Record is one decoded log record.
 type Record struct {
-	LSN LSN
-	Tx  TxID
+	// Kind is RecUpdate, RecCommit, or RecAbort. Recovery hands only
+	// RecUpdate records to the Handler; the ship hook delivers all three
+	// so subscribers see transaction boundaries.
+	Kind byte
+	LSN  LSN
+	Tx   TxID
 	// Update records carry the page id, byte offset, and the before and
 	// after images.
 	PID    uint64
@@ -120,7 +143,42 @@ type Log struct {
 	clk *simclock.Clock
 
 	faults *fault.Injector
+
+	// durable is the highest LSN the device has flushed; records at or
+	// below it survive any crash.
+	durable LSN
+	// ship, when set, receives every record after the flush that made it
+	// durable; pending buffers owned copies between append and flush.
+	ship    func([]Record)
+	pending []Record
+	// retain, when set, returns the lowest LSN a live log subscriber
+	// still needs resident; Truncate is a counted no-op while that LSN
+	// has not itself been truncated away.
+	retain func() LSN
 }
+
+// SetShip installs the replication tap: after every successful Flush, fn
+// receives owned copies (images included) of the records that flush made
+// durable, in append order, while the caller of Flush still holds the
+// shard's lock. Records appended but crashed before their flush are
+// never delivered, so subscribers only ever see the durable prefix. A
+// nil fn removes the tap and drops any records buffered for it.
+func (l *Log) SetShip(fn func([]Record)) {
+	l.ship = fn
+	if fn == nil {
+		l.pending = nil
+	}
+}
+
+// SetRetain installs the replication retention watermark: fn returns the
+// lowest LSN some live subscriber still needs. Truncate keeps the log
+// intact (counting Stats.TruncateSkips) while fn's LSN is at most the
+// highest appended LSN. A nil fn removes the guard.
+func (l *Log) SetRetain(fn func() LSN) { l.retain = fn }
+
+// DurableLSN returns the highest LSN made durable by a flush; 0 before
+// the first flush. Acked transactions have commit LSNs at or below it.
+func (l *Log) DurableLSN() LSN { return l.durable }
 
 // SetFaults installs a fault injector: fault.WALAppendError makes
 // appends fail with an injected *fault.Error, and fault.WALFlushCrash
@@ -156,6 +214,10 @@ type Stats struct {
 	Aborts    int64
 	Flushes   int64
 	Truncates int64
+	// TruncateSkips counts Truncate calls refused by the replication
+	// retention watermark (SetRetain): a live replica still needed a
+	// resident record, so the log was kept.
+	TruncateSkips int64
 }
 
 // OpsPerFlush returns Commits/Flushes, the average number of committed
@@ -213,6 +275,17 @@ func (l *Log) Update(tx TxID, pid uint64, pageOff int, before, after []byte) (LS
 	copy(payload[37+nb:], after)
 	if err := l.append(payload); err != nil {
 		return 0, err
+	}
+	if l.ship != nil {
+		// Owned copies: payload is the reusable scratch buffer and the
+		// caller's images may be overwritten after we return.
+		img := make([]byte, nb+na)
+		copy(img, before)
+		copy(img[nb:], after)
+		l.pending = append(l.pending, Record{
+			Kind: recUpdate, LSN: lsn, Tx: tx, PID: pid, Off: pageOff,
+			Before: img[:nb:nb], After: img[nb:],
+		})
 	}
 	l.nextLSN++
 	l.stats.Records++
@@ -300,6 +373,9 @@ func (l *Log) mark(kind byte, tx TxID) error {
 	if err := l.append(payload); err != nil {
 		return err
 	}
+	if l.ship != nil {
+		l.pending = append(l.pending, Record{Kind: kind, LSN: l.nextLSN, Tx: tx})
+	}
 	l.nextLSN++
 	l.stats.Records++
 	return nil
@@ -361,17 +437,35 @@ func (l *Log) Flush() {
 	l.unflushedCommits = 0
 	l.flushedTo = l.head
 	l.stats.Flushes++
+	l.durable = l.nextLSN - 1
+	if l.ship != nil && len(l.pending) > 0 {
+		batch := l.pending
+		l.pending = nil
+		l.ship(batch)
+	}
 }
 
-// Truncate discards the whole log. Callers must guarantee that every
-// logged change is durable elsewhere first.
-func (l *Log) Truncate() {
+// Truncate discards the whole log and returns the highest LSN it
+// discarded (the LSNs keep counting up afterwards). Callers must
+// guarantee that every logged change is durable elsewhere first. When a
+// retention watermark is installed (SetRetain) and a live subscriber
+// still needs a resident record, Truncate keeps the log, increments
+// Stats.TruncateSkips, and returns 0.
+func (l *Log) Truncate() LSN {
+	if l.retain != nil {
+		if keep := l.retain(); keep < l.nextLSN {
+			l.stats.TruncateSkips++
+			return 0
+		}
+	}
 	var sentinel [4]byte
 	l.dev.Persist(sentinel[:], l.off)
 	l.head = 0
 	l.flushedTo = 0
 	l.unflushedCommits = 0
+	l.pending = nil
 	l.stats.Truncates++
+	return l.nextLSN - 1
 }
 
 // Bytes returns the current size of the log contents.
@@ -477,6 +571,7 @@ scan:
 				return stats, fmt.Errorf("wal: corrupt update record at %d", pos)
 			}
 			records = append(records, Record{
+				Kind:   recUpdate,
 				LSN:    lsn,
 				Tx:     tx,
 				PID:    pid,
@@ -528,8 +623,10 @@ scan:
 	l.head = pos
 	l.flushedTo = pos
 	l.unflushedCommits = 0
+	l.pending = nil // never-shipped appends died with the crash
 	l.nextLSN = maxLSN + 1
 	l.nextTx = maxTx + 1
+	l.durable = maxLSN
 	return stats, nil
 }
 

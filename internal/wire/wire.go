@@ -89,6 +89,28 @@ const (
 	OpStats
 )
 
+// Replication request opcodes (see repl.go for the body codecs). Their
+// bodies ride opaquely in Request.Value so the header handling — and
+// the v1/v2 trace-extension negotiation — is identical to every other
+// opcode.
+const (
+	// OpReplSubscribe turns the connection into a replication feed: the
+	// body names the resume LSNs and the server starts pushing
+	// RespReplBatch / RespReplSnap frames.
+	OpReplSubscribe byte = iota + 9
+	// OpReplAck acknowledges applied-and-durable LSNs on a feed.
+	OpReplAck
+	// OpReplPromote promotes a replica to primary, or fences a primary
+	// whose epoch the body supersedes.
+	OpReplPromote
+	// OpReplLSNs queries the peer's per-shard LSN vector, epoch, and
+	// role (empty body; answered with RespReplLSNs).
+	OpReplLSNs
+	// OpReplWait blocks until the peer's LSN vector covers the body's
+	// bound or a timeout expires — the staleness-bounded read barrier.
+	OpReplWait
+)
+
 // Response codes. The high bit distinguishes responses from requests,
 // so a stream confusion (e.g. a client dialed by another client) fails
 // loudly instead of silently mismatching.
@@ -99,6 +121,14 @@ const (
 	RespErr
 	RespScan
 	RespStats
+	// RespReplBatch is an unsolicited pushed frame on a subscribed
+	// connection: one shard's flushed log records (body in Value).
+	RespReplBatch
+	// RespReplSnap is a pushed snapshot chunk bootstrapping a replica
+	// shard that is too far behind for log catch-up.
+	RespReplSnap
+	// RespReplLSNs answers OpReplLSNs with the peer's LSN vector.
+	RespReplLSNs
 )
 
 // Errors returned by the decoders and the frame reader.
@@ -129,6 +159,16 @@ func OpName(op byte) string {
 		return "rollback"
 	case OpStats:
 		return "stats"
+	case OpReplSubscribe:
+		return "replsubscribe"
+	case OpReplAck:
+		return "replack"
+	case OpReplPromote:
+		return "replpromote"
+	case OpReplLSNs:
+		return "repllsns"
+	case OpReplWait:
+		return "replwait"
 	case RespOK:
 		return "ok"
 	case RespValue:
@@ -141,6 +181,12 @@ func OpName(op byte) string {
 		return "scanresult"
 	case RespStats:
 		return "statsresult"
+	case RespReplBatch:
+		return "replbatch"
+	case RespReplSnap:
+		return "replsnap"
+	case RespReplLSNs:
+		return "repllsnsresult"
 	}
 	return fmt.Sprintf("op%#x", op)
 }
@@ -210,6 +256,8 @@ func AppendRequest(dst []byte, r Request) []byte {
 		body = 16 + len(r.Value)
 	case OpScan:
 		body = 20
+	case OpReplSubscribe, OpReplAck, OpReplPromote, OpReplWait:
+		body = len(r.Value)
 	}
 	dst = appendHeader(dst, body, r.Op, r.ID, r.Flags, r.TraceID)
 	switch r.Op {
@@ -224,6 +272,8 @@ func AppendRequest(dst []byte, r Request) []byte {
 		dst = binary.BigEndian.AppendUint64(dst, r.Table)
 		dst = binary.BigEndian.AppendUint64(dst, r.Key)
 		dst = binary.BigEndian.AppendUint32(dst, r.Limit)
+	case OpReplSubscribe, OpReplAck, OpReplPromote, OpReplWait:
+		dst = append(dst, r.Value...)
 	}
 	return dst
 }
@@ -233,7 +283,7 @@ func AppendRequest(dst []byte, r Request) []byte {
 func AppendResponse(dst []byte, r Response) []byte {
 	body := 0
 	switch r.Code {
-	case RespValue, RespStats:
+	case RespValue, RespStats, RespReplBatch, RespReplSnap, RespReplLSNs:
 		body = len(r.Value)
 	case RespErr:
 		body = len(r.Err)
@@ -245,7 +295,7 @@ func AppendResponse(dst []byte, r Response) []byte {
 	}
 	dst = appendHeader(dst, body, r.Code, r.ID, r.Flags, r.TraceID)
 	switch r.Code {
-	case RespValue, RespStats:
+	case RespValue, RespStats, RespReplBatch, RespReplSnap, RespReplLSNs:
 		dst = append(dst, r.Value...)
 	case RespErr:
 		dst = append(dst, r.Err...)
@@ -324,10 +374,13 @@ func DecodeRequest(payload []byte) (Request, error) {
 		r.Table = binary.BigEndian.Uint64(body)
 		r.Key = binary.BigEndian.Uint64(body[8:])
 		r.Limit = binary.BigEndian.Uint32(body[16:])
-	case OpBegin, OpCommit, OpRollback, OpStats:
+	case OpBegin, OpCommit, OpRollback, OpStats, OpReplLSNs:
 		if len(body) != 0 {
 			return Request{}, fmt.Errorf("%w: %s carries a body", ErrShortFrame, OpName(op))
 		}
+	case OpReplSubscribe, OpReplAck, OpReplPromote, OpReplWait:
+		// Opaque replication body; the typed codecs in repl.go validate.
+		r.Value = body
 	default:
 		return Request{}, fmt.Errorf("%w: %#x", ErrBadOpcode, op)
 	}
@@ -347,7 +400,7 @@ func DecodeResponse(payload []byte) (Response, error) {
 		if len(body) != 0 {
 			return Response{}, fmt.Errorf("%w: %s carries a body", ErrShortFrame, OpName(code))
 		}
-	case RespValue, RespStats:
+	case RespValue, RespStats, RespReplBatch, RespReplSnap, RespReplLSNs:
 		r.Value = body
 	case RespErr:
 		r.Err = string(body)

@@ -322,6 +322,62 @@ func (s *Store) ApplyBatch(ops []func() error) error {
 // the write-ahead log.
 func (s *Store) Checkpoint() error { return s.e.Checkpoint() }
 
+// WALRecord is one write-ahead-log record as delivered to the
+// replication tap (SetWALShip) — an alias of wal.Record, like
+// RecoveryStats below.
+type WALRecord = wal.Record
+
+// WAL record kinds, re-exported for replication consumers.
+const (
+	// WALRecUpdate marks a record carrying before/after images.
+	WALRecUpdate = wal.RecUpdate
+	// WALRecCommit marks a transaction commit record.
+	WALRecCommit = wal.RecCommit
+	// WALRecAbort marks a transaction abort record.
+	WALRecAbort = wal.RecAbort
+)
+
+// SetWALShip installs the replication tap on this shard's write-ahead
+// log: fn receives owned copies of every record right after the flush
+// that made it durable, in append order, on the flushing goroutine (the
+// shard lock is held). Only durable records are ever delivered, so a
+// subscriber cannot observe state the store could still lose. A nil fn
+// removes the tap.
+func (s *Store) SetWALShip(fn func([]WALRecord)) { s.e.Log().SetShip(fn) }
+
+// SetWALRetain installs the replication retention watermark: fn returns
+// the lowest LSN a live replica still needs resident, and Checkpoint's
+// log truncation becomes a counted no-op while that record would be
+// discarded (see wal.Log.SetRetain). A nil fn removes the guard.
+func (s *Store) SetWALRetain(fn func() uint64) {
+	if fn == nil {
+		s.e.Log().SetRetain(nil)
+		return
+	}
+	s.e.Log().SetRetain(func() wal.LSN { return wal.LSN(fn()) })
+}
+
+// DurableLSN returns the highest log sequence number this shard has
+// flushed to its NVM log — the durability frontier. Every acknowledged
+// transaction's commit record is at or below it.
+func (s *Store) DurableLSN() uint64 { return uint64(s.e.Log().DurableLSN()) }
+
+// IsPageImage reports whether a shipped record is a physical page image
+// (logged by B+-tree splits). Page images are meaningless on any other
+// store — page ids and layouts differ — so replication filters them and
+// lets the replica's own trees split independently.
+func IsPageImage(r WALRecord) bool { return engine.IsPageImage(r) }
+
+// ReplayRecord applies one logical record from another store's log
+// inside the running transaction (Begin/Update). The operation is
+// logged to this store's own WAL, so applied records are crash-
+// recoverable here independently of the source. Commit/abort marks are
+// no-ops; page-image and malformed records return an error.
+func (s *Store) ReplayRecord(r WALRecord) error { return s.e.ApplyLogical(r) }
+
+// TableIDs returns the ids of all tables in ascending order.
+func (s *Store) TableIDs() []uint64 { return s.e.TreeIDs() }
+
 // CleanRestart simulates an orderly shutdown and restart: all volatile
 // state is dropped and the page mapping table is rebuilt by scanning the
 // NVM page headers (§4.4). On the three-tier architecture the NVM cache

@@ -501,6 +501,7 @@ func (s *ShardedStore) Metrics() Metrics {
 		total.Log.Aborts += m.Log.Aborts
 		total.Log.Flushes += m.Log.Flushes
 		total.Log.Truncates += m.Log.Truncates
+		total.Log.TruncateSkips += m.Log.TruncateSkips
 		total.NVMLinesRead += m.NVMLinesRead
 		total.NVMLinesFlushed += m.NVMLinesFlushed
 		total.NVMTotalWrites += m.NVMTotalWrites
