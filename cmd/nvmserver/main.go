@@ -135,6 +135,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "nvmserver: unknown -arch %q (try three-tier, main-memory, nvm-direct, basic-nvm, ssd-buffer)\n", *arch)
 		return 2
 	}
+	if *tableID == repl.MetaTable {
+		fmt.Fprintf(os.Stderr, "nvmserver: -table %#x is reserved for replication metadata\n", repl.MetaTable)
+		return 2
+	}
 	scale := *scaleMB << 20
 	opts := nvmstore.Options{
 		Architecture:      a,

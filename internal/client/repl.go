@@ -21,9 +21,9 @@ const (
 	readOnlyPrefix = "READONLY: "
 )
 
-// IsFenced reports whether err is a write rejected by a fenced (ex-)
-// primary: a newer epoch exists, so the caller should rediscover the
-// current primary and retry there.
+// IsFenced reports whether err is a write or WaitLSN barrier rejected
+// by a fenced (ex-)primary: a newer epoch exists, so the caller should
+// rediscover the current primary and retry there.
 func IsFenced(err error) bool {
 	var re *RemoteError
 	return errors.As(err, &re) && strings.HasPrefix(re.Msg, fencedPrefix)
@@ -52,8 +52,10 @@ func (c *Client) ReplLSNs() (wire.ReplLSNs, error) {
 }
 
 // WaitLSN blocks until the server's applied vector covers lsns, up to
-// timeout (0: the server's default). On a primary it returns
-// immediately — acked writes are already durable there.
+// timeout (0: the server's default). On a live primary it returns
+// immediately — acked writes are already durable there. On a fenced
+// ex-primary it fails with a FENCED-classified error (IsFenced): its
+// state no longer covers anything, so the caller must re-resolve.
 func (c *Client) WaitLSN(lsns []uint64, timeout time.Duration) error {
 	var ms uint32
 	if timeout > 0 {

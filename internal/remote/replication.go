@@ -155,8 +155,9 @@ func openReplBenchStore(o ReplicationOptions) (*nvmstore.ShardedStore, error) {
 		DRAMBytes:    1 << 20,
 		NVMBytes:     2 << 20,
 		SSDBytes:     256 << 20,
-		// Room for the loaded key space's log: a live feed's retention
-		// watermark holds truncation back until replicas acknowledge.
+		// Room for the loaded key space's log between checkpoints (replica
+		// progress never holds truncation back; the retention watermark
+		// only covers records not yet handed to the ship tap).
 		WALBytes: 64 << 20,
 	})
 	if err != nil {

@@ -16,11 +16,13 @@
 // The Source (primary side) keeps a bounded per-shard retention ring of
 // shipped records and fans them out to per-replica Feeds with bounded
 // queues (flow control: a replica that cannot keep up is dropped and
-// rejoins via snapshot rather than wedging the primary). While any feed
-// is attached the Source installs a retention watermark on each shard's
-// log, so checkpoint truncation cannot discard records a live replica
-// still needs; wal.Truncate becomes a counted no-op until acks move the
-// watermark past the head.
+// rejoins via snapshot rather than wedging the primary). Shipped
+// records live on in the Source's own memory, so replica progress never
+// pins the primary's log: the retention watermark the Source installs
+// on each shard's log only protects the unshipped gap — records
+// appended but not yet handed to the ship tap — and the checkpoint path
+// flushes (shipping everything durable) right before truncating, so
+// truncation under replication proceeds exactly as without it.
 //
 // The Replica dials the primary, subscribes with its per-shard durable
 // applied LSNs, and replays pushed batches inside its own transactions:
@@ -36,9 +38,13 @@
 //
 // Every primary has an epoch, carried in SUBSCRIBE/BATCH/ACK frames. An
 // explicit PROMOTE to epoch e makes a replica writable at e and — sent
-// to the old primary — fences it: a fenced primary rejects writes with
-// a classified error so clients fail over to the new primary. Batches
-// and acks from superseded epochs are discarded.
+// to the old primary — fences it: a fenced primary rejects writes and
+// read-your-writes barriers with a classified error so clients fail
+// over to the new primary. Batches and acks from superseded epochs are
+// discarded. LSN sequences are per primary lineage and never compared
+// across epochs: a subscriber presenting an older epoch followed a
+// different primary, so its resume vector is ignored and it bootstraps
+// from a snapshot of the new lineage.
 //
 // # Staleness-bounded reads
 //
@@ -58,7 +64,10 @@ import (
 // position: one 16-byte row per shard at MetaKey — applied LSN and
 // epoch, little-endian. It is written inside every apply transaction,
 // so the position is exactly as durable as the applied data; snapshot
-// streams and the ship tap both exclude it.
+// streams and the ship tap both exclude it. Because of that exclusion,
+// user data stored under this id would silently never replicate — the
+// server rejects data operations on it, and nvmserver refuses to serve
+// it as the -table id.
 const MetaTable uint64 = 0x7265706c // "repl"
 
 // MetaKey is the row key of the position row within MetaTable.

@@ -315,7 +315,22 @@ func TestPromoteAndFence(t *testing.T) {
 	if !client.IsFenced(err) {
 		t.Fatalf("fenced primary write: got %v, want FENCED rejection", err)
 	}
-	// ...and the client retry lands on the new primary.
+	// ...rejects the read barrier the same way (answering OK would bless
+	// unboundedly stale reads against a dead lineage)...
+	err = pcl.WaitLSN([]uint64{0, 0}, time.Second)
+	if !client.IsFenced(err) {
+		t.Fatalf("fenced primary WAIT: got %v, want FENCED rejection", err)
+	}
+	// ...and reports the fenced state, carrying the superseding epoch, so
+	// read clients re-resolve instead of trusting its vector.
+	flsns, err := pcl.ReplLSNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flsns.Role != wire.RoleFenced || flsns.Epoch != 2 {
+		t.Fatalf("fenced primary reports role %d epoch %d, want fenced at 2", flsns.Role, flsns.Epoch)
+	}
+	// The client retry lands on the new primary.
 	if err := rcl.Put(testTable, 7777, rowFor(7777)); err != nil {
 		t.Fatal(err)
 	}
@@ -344,34 +359,143 @@ func TestTruncationWatermark(t *testing.T) {
 	if err := src.Attach(f, wire.ReplSubscribe{Epoch: 1, From: []uint64{0}}); err != nil {
 		t.Fatal(err)
 	}
+	defer src.Detach(f)
+	go func() {
+		for range f.Items() {
+		}
+	}()
 	tab := store.Table(testTable)
 	for k := uint64(0); k < 50; k++ {
 		if err := tab.Put(k, rowFor(k)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// The feed never acks, so the watermark pins the log: checkpoints
-	// must refuse to truncate it.
+	// The feed never acks, yet the checkpoint truncates: the flush at the
+	// start of the checkpoint handed everything durable to the ship tap,
+	// and shipped records are the Source's to retain (retention ring and
+	// feed queues), never the WAL's. Replica ack progress must not pin
+	// the log — a primary with one lagging replica would otherwise fill
+	// its WAL region and stop accepting writes.
 	if err := store.Checkpoint(); err != nil {
 		t.Fatal(err)
 	}
 	m := store.Metrics()
-	if m.Log.TruncateSkips == 0 {
-		t.Fatalf("expected truncation skips with an unacked feed, got %+v", m.Log)
-	}
-	skipsBefore := m.Log.TruncateSkips
-
-	// Detaching lifts the watermark.
-	src.Detach(f)
-	if err := store.Checkpoint(); err != nil {
-		t.Fatal(err)
-	}
-	m = store.Metrics()
-	if m.Log.TruncateSkips != skipsBefore {
-		t.Fatalf("truncation still skipped after detach: %+v", m.Log)
+	if m.Log.TruncateSkips != 0 {
+		t.Fatalf("unacked feed pinned the log: %+v", m.Log)
 	}
 	if m.Log.Truncates == 0 {
-		t.Fatal("log never truncated after detach")
+		t.Fatal("checkpoint never truncated with a live feed attached")
+	}
+}
+
+func TestCrossEpochRepointForcesSnapshot(t *testing.T) {
+	// A is primary at epoch 1 with replicas B and C.
+	a := newStore(t, 2)
+	srcA := repl.NewSource(a, repl.SourceOptions{})
+	aaddr := serve(t, a, server.Options{Repl: srcA})
+
+	b := newStore(t, 2)
+	rpB, err := repl.NewReplica(b, repl.ReplicaOptions{Primary: aaddr, Backoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rpB.Close)
+	srcB := repl.NewSource(b, repl.SourceOptions{})
+	baddr := serve(t, b, server.Options{Replica: rpB, Repl: srcB})
+
+	c := newStore(t, 2)
+	rpC, err := repl.NewReplica(c, repl.ReplicaOptions{Primary: aaddr, Backoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acl, bcl := dial(t, aaddr), dial(t, baddr)
+	const n = 100
+	for k := uint64(0); k < n; k++ {
+		if err := acl.Put(testTable, k, rowFor(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lsns, err := acl.ReplLSNs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rpB.WaitLSN(lsns.LSNs, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := rpC.WaitLSN(lsns.LSNs, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rpC.Close() // C is down through the failover
+
+	// B becomes primary at epoch 2, A is fenced, and the new lineage
+	// diverges: every old key overwritten, fresh keys appended.
+	if _, err := bcl.Promote(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acl.Promote(2); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < n+50; k++ {
+		if err := bcl.Put(testTable, k, rowFor(k+1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// C comes back re-pointed at B. Its meta rows carry epoch 1 and
+	// resume LSNs from A's sequence — positions B never produced — so
+	// the subscribe must bootstrap from a snapshot of B's lineage, never
+	// resume (or be rejected) on a cross-epoch LSN comparison.
+	rpC2, err := repl.NewReplica(c, repl.ReplicaOptions{Primary: baddr, Backoff: 20 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rpC2.Close()
+	if lsns, err = bcl.ReplLSNs(); err != nil {
+		t.Fatal(err)
+	}
+	if lsns.Epoch != 2 {
+		t.Fatalf("new primary reports epoch %d", lsns.Epoch)
+	}
+	if err := rpC2.WaitLSN(lsns.LSNs, 20*time.Second); err != nil {
+		t.Fatalf("re-pointed replica never converged: %v (stats %+v)", err, rpC2.Stats())
+	}
+	if srcB.Stats().SnapshotChunks == 0 {
+		t.Fatal("cross-epoch subscribe resumed by LSN instead of snapshotting")
+	}
+	want, got := dump(t, b), dump(t, c)
+	if len(got) != len(want) {
+		t.Fatalf("replica has %d rows, new primary %d", len(got), len(want))
+	}
+	for k, row := range want {
+		if !bytes.Equal(got[k], row) {
+			t.Fatalf("key %d differs after cross-epoch re-point", k)
+		}
+	}
+}
+
+func TestMetaTableReservedAtServer(t *testing.T) {
+	store := newStore(t, 1)
+	addr := serve(t, store, server.Options{Repl: repl.NewSource(store, repl.SourceOptions{})})
+	cl := dial(t, addr)
+	// Data ops on the reserved replication-metadata table are rejected:
+	// rows there are excluded from the ship tap and from snapshots, so
+	// accepting user data would let it silently diverge from replicas.
+	if err := cl.Put(repl.MetaTable, 1, rowFor(1)); err == nil {
+		t.Fatal("PUT to the reserved replication table accepted")
+	}
+	if _, _, err := cl.Get(repl.MetaTable, 1); err == nil {
+		t.Fatal("GET on the reserved replication table accepted")
+	}
+	if _, err := cl.Delete(repl.MetaTable, 1); err == nil {
+		t.Fatal("DELETE on the reserved replication table accepted")
+	}
+	if _, err := cl.Scan(repl.MetaTable, 0, 10); err == nil {
+		t.Fatal("SCAN on the reserved replication table accepted")
+	}
+	// Ordinary tables are unaffected.
+	if err := cl.Put(testTable, 1, rowFor(1)); err != nil {
+		t.Fatal(err)
 	}
 }
 

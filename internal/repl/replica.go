@@ -420,8 +420,8 @@ func (r *Replica) applyTx(shard int, recs []wire.ReplRec, commitLSN, epoch uint6
 
 // finishApply flushes the shard's WAL (making every transaction the
 // item applied durable), publishes the new applied LSN, and sends the
-// ACK. ACK after flush is what lets the primary's watermark and semi-
-// synchronous waits trust it.
+// ACK. ACK after flush is what lets the primary's retention ring
+// eviction and semi-synchronous waits trust it.
 func (r *Replica) finishApply(shard int, applied, epoch uint64, conn net.Conn, wmu *sync.Mutex) error {
 	err := r.store.WithShard(shard, func(st *nvmstore.Store) error {
 		_, err := st.FlushWAL()

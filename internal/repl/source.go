@@ -244,6 +244,11 @@ func (f *Feed) ID() int { return f.id }
 // replay happens before the lock is released — so the enqueued state is
 // exactly the durable state at the tap point, with no gap and no
 // overlap with the batches that follow.
+//
+// A subscriber whose Epoch is older than this primary's carries resume
+// LSNs from a different primary's sequence; its From vector is ignored
+// and every shard bootstraps from a snapshot (LSNs are never compared
+// across epochs).
 func (s *Source) Attach(f *Feed, sub wire.ReplSubscribe) error {
 	n := s.store.NumShards()
 	if len(sub.From) != n {
@@ -262,6 +267,13 @@ func (s *Source) Attach(f *Feed, sub wire.ReplSubscribe) error {
 		s.mu.Unlock()
 		return fmt.Errorf("repl: subscriber at epoch %d is ahead of primary epoch %d", sub.Epoch, s.epoch)
 	}
+	// LSN sequences are per primary lineage: a subscriber from an older
+	// epoch followed a different primary, so its From vector is positions
+	// in a sequence this node never produced. Comparing (or worse,
+	// resuming on) such LSNs would either reject the replica forever or
+	// silently skip the divergent writes — force a snapshot bootstrap
+	// instead; the wipe discards whatever the old lineage left behind.
+	crossEpoch := sub.Epoch < s.epoch
 	s.feeds[f] = true
 	s.mu.Unlock()
 
@@ -282,11 +294,11 @@ func (s *Source) Attach(f *Feed, sub wire.ReplSubscribe) error {
 				st.SetWALRetain(func() uint64 { return s.retain(i) })
 			}
 			from := sub.From[i]
-			if from > durable {
+			if !crossEpoch && from > durable {
 				s.mu.Unlock()
 				return fmt.Errorf("repl: shard %d: subscriber LSN %d ahead of durable %d", i, from, durable)
 			}
-			if covered := sh.ringCovers(from); covered {
+			if !crossEpoch && sh.ringCovers(from) {
 				for _, b := range sh.ring {
 					if b.Last > from && len(b.Recs) > 0 {
 						s.enqueueLocked(f, Item{Batch: b})
@@ -489,26 +501,28 @@ func (s *Source) maybeUntapLocked() {
 	}()
 }
 
-// retain is the per-shard truncation watermark: the lowest LSN a live
-// feed still needs. Runs under the shard lock (from wal.Truncate).
+// retain is the per-shard truncation watermark: the lowest LSN the WAL
+// must keep resident for replication — the first record NOT yet handed
+// to the ship tap. Shipped records live on in this layer's own memory
+// (the retention ring and the feeds' queues) independent of the WAL
+// region, and a subscriber resuming from below the ring's coverage
+// re-bootstraps from a snapshot, so replica ack progress never pins the
+// log: the checkpoint path flushes (shipping everything durable) right
+// before truncating, and truncation under replication proceeds exactly
+// as without it. Runs under the shard lock (from wal.Truncate).
 func (s *Source) retain(shard int) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	min := ^uint64(0)
-	for f := range s.feeds {
-		if f.dead {
-			continue
-		}
-		if a := f.acked[shard]; a+1 < min {
-			min = a + 1
-		}
+	sh := &s.shards[shard]
+	if !sh.tapped {
+		return ^uint64(0)
 	}
-	return min
+	return sh.shipped + 1
 }
 
-// Ack records a replica's durable progress: the watermark advances,
-// semi-synchronous waiters wake, and the ship→ack delay of every batch
-// the ack covers lands in the lag histogram.
+// Ack records a replica's durable progress: semi-synchronous waiters
+// wake, and the ship→ack delay of every batch the ack covers lands in
+// the lag histogram.
 func (s *Source) Ack(f *Feed, a wire.ReplAck) {
 	now := time.Now().UnixNano()
 	s.mu.Lock()

@@ -6,8 +6,9 @@ package server
 // its durable WAL positions. A replica (Options.Replica set) rejects
 // writes with a "READONLY:"-classified error, serves WAIT as the
 // staleness-bounded read barrier, and handles PROMOTE. A fenced primary
-// (PROMOTE for a newer epoch arrived) rejects writes with a "FENCED:"
-// prefix so clients fail over.
+// (PROMOTE for a newer epoch arrived) rejects writes and WAIT with a
+// "FENCED:" prefix and answers LSNS as RoleFenced, so both write and
+// read clients fail over.
 
 import (
 	"fmt"
@@ -197,27 +198,39 @@ func (c *conn) replPromote(req wire.Request, start time.Time) {
 	c.reply(resp, nil)
 }
 
+// durableLSNs collects the per-shard durable WAL positions this server
+// would answer LSNS with as a primary.
+func (c *conn) durableLSNs() []uint64 {
+	n := c.srv.store.NumShards()
+	lsns := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		i := i
+		c.srv.store.WithShard(i, func(st *nvmstore.Store) error { //nolint:errcheck // fn never fails
+			lsns[i] = st.DurableLSN()
+			return nil
+		})
+	}
+	return lsns
+}
+
 // replLSNs reports this server's position vector: a primary answers its
 // per-shard durable LSNs (what a client's acked writes are covered by),
 // a replica its applied vector. Clients chain the two for read-your-
-// writes: LSNS on the primary, WAIT on the replica.
+// writes: LSNS on the primary, WAIT on the replica. A fenced ex-primary
+// answers RoleFenced with the epoch that superseded it, so read clients
+// stop treating its vector as an authority and fail over.
 func (c *conn) replLSNs(req wire.Request, start time.Time) {
 	defer c.srv.record(req.Op, start)
 	s := c.srv
 	var doc wire.ReplLSNs
-	if rp := s.opts.Replica; rp != nil && !rp.Promoted() {
+	switch {
+	case s.opts.Repl != nil && s.opts.Repl.FencedBy() != 0:
+		doc = wire.ReplLSNs{Epoch: s.opts.Repl.FencedBy(), Role: wire.RoleFenced, LSNs: c.durableLSNs()}
+	case s.opts.Replica != nil && !s.opts.Replica.Promoted():
+		rp := s.opts.Replica
 		doc = wire.ReplLSNs{Epoch: rp.Epoch(), Role: wire.RoleReplica, LSNs: rp.Applied()}
-	} else {
-		n := s.store.NumShards()
-		lsns := make([]uint64, n)
-		for i := 0; i < n; i++ {
-			i := i
-			s.store.WithShard(i, func(st *nvmstore.Store) error { //nolint:errcheck // fn never fails
-				lsns[i] = st.DurableLSN()
-				return nil
-			})
-		}
-		doc = wire.ReplLSNs{Epoch: 1, Role: wire.RolePrimary, LSNs: lsns}
+	default:
+		doc = wire.ReplLSNs{Epoch: 1, Role: wire.RolePrimary, LSNs: c.durableLSNs()}
 		if src := s.opts.Repl; src != nil {
 			doc.Epoch = src.Epoch()
 		} else if rp := s.opts.Replica; rp != nil {
@@ -230,8 +243,11 @@ func (c *conn) replLSNs(req wire.Request, start time.Time) {
 // replWait blocks until the replica's applied vector covers the
 // client's — the staleness-bounded read barrier. It parks on a
 // goroutine (registered with pending) so the reader keeps serving the
-// connection's other pipelined requests. A primary answers immediately:
-// its own durable state trivially covers the vector it handed out.
+// connection's other pipelined requests. A live primary answers
+// immediately: its own durable state trivially covers the vector it
+// handed out. A fenced ex-primary must NOT — its lineage is dead, so
+// "covered" would bless unboundedly stale reads; it answers with a
+// FENCED-classified error so read clients fail over.
 func (c *conn) replWait(req wire.Request, start time.Time) {
 	rp := c.srv.opts.Replica
 	w, err := wire.DecodeReplWait(req.Value)
@@ -239,6 +255,14 @@ func (c *conn) replWait(req wire.Request, start time.Time) {
 		c.reply(wire.Response{ID: req.ID, Code: wire.RespErr, Err: err.Error()}, nil)
 		c.srv.record(req.Op, start)
 		return
+	}
+	if src := c.srv.opts.Repl; src != nil {
+		if e := src.FencedBy(); e != 0 {
+			msg := fmt.Sprintf("%sprimary superseded by epoch %d; re-resolve and wait elsewhere", FencedPrefix, e)
+			c.reply(wire.Response{ID: req.ID, Code: wire.RespErr, Err: msg}, nil)
+			c.srv.record(req.Op, start)
+			return
+		}
 	}
 	if rp == nil || rp.Promoted() {
 		c.reply(wire.Response{ID: req.ID, Code: wire.RespOK}, nil)

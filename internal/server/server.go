@@ -98,8 +98,8 @@ type Options struct {
 	Faults *fault.Injector
 	// Repl, when set, makes this server a replication primary: REPL
 	// SUBSCRIBE connections stream the store's WAL through it, acks
-	// advance its truncation watermark, and (with SyncReplicas set on
-	// the source) shard workers hold write acks until enough replicas
+	// record replica progress, and (with SyncReplicas set on the
+	// source) shard workers hold write acks until enough replicas
 	// confirmed — see internal/repl.
 	Repl *repl.Source
 	// Replica, when set, marks this server a read replica fed by it:
@@ -871,6 +871,19 @@ func (c *conn) readLoop() {
 // dispatch routes one decoded request. Runs on the reader goroutine.
 func (c *conn) dispatch(req wire.Request) {
 	start := time.Now()
+	// repl.MetaTable holds the replication position row and is excluded
+	// from both the ship tap and snapshot bootstrap — user data stored
+	// there would silently never replicate. Reserve it at the boundary so
+	// the divergence is an error, not a surprise.
+	switch req.Op {
+	case wire.OpGet, wire.OpPut, wire.OpDelete, wire.OpScan:
+		if req.Table == repl.MetaTable {
+			c.reply(wire.Response{Code: wire.RespErr, ID: req.ID,
+				Err: fmt.Sprintf("table %#x is reserved for replication metadata", repl.MetaTable)}, nil)
+			c.srv.record(req.Op, start)
+			return
+		}
+	}
 	switch req.Op {
 	case wire.OpGet:
 		if c.txActive {

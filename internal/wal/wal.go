@@ -19,15 +19,19 @@
 // the NVM-direct architecture — after every commit, because there the
 // tuples themselves are flushed before the transaction finishes).
 //
-// Replication invariant: "durable elsewhere" is not sufficient to
-// truncate once the log has remote subscribers. A catching-up replica
-// resumes from the records between its applied LSN and the head, so
-// Truncate consults the retention watermark installed by SetRetain and
-// becomes a counted no-op while any live subscriber still needs a
-// resident record. The ship hook (SetShip) delivers records strictly
-// after the flush that made them durable, so a subscriber can never
-// observe a record the primary could still lose — the ack⇒durable
-// contract extends to the replication stream.
+// Replication invariant: once the log has a ship hook (SetShip),
+// Truncate must never discard a record that has not yet been handed to
+// it — the record would silently vanish from the replication stream.
+// Truncate therefore consults the retention watermark installed by
+// SetRetain (the lowest LSN not yet shipped) and becomes a counted
+// no-op while such a record is still resident. Records that HAVE
+// shipped are retained by the replication layer in its own memory, so
+// replica progress never pins the log region: checkpoint truncation
+// proceeds under replication exactly as without it, and a replica that
+// falls too far behind re-bootstraps from a snapshot. The ship hook
+// delivers records strictly after the flush that made them durable, so
+// a subscriber can never observe a record the primary could still
+// lose — the ack⇒durable contract extends to the replication stream.
 //
 // A Log is not safe for concurrent use, matching the single-threaded
 // engines in this reproduction.
@@ -151,9 +155,9 @@ type Log struct {
 	// durable; pending buffers owned copies between append and flush.
 	ship    func([]Record)
 	pending []Record
-	// retain, when set, returns the lowest LSN a live log subscriber
-	// still needs resident; Truncate is a counted no-op while that LSN
-	// has not itself been truncated away.
+	// retain, when set, returns the lowest LSN not yet handed to the
+	// ship hook; Truncate is a counted no-op while that LSN is still
+	// resident.
 	retain func() LSN
 }
 
@@ -170,10 +174,12 @@ func (l *Log) SetShip(fn func([]Record)) {
 	}
 }
 
-// SetRetain installs the replication retention watermark: fn returns the
-// lowest LSN some live subscriber still needs. Truncate keeps the log
-// intact (counting Stats.TruncateSkips) while fn's LSN is at most the
-// highest appended LSN. A nil fn removes the guard.
+// SetRetain installs the replication retention watermark: fn returns
+// the lowest LSN the log must keep resident — the first record not yet
+// handed to the ship hook (shipped records are the replication layer's
+// to retain; they never pin the log). Truncate keeps the log intact
+// (counting Stats.TruncateSkips) while fn's LSN is at most the highest
+// appended LSN. A nil fn removes the guard.
 func (l *Log) SetRetain(fn func() LSN) { l.retain = fn }
 
 // DurableLSN returns the highest LSN made durable by a flush; 0 before
@@ -215,8 +221,8 @@ type Stats struct {
 	Flushes   int64
 	Truncates int64
 	// TruncateSkips counts Truncate calls refused by the replication
-	// retention watermark (SetRetain): a live replica still needed a
-	// resident record, so the log was kept.
+	// retention watermark (SetRetain): a record not yet handed to the
+	// ship hook was still resident, so the log was kept.
 	TruncateSkips int64
 }
 
@@ -448,9 +454,9 @@ func (l *Log) Flush() {
 // Truncate discards the whole log and returns the highest LSN it
 // discarded (the LSNs keep counting up afterwards). Callers must
 // guarantee that every logged change is durable elsewhere first. When a
-// retention watermark is installed (SetRetain) and a live subscriber
-// still needs a resident record, Truncate keeps the log, increments
-// Stats.TruncateSkips, and returns 0.
+// retention watermark is installed (SetRetain) and a record not yet
+// handed to the ship hook is still resident, Truncate keeps the log,
+// increments Stats.TruncateSkips, and returns 0.
 func (l *Log) Truncate() LSN {
 	if l.retain != nil {
 		if keep := l.retain(); keep < l.nextLSN {

@@ -265,6 +265,55 @@ func TestTruncate(t *testing.T) {
 	}
 }
 
+func TestTruncateRetentionWatermark(t *testing.T) {
+	l, _ := newTestLog(t, false)
+	var keep LSN
+	l.SetRetain(func() LSN { return keep })
+
+	tx := l.Begin()
+	if _, err := l.Update(tx, 1, 0, []byte("q"), []byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(tx); err != nil {
+		t.Fatal(err)
+	}
+	l.Flush()
+
+	// A resident record at or above the watermark (not yet handed to the
+	// ship hook) pins the log: Truncate is a counted no-op.
+	keep = l.DurableLSN()
+	if got := l.Truncate(); got != 0 {
+		t.Fatalf("Truncate under watermark returned %d, want 0", got)
+	}
+	if l.Bytes() == 0 || l.Stats().TruncateSkips != 1 {
+		t.Fatalf("log not kept under watermark: bytes=%d stats=%+v", l.Bytes(), l.Stats())
+	}
+
+	// Watermark past the head — everything shipped — and truncation
+	// proceeds.
+	keep = l.DurableLSN() + 1
+	if got := l.Truncate(); got != l.DurableLSN() {
+		t.Fatalf("Truncate past watermark returned %d, want %d", got, l.DurableLSN())
+	}
+	if l.Bytes() != 0 || l.Stats().Truncates != 1 {
+		t.Fatalf("log not truncated past watermark: bytes=%d stats=%+v", l.Bytes(), l.Stats())
+	}
+
+	// A nil fn removes the guard entirely.
+	l.SetRetain(nil)
+	tx2 := l.Begin()
+	if _, err := l.Update(tx2, 1, 0, []byte("r"), []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	l.Flush()
+	if got := l.Truncate(); got == 0 {
+		t.Fatal("Truncate with the guard removed refused")
+	}
+}
+
 func TestLogFull(t *testing.T) {
 	clk := &simclock.Clock{}
 	dev := nvm.New(nvm.Config{Size: 1 << 20, ReadLatency: 1, WriteLatency: 1, LineTransfer: 1}, clk)

@@ -72,10 +72,10 @@ type ReplWait struct {
 type ReplLSNs struct {
 	// Epoch is the peer's current primary epoch.
 	Epoch uint64
-	// Role is RoleReplica or RolePrimary.
+	// Role is RolePrimary, RoleReplica, or RoleFenced.
 	Role byte
-	// LSNs is per-shard progress: durable LSNs on a primary, applied
-	// LSNs on a replica.
+	// LSNs is per-shard progress: durable LSNs on a primary (fenced or
+	// not), applied LSNs on a replica.
 	LSNs []uint64
 }
 
@@ -85,6 +85,10 @@ const (
 	RolePrimary byte = 1
 	// RoleReplica marks a read-only peer applying a primary's log.
 	RoleReplica byte = 2
+	// RoleFenced marks a superseded ex-primary: its Epoch field carries
+	// the epoch that fenced it, and clients must fail over — its LSN
+	// vector is from a dead lineage and guarantees nothing.
+	RoleFenced byte = 3
 )
 
 // ReplRec is one log record inside a ReplBatch, mirroring wal.Record.

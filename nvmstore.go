@@ -346,9 +346,10 @@ const (
 func (s *Store) SetWALShip(fn func([]WALRecord)) { s.e.Log().SetShip(fn) }
 
 // SetWALRetain installs the replication retention watermark: fn returns
-// the lowest LSN a live replica still needs resident, and Checkpoint's
-// log truncation becomes a counted no-op while that record would be
-// discarded (see wal.Log.SetRetain). A nil fn removes the guard.
+// the lowest LSN the log must keep resident — the first record not yet
+// handed to the ship tap — and Checkpoint's log truncation becomes a
+// counted no-op while that record would be discarded (see
+// wal.Log.SetRetain). A nil fn removes the guard.
 func (s *Store) SetWALRetain(fn func() uint64) {
 	if fn == nil {
 		s.e.Log().SetRetain(nil)
