@@ -7,7 +7,11 @@
 // metric (sanitized series name + "/s"), so `go test -bench=.` produces a
 // compact reproduction of the whole evaluation. For the full-size sweeps
 // and readable tables, use `go run ./cmd/nvmbench -experiment all`.
-package nvmstore
+//
+// This file lives in the external test package so it can import
+// internal/bench, which itself imports nvmstore for the sharded-store
+// experiments.
+package nvmstore_test
 
 import (
 	"strings"

@@ -13,8 +13,10 @@ import (
 
 // lintedPackages are the packages whose exported API must be fully
 // documented: the serving layer and observability surface other
-// programs build against, plus the fault layer whose spec grammar users
-// type on the command line. CI runs this as the docs-lint step.
+// programs build against, the fault layer whose spec grammar users
+// type on the command line, and the storage core (engine, buffer
+// manager, WAL, simulated devices) that every layer above builds on.
+// CI runs this as the docs-lint step.
 var lintedPackages = []string{
 	"internal/wire",
 	"internal/server",
@@ -25,6 +27,11 @@ var lintedPackages = []string{
 	"internal/remote",
 	"internal/bench",
 	"internal/repl",
+	"internal/engine",
+	"internal/core",
+	"internal/wal",
+	"internal/nvm",
+	"internal/ssd",
 }
 
 // TestExportedIdentifiersDocumented fails for every exported top-level

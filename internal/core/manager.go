@@ -859,6 +859,52 @@ func (m *Manager) FlushAll() {
 	}
 }
 
+// FlushSome force-writes up to max dirty pages, resuming the frame walk
+// at cursor (the value a previous call returned; start at 0). It returns
+// the cursor for the next round and how many pages it wrote back. The
+// walk wraps once past the end of the frame table, so repeated rounds
+// visit every dirty frame even as the cursor starts mid-table — the
+// bounded write-back unit of an incremental (fuzzy) checkpoint: the
+// caller interleaves rounds with foreground work instead of stalling on
+// FlushAll. Pages dirtied behind the cursor during a round are picked up
+// by a later round; DirtyFrames reports whether any remain.
+func (m *Manager) FlushSome(cursor, max int) (next, written int) {
+	n := len(m.frames)
+	if n == 0 || max <= 0 {
+		return 0, 0
+	}
+	if cursor < 0 || cursor >= n {
+		cursor = 0
+	}
+	for scanned := 0; scanned < n && written < max; scanned++ {
+		f := m.frames[cursor]
+		if f != nil && f.anyDirty && f.promoted == nil {
+			m.ForceWrite(Handle{f, m})
+			written++
+		}
+		cursor++
+		if cursor == n {
+			cursor = 0
+		}
+	}
+	return cursor, written
+}
+
+// DirtyFrames counts buffer-pool pages with unwritten modifications —
+// the remaining work of an incremental checkpoint. Zero means every
+// logged change is persisted in its home location and the WAL can be
+// truncated. Same synchronization contract as Stats: call only while no
+// operation runs on this manager.
+func (m *Manager) DirtyFrames() int {
+	n := 0
+	for _, f := range m.frames {
+		if f != nil && f.anyDirty && f.promoted == nil {
+			n++
+		}
+	}
+	return n
+}
+
 // UnswizzleChildren converts every swizzled child reference of the given
 // page back to a plain page identifier. Callers that restructure a page
 // (shifting or moving reference words, as a B-tree split does) must call

@@ -98,9 +98,19 @@ type Engine struct {
 
 	replaying bool
 
-	// CheckpointFraction triggers an automatic checkpoint after commit
-	// once the log exceeds this fraction of its capacity (default 0.8).
-	CheckpointFraction float64
+	// maint tunes incremental checkpointing and paced write-back; see
+	// MaintenanceOptions. Always normalized (no zero fields).
+	maint MaintenanceOptions
+	// background marks that an external maintenance goroutine owns
+	// checkpointing, disabling the commit path's inline pacing.
+	background bool
+	// ckptCursor resumes the dirty-frame walk across checkpoint rounds.
+	ckptCursor int
+	// ckpt counts incremental-checkpoint activity.
+	ckpt CkptStats
+	// ckptFaults is checked at the fault.CkptRound injection site, once
+	// per checkpoint round.
+	ckptFaults *fault.Injector
 }
 
 // txOp records a logical operation of the running transaction for
@@ -121,10 +131,10 @@ func Open(cfg core.Config) (*Engine, error) {
 	}
 	off, size := m.WALRegion()
 	e := &Engine{
-		m:                  m,
-		log:                wal.New(m.NVM(), off, size),
-		tree:               make(map[uint64]*btree.Tree),
-		CheckpointFraction: 0.8,
+		m:     m,
+		log:   wal.New(m.NVM(), off, size),
+		tree:  make(map[uint64]*btree.Tree),
+		maint: MaintenanceOptions{}.normalized(),
 	}
 	m.SetWriteBarrier(e.log.Flush)
 	if cfg.Recorder != nil {
@@ -163,6 +173,10 @@ func (e *Engine) ArmFaults(plan *fault.Plan, site uint64) fault.Injectors {
 		inj.SSD = nil
 	}
 	e.log.SetFaults(inj.WAL)
+	// The ckpt.round site shares the WAL injector: checkpoint rounds
+	// are log maintenance, and reusing the site keeps one salt per
+	// device.
+	e.ckptFaults = inj.WAL
 	return inj
 }
 
@@ -230,8 +244,11 @@ func (e *Engine) InTx() bool { return e.txActive }
 
 // Commit makes the running transaction durable. On the NVM Direct
 // architecture the log is truncated right after, as every change is
-// already persisted in place (§2.1). On the buffered architectures an
-// automatic checkpoint runs when the log grows past CheckpointFraction.
+// already persisted in place (§2.1). On the buffered architectures the
+// commit path never runs a full checkpoint: once the log passes the
+// maintenance soft-fill threshold, each commit contributes one bounded
+// incremental-checkpoint round (see MaintenanceOptions), or none at all
+// when a background maintainer owns the engine.
 func (e *Engine) Commit() error {
 	if !e.txActive {
 		return ErrNoTransaction
@@ -247,10 +264,7 @@ func (e *Engine) Commit() error {
 		e.log.Truncate()
 		return nil
 	}
-	if float64(e.log.Bytes()) > e.CheckpointFraction*float64(e.log.Capacity()) {
-		return e.Checkpoint()
-	}
-	return nil
+	return e.pace()
 }
 
 // CommitNoFlush commits the running transaction without flushing the log
@@ -277,17 +291,14 @@ func (e *Engine) CommitNoFlush() error {
 
 // FlushWAL flushes the log tail, making every CommitNoFlush since the
 // last flush durable, and returns how many commits the flush covered.
-// Commit's automatic checkpoint check is deferred to here under group
+// Commit's inline maintenance pacing is deferred to here under group
 // commit; it is skipped while a transaction is running.
 func (e *Engine) FlushWAL() (int64, error) {
 	n := e.log.FlushTail()
 	if e.txActive || e.Topology() == core.DirectNVM {
 		return n, nil
 	}
-	if float64(e.log.Bytes()) > e.CheckpointFraction*float64(e.log.Capacity()) {
-		return n, e.Checkpoint()
-	}
-	return n, nil
+	return n, e.pace()
 }
 
 // Rollback undoes the running transaction using the logical undo
@@ -331,7 +342,11 @@ func (e *Engine) Rollback() error {
 }
 
 // Checkpoint forces all dirty pages to persistent storage and truncates
-// the log. It must not run inside a transaction.
+// the log, stalling until the whole dirty set is written back. The
+// commit path never calls it — incremental rounds (CheckpointRound)
+// checkpoint in bounded steps there — but shutdown, restart, and
+// snapshot paths still want the synchronous full barrier. It must not
+// run inside a transaction.
 func (e *Engine) Checkpoint() error {
 	if e.txActive {
 		return fmt.Errorf("engine: checkpoint inside a transaction")

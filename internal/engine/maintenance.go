@@ -1,0 +1,233 @@
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"nvmstore/internal/core"
+	"nvmstore/internal/fault"
+)
+
+// Maintenance defaults, used when the corresponding MaintenanceOptions
+// field is zero.
+const (
+	// DefaultMaintenanceInterval paces a sharded store's background
+	// maintenance goroutine: how often each shard's log fill and dirty
+	// set are inspected between nudges from the write path.
+	DefaultMaintenanceInterval = 2 * time.Millisecond
+	// DefaultMaintenanceBatch bounds the pages written back per
+	// incremental-checkpoint round, and therefore the worst-case pause
+	// one round imposes on the shard.
+	DefaultMaintenanceBatch = 64
+	// DefaultSoftFill is the log-fill fraction at which paced write-back
+	// starts.
+	DefaultSoftFill = 0.5
+	// DefaultHardFill is the log-fill fraction past which writers are
+	// throttled (background mode) or the commit path drives rounds to
+	// completion (inline mode) so appends never hit wal.ErrLogFull.
+	DefaultHardFill = 0.9
+)
+
+// MaintenanceOptions tunes incremental (fuzzy) checkpointing and paced
+// dirty write-back. A checkpoint is no longer one synchronous
+// FlushAll+Truncate on the commit path: it is a sequence of bounded
+// rounds (CheckpointRound), each writing back at most Batch dirty pages
+// in clock order, with the WAL truncated once the dirty set is drained.
+// The zero value selects every default.
+type MaintenanceOptions struct {
+	// Interval is the wall-clock pacing of a sharded store's background
+	// maintenance goroutine; each tick inspects the shard and runs
+	// rounds when the log fill or dirty ratio warrants. Single-threaded
+	// engines ignore it (their rounds piggyback on the commit path). A
+	// negative Interval disables the background goroutine entirely,
+	// falling back to inline pacing.
+	Interval time.Duration
+	// Batch bounds the pages written back per round. Smaller batches
+	// mean shorter lock holds and smaller foreground stalls; larger
+	// batches drain the dirty set in fewer rounds. Zero selects
+	// DefaultMaintenanceBatch.
+	Batch int
+	// SoftFill is the log-fill fraction at which paced write-back
+	// starts (zero selects DefaultSoftFill). Below it the engine leaves
+	// dirty pages alone, preserving write coalescing in the pool.
+	SoftFill float64
+	// HardFill is the log-fill fraction past which the engine refuses
+	// to let the log grow unchecked: background mode throttles writers
+	// until maintenance truncates, inline mode runs rounds back to back
+	// on the committing goroutine. Zero selects DefaultHardFill.
+	HardFill float64
+}
+
+// normalized returns o with zero fields replaced by the defaults.
+func (o MaintenanceOptions) normalized() MaintenanceOptions {
+	if o.Interval == 0 {
+		o.Interval = DefaultMaintenanceInterval
+	}
+	if o.Batch <= 0 {
+		o.Batch = DefaultMaintenanceBatch
+	}
+	if o.SoftFill <= 0 {
+		o.SoftFill = DefaultSoftFill
+	}
+	if o.HardFill <= 0 {
+		o.HardFill = DefaultHardFill
+	}
+	if o.HardFill < o.SoftFill {
+		o.HardFill = o.SoftFill
+	}
+	return o
+}
+
+// CkptStats counts incremental-checkpoint and paced write-back
+// activity.
+type CkptStats struct {
+	// Rounds counts bounded write-back rounds (CheckpointRound calls
+	// that walked the frame table).
+	Rounds int64
+	// Pages counts dirty pages written back by those rounds.
+	Pages int64
+	// Truncations counts WAL truncations performed at the end of a
+	// drained checkpoint; TruncatedBytes sums the log bytes they
+	// discarded.
+	Truncations int64
+	// TruncatedBytes sums the log bytes discarded by those truncations.
+	TruncatedBytes int64
+}
+
+// SetMaintenance replaces the engine's maintenance tuning. Fields left
+// zero keep their defaults. It must not run inside a transaction.
+func (e *Engine) SetMaintenance(o MaintenanceOptions) {
+	e.maint = o.normalized()
+}
+
+// Maintenance returns the engine's normalized maintenance tuning.
+func (e *Engine) Maintenance() MaintenanceOptions { return e.maint }
+
+// SetBackgroundMaintenance marks that an external maintenance goroutine
+// owns this engine's checkpointing: the commit path stops running
+// inline rounds and only the owner calls CheckpointRound. The sharded
+// store sets it when it starts a shard's maintainer.
+func (e *Engine) SetBackgroundMaintenance(on bool) { e.background = on }
+
+// CkptStats returns the incremental-checkpoint counters.
+func (e *Engine) CkptStats() CkptStats { return e.ckpt }
+
+// LogFill returns the WAL region's fill fraction (0..1).
+func (e *Engine) LogFill() float64 {
+	return float64(e.log.Bytes()) / float64(e.log.Capacity())
+}
+
+// NeedsMaintenance reports whether the log fill has reached the soft
+// threshold — the signal a background maintainer polls for between
+// rounds.
+func (e *Engine) NeedsMaintenance() bool {
+	return e.Topology() != core.DirectNVM && e.LogFill() >= e.maint.SoftFill
+}
+
+// OverHardFill reports whether the log fill has reached the hard
+// threshold at which writers must be throttled until maintenance
+// truncates.
+func (e *Engine) OverHardFill() bool {
+	return e.Topology() != core.DirectNVM && e.LogFill() >= e.maint.HardFill
+}
+
+// CheckpointRound performs one bounded round of an incremental (fuzzy)
+// checkpoint: write back up to batch dirty pages (batch <= 0 selects
+// the configured Batch), resuming the frame walk where the previous
+// round stopped, and — once no dirty page remains — flush and truncate
+// the WAL. It returns how many pages this round wrote back and whether
+// it truncated the log.
+//
+// Unlike Checkpoint, a round never stalls on the whole dirty set: the
+// caller interleaves rounds with foreground work (inline pacing on the
+// commit path, or a maintenance goroutine taking the shard lock per
+// round), and the checkpoint is "fuzzy" because pages dirtied between
+// rounds simply join a later round. Truncation only happens in the
+// round that observes a fully clean pool, so every logged change is
+// durable in its home location first; a crash between rounds recovers
+// from the intact log exactly (the fault.CkptRound site at the top of
+// each round is the harness's probe for this).
+//
+// On NVM Direct there is nothing to do — tuples persist in place and
+// Commit truncates per transaction. On Main Memory pages have no
+// persistent home; the round just flushes and cuts the log, which only
+// covers the running transaction's rollback needs. It must not run
+// inside a transaction.
+func (e *Engine) CheckpointRound(batch int) (pages int, truncated bool, err error) {
+	if e.txActive {
+		return 0, false, fmt.Errorf("engine: checkpoint round inside a transaction")
+	}
+	if dec := e.ckptFaults.Check(fault.CkptRound); dec.Fire {
+		panic(fault.Crash{Kind: fault.CkptRound, Site: "ckpt.round"})
+	}
+	switch e.Topology() {
+	case core.DirectNVM:
+		return 0, false, nil
+	case core.MemOnly:
+		return 0, e.truncateLog(), nil
+	}
+	if batch <= 0 {
+		batch = e.maint.Batch
+	}
+	e.ckpt.Rounds++
+	cursor, n := e.m.FlushSome(e.ckptCursor, batch)
+	e.ckptCursor = cursor
+	e.ckpt.Pages += int64(n)
+	if e.m.DirtyFrames() == 0 {
+		truncated = e.truncateLog()
+	}
+	return n, truncated, nil
+}
+
+// truncateLog flushes the tail (so unshipped records reach the
+// replication tap before the region is reused) and truncates the WAL,
+// updating the checkpoint counters. It reports whether the log was
+// actually cut: the replication retention watermark can refuse (see
+// wal.Log.Truncate), and an empty log has nothing to cut.
+func (e *Engine) truncateLog() bool {
+	e.log.Flush()
+	before := e.log.Bytes()
+	if before == 0 {
+		return false
+	}
+	if e.log.Truncate() == 0 {
+		return false
+	}
+	e.ckpt.Truncations++
+	e.ckpt.TruncatedBytes += before
+	return true
+}
+
+// pace is the commit path's inline maintenance hook, called after a
+// commit or tail flush on engines without a background maintainer. Below
+// SoftFill it does nothing. From SoftFill it runs one bounded round per
+// commit — write-back amortized across the writers that generate the
+// dirt, in place of the old stall-the-world checkpoint. From HardFill it
+// runs rounds back to back until the log is truncated, so an append can
+// never hit wal.ErrLogFull; each round is still batch-bounded, keeping
+// the worst-case single-commit stall at one batch per round rather than
+// one full pool flush.
+func (e *Engine) pace() error {
+	if e.background || e.txActive {
+		return nil
+	}
+	if e.LogFill() < e.maint.SoftFill {
+		return nil
+	}
+	for {
+		pages, truncated, err := e.CheckpointRound(0)
+		if err != nil {
+			return err
+		}
+		if truncated || e.LogFill() < e.maint.HardFill {
+			return nil
+		}
+		if pages == 0 {
+			// Nothing written back and no truncation: the pool is
+			// already clean and the cut was refused (replication
+			// retention), or the topology has no page write-back. More
+			// rounds cannot shrink the log.
+			return nil
+		}
+	}
+}

@@ -84,6 +84,13 @@ const (
 	// the batch have not been acknowledged, so recovery must roll all of
 	// them back — the ack⇒durable probe point of group commit.
 	WALGroupCrash
+	// CkptRound crashes at the start of an incremental-checkpoint round
+	// ("ckpt.round"): some dirty pages of the fuzzy checkpoint have been
+	// written back in earlier rounds, the log is not yet truncated, and
+	// the power fails. Recovery must replay the intact log over the
+	// partially written-back pool — the probe point of background
+	// maintenance.
+	CkptRound
 
 	numKinds
 )
@@ -100,6 +107,7 @@ var kindNames = [numKinds]string{
 	NetDrop:        "net.drop",
 	NetPartial:     "net.partial",
 	WALGroupCrash:  "wal.group",
+	CkptRound:      "ckpt.round",
 }
 
 // String returns the spec name of the kind ("ssd.read", "nvm.torn", ...).

@@ -108,6 +108,7 @@ func (c *Config) applyDefaults() {
 			fault.NVMTornFlush, fault.NVMCrash,
 			fault.WALFlushCrash, fault.WALAppendError,
 			fault.SSDReadError, fault.SSDWriteError,
+			fault.CkptRound,
 		}
 		if c.GroupCommit {
 			c.Kinds = append(c.Kinds, fault.WALGroupCrash)
@@ -209,6 +210,11 @@ func openStore(cfg Config) (*nvmstore.Store, *nvmstore.Table, error) {
 		WALBytes:          4 << 20,
 		StrictPersistence: true,
 		DebugChecks:       true,
+		// The workload appends tens of KB against a 4 MB log; an
+		// artificially low soft threshold makes inline pacing run
+		// incremental-checkpoint rounds throughout the sweep, giving the
+		// ckpt.round crash site real opportunities to land in.
+		Maintenance: nvmstore.MaintenanceOptions{SoftFill: 0.001, HardFill: 0.5},
 	})
 	if err != nil {
 		return nil, nil, err

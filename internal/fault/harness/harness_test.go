@@ -75,6 +75,38 @@ func TestGroupCommitCrashSweep(t *testing.T) {
 	}
 }
 
+// TestCkptRoundCrashSweep concentrates the sweep on the ckpt.round
+// site: a crash at the start of every scheduled incremental-checkpoint
+// round, where some dirty pages are written back and others are not and
+// the WAL has not been truncated. The invariant is the fuzzy
+// checkpoint's whole claim: recovery from the intact log must
+// reconstruct every acknowledged transaction exactly, no matter which
+// round the crash interrupts.
+func TestCkptRoundCrashSweep(t *testing.T) {
+	cfg := Config{Seed: 13, Txs: 240, Kinds: []fault.Kind{fault.CkptRound}, NetPoints: -1}
+	if testing.Verbose() {
+		cfg.Logf = t.Logf
+	}
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("harness: %v", err)
+	}
+	if rep.Opportunities[fault.CkptRound] == 0 {
+		t.Fatal("the workload ran no incremental-checkpoint rounds; the ckpt.round site was not exercised")
+	}
+	t.Logf("ckpt.round: %d opportunities, points=%d crashes=%d recoveries=%d violations=%d",
+		rep.Opportunities[fault.CkptRound], rep.Points, rep.Crashes, rep.Recoveries, len(rep.Violations))
+	for _, v := range rep.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if rep.Crashes == 0 {
+		t.Fatal("no scheduled ckpt.round point crashed the store; the sweep exercised nothing")
+	}
+	if rep.Recoveries != rep.Crashes {
+		t.Fatalf("crashes=%d but recoveries=%d", rep.Crashes, rep.Recoveries)
+	}
+}
+
 // TestSweepDeterminism pins that a sweep is a pure function of its
 // seed: same seed, same opportunity counts and crash tally.
 func TestSweepDeterminism(t *testing.T) {

@@ -232,6 +232,16 @@ type StatsDoc struct {
 	LogCommits  int64   `json:"log_commits"`
 	LogFlushes  int64   `json:"log_flushes"`
 	OpsPerFlush float64 `json:"ops_per_flush"`
+	// CkptRounds and CkptPages count incremental-checkpoint write-back
+	// rounds and the dirty pages they flushed; CkptPagesPerRound is
+	// their ratio. CkptTruncatedBytes sums the WAL bytes reclaimed by
+	// maintenance truncations, and CkptWriterThrottles counts writers
+	// blocked at the hard log-fill threshold (backpressure events).
+	CkptRounds          int64   `json:"ckpt_rounds"`
+	CkptPages           int64   `json:"ckpt_pages"`
+	CkptPagesPerRound   float64 `json:"ckpt_pages_per_round"`
+	CkptTruncatedBytes  int64   `json:"ckpt_truncated_bytes"`
+	CkptWriterThrottles int64   `json:"ckpt_writer_throttles"`
 	// MaxConns is the connection cap and ConnWaits how many accepts had
 	// to wait for a free slot — the MaxConns saturation counter.
 	MaxConns  int   `json:"max_conns"`
@@ -472,6 +482,13 @@ func (s *Server) Stats() StatsDoc {
 	doc.LogCommits = m.Log.Commits
 	doc.LogFlushes = m.Log.Flushes
 	doc.OpsPerFlush = m.OpsPerFlush
+	doc.CkptRounds = m.Ckpt.Rounds
+	doc.CkptPages = m.Ckpt.Pages
+	if m.Ckpt.Rounds > 0 {
+		doc.CkptPagesPerRound = float64(m.Ckpt.Pages) / float64(m.Ckpt.Rounds)
+	}
+	doc.CkptTruncatedBytes = m.Ckpt.TruncatedBytes
+	doc.CkptWriterThrottles = m.WriterThrottles
 	if m.Latency != nil {
 		doc.Engine = m.Latency.Rows()
 	}
@@ -535,6 +552,10 @@ func (s *Server) WritePrometheus(p *obs.PromWriter) {
 	p.Counter("nvmstore_ssd_writes_total", "SSD pages written", nil, float64(doc.SSDPagesWrite))
 	p.Counter("nvmstore_log_commits_total", "WAL commits across shards", nil, float64(doc.LogCommits))
 	p.Counter("nvmstore_log_flushes_total", "physical WAL flushes across shards", nil, float64(doc.LogFlushes))
+	p.Counter("nvmstore_ckpt_rounds_total", "incremental-checkpoint write-back rounds across shards", nil, float64(doc.CkptRounds))
+	p.Counter("nvmstore_ckpt_pages_total", "dirty pages written back by checkpoint rounds", nil, float64(doc.CkptPages))
+	p.Counter("nvmstore_ckpt_truncated_bytes_total", "WAL bytes reclaimed by maintenance truncations", nil, float64(doc.CkptTruncatedBytes))
+	p.Counter("nvmstore_ckpt_writer_throttles_total", "writers blocked at the hard log-fill threshold", nil, float64(doc.CkptWriterThrottles))
 	p.Counter("nvmstore_trace_sampled_total", "traced requests recorded by the flight recorder", nil, float64(s.flight.Sampled()))
 	if src := s.opts.Repl; src != nil {
 		rs := src.Stats()
@@ -617,6 +638,11 @@ func (s *Server) shardWorker(i int) {
 			break
 		}
 		traced := false
+		// Yield to backpressure before taking the shard lock: when the
+		// shard's WAL is past the hard-fill threshold this blocks until
+		// background maintenance truncates it, so the batch's appends
+		// cannot fail with a full log.
+		s.store.PaceWriter(i)
 		err := s.store.WithShard(i, func(st *nvmstore.Store) error {
 			for bi := range batch {
 				if tl := batch[bi].tl; tl != nil {
@@ -643,8 +669,10 @@ func (s *Server) shardWorker(i int) {
 		})
 		if err != nil {
 			// The tail flush itself cannot fail (it panics on injected
-			// crashes); this is a checkpoint error after the flush, so
-			// the acks below are durable regardless. Surface it.
+			// crashes); this is an error from inline write-back pacing
+			// after the flush (background maintenance makes that a
+			// no-op), so the acks below are durable regardless.
+			// Surface it.
 			s.logf("server: shard %d: flush: %v", i, err)
 		}
 		if src := s.opts.Repl; src != nil {
@@ -1033,6 +1061,7 @@ func (c *conn) commit(req wire.Request) wire.Response {
 		byShard[i] = append(byShard[i], w)
 	}
 	for i, group := range byShard {
+		c.srv.store.PaceWriter(i)
 		err := c.srv.store.WithShard(i, func(st *nvmstore.Store) error {
 			return st.Update(func() error {
 				for _, w := range group {

@@ -14,10 +14,13 @@
 // page's.
 //
 // The log occupies a fixed region of the simulated NVM device. It is
-// append-only until Truncate, which the engine calls once all logged
-// changes are known to be durable elsewhere (after a checkpoint, or — in
-// the NVM-direct architecture — after every commit, because there the
-// tuples themselves are flushed before the transaction finishes).
+// append-only until Truncate, which callers invoke once all logged
+// changes are known to be durable elsewhere: the engine after a full
+// checkpoint, the incremental-maintenance path when a write-back round
+// leaves the page pool clean (both the background maintainer and the
+// inline pacing fallback end their drains this way), and — in the
+// NVM-direct architecture — every commit, because there the tuples
+// themselves are flushed before the transaction finishes.
 //
 // Replication invariant: once the log has a ship hook (SetShip),
 // Truncate must never discard a record that has not yet been handed to
@@ -32,6 +35,9 @@
 // delivers records strictly after the flush that made them durable, so
 // a subscriber can never observe a record the primary could still
 // lose — the ack⇒durable contract extends to the replication stream.
+// The watermark binds every Truncate caller alike, not just the
+// checkpoint: a maintenance drain that finds unshipped records resident
+// simply keeps the log and retries on a later round.
 //
 // A Log is not safe for concurrent use, matching the single-threaded
 // engines in this reproduction.
@@ -452,11 +458,14 @@ func (l *Log) Flush() {
 }
 
 // Truncate discards the whole log and returns the highest LSN it
-// discarded (the LSNs keep counting up afterwards). Callers must
-// guarantee that every logged change is durable elsewhere first. When a
-// retention watermark is installed (SetRetain) and a record not yet
-// handed to the ship hook is still resident, Truncate keeps the log,
-// increments Stats.TruncateSkips, and returns 0.
+// discarded (the LSNs keep counting up afterwards). Callers — the
+// engine's full checkpoint, the incremental-maintenance drain when the
+// page pool comes up clean, the NVM-direct commit path — must guarantee
+// that every logged change is durable elsewhere first. When a retention
+// watermark is installed (SetRetain) and a record not yet handed to the
+// ship hook is still resident, Truncate keeps the log, increments
+// Stats.TruncateSkips, and returns 0; the zero return is how the
+// maintenance path learns the drain was refused and must retry later.
 func (l *Log) Truncate() LSN {
 	if l.retain != nil {
 		if keep := l.retain(); keep < l.nextLSN {

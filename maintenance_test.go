@@ -1,0 +1,243 @@
+package nvmstore
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nvmstore/internal/wal"
+)
+
+// openMaintStore opens a sharded store with the smallest WAL the core
+// allows (the per-shard region is floored at 1 MiB) so low fill
+// thresholds give background maintenance work to do quickly.
+func openMaintStore(t *testing.T, shards int, m MaintenanceOptions) *ShardedStore {
+	t.Helper()
+	s, err := OpenSharded(shards, Options{
+		Architecture:      ThreeTier,
+		DRAMBytes:         32 << 20,
+		NVMBytes:          256 << 20,
+		SSDBytes:          1 << 30,
+		WALBytes:          int64(shards) << 20, // the 1 MiB per-shard floor
+		StrictPersistence: true,
+		Maintenance:       m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	})
+	return s
+}
+
+// TestShardedMaintenanceConcurrent hammers a sharded table from several
+// goroutines while each shard's background maintainer runs incremental
+// checkpoint rounds. Run under `go test -race` this checks that every
+// maintenance round takes the shard lock. The low soft threshold (the
+// workload fills ~14% of the floor-size log) guarantees it is crossed
+// many times, so rounds and truncations must both have happened — and
+// no writer may ever observe wal.ErrLogFull, because past the hard
+// threshold writers throttle instead.
+func TestShardedMaintenanceConcurrent(t *testing.T) {
+	s := openMaintStore(t, 2, MaintenanceOptions{SoftFill: 0.02, HardFill: 0.5})
+	table, err := s.CreateTable(1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 4
+		perW    = 400
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			buf := make([]byte, 128)
+			for n := 0; n < perW; n++ {
+				k := uint64(wk*perW + n)
+				if err := table.Put(k, shardedRow(k, 128)); err != nil {
+					errs[wk] = err
+					return
+				}
+				if n%7 == 0 {
+					if _, err := table.Lookup(k, buf); err != nil {
+						errs[wk] = err
+						return
+					}
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for wk, err := range errs {
+		if err != nil {
+			if errors.Is(err, wal.ErrLogFull) {
+				t.Fatalf("worker %d hit ErrLogFull despite backpressure: %v", wk, err)
+			}
+			t.Fatalf("worker %d: %v", wk, err)
+		}
+	}
+	m := s.Metrics()
+	if m.Ckpt.Rounds == 0 {
+		t.Fatal("no background checkpoint rounds ran")
+	}
+	if m.Ckpt.Truncations == 0 {
+		t.Fatal("background maintenance never truncated the WAL")
+	}
+	// All rows must still be readable after the fuzzy checkpoints.
+	if n, err := table.Count(); err != nil || n != workers*perW {
+		t.Fatalf("Count = %d, %v; want %d", n, err, workers*perW)
+	}
+}
+
+// TestWriterThrottledNotFailed pins the hard threshold low so writers
+// cross it constantly: they must be blocked (WriterThrottles grows) and
+// then proceed once maintenance truncates — never failed with
+// wal.ErrLogFull. This is the regression test for the backpressure
+// contract: before background maintenance, a full log surfaced as an
+// error on the commit path.
+func TestWriterThrottledNotFailed(t *testing.T) {
+	s := openMaintStore(t, 1, MaintenanceOptions{
+		// A long tick makes nudges from the write path the only timely
+		// wake-up, maximizing the window in which writers sit throttled.
+		Interval: 250 * time.Millisecond,
+		SoftFill: 0.02,
+		HardFill: 0.02,
+	})
+	table, err := s.CreateTable(1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 4
+		perW    = 250
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			for n := 0; n < perW; n++ {
+				k := uint64(wk*perW + n)
+				if err := table.Put(k, shardedRow(k, 256)); err != nil {
+					errs[wk] = err
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	for wk, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", wk, err)
+		}
+	}
+	m := s.Metrics()
+	if m.WriterThrottles == 0 {
+		t.Fatal("no writer was ever throttled at the hard threshold")
+	}
+	if m.Ckpt.Truncations == 0 {
+		t.Fatal("maintenance never truncated the WAL")
+	}
+	if n, err := table.Count(); err != nil || n != workers*perW {
+		t.Fatalf("Count = %d, %v; want %d", n, err, workers*perW)
+	}
+}
+
+// TestMaintenanceDisabled checks the opt-out: with a negative Interval
+// no maintainer goroutine starts, PaceWriter is a no-op, and the commit
+// path falls back to inline pacing (rounds still run, the log still gets
+// truncated, writers still never fail).
+func TestMaintenanceDisabled(t *testing.T) {
+	s := openMaintStore(t, 1, MaintenanceOptions{Interval: -1, SoftFill: 0.1, HardFill: 0.2})
+	if s.maint != nil {
+		t.Fatal("maintainers started despite negative Interval")
+	}
+	s.PaceWriter(0) // must not block or panic
+	table, err := s.CreateTable(1, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 800; k++ {
+		if err := table.Put(k, shardedRow(k, 128)); err != nil {
+			t.Fatalf("put %d: %v", k, err)
+		}
+	}
+	m := s.Metrics()
+	if m.Ckpt.Rounds == 0 {
+		t.Fatal("inline pacing ran no checkpoint rounds")
+	}
+	if m.Ckpt.Truncations == 0 {
+		t.Fatal("inline pacing never truncated the WAL")
+	}
+	if m.WriterThrottles != 0 {
+		t.Fatalf("WriterThrottles = %d without background maintenance", m.WriterThrottles)
+	}
+}
+
+// TestMaintenanceCloseReleasesThrottledWriters pins the WAL with a
+// retention watermark so maintenance cannot truncate it, drives the fill
+// past the hard threshold (engaging the writer throttle for real, with
+// no way for the maintainer to clear it), and verifies Close wakes the
+// blocked writer instead of deadlocking on it.
+func TestMaintenanceCloseReleasesThrottledWriters(t *testing.T) {
+	s, err := OpenSharded(1, Options{
+		Architecture: ThreeTier,
+		DRAMBytes:    32 << 20,
+		NVMBytes:     256 << 20,
+		SSDBytes:     1 << 30,
+		WALBytes:     1 << 20,
+		Maintenance:  MaintenanceOptions{SoftFill: 0.01, HardFill: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Retain LSN 1 forever: every Truncate is refused, so once the fill
+	// crosses the hard threshold the throttle stays engaged.
+	s.shards[0].e.Log().SetRetain(func() wal.LSN { return 1 })
+	if _, err := s.CreateTable(1, 256); err != nil {
+		t.Fatal(err)
+	}
+	// Fill past the (tiny) hard threshold without tripping PaceWriter:
+	// WithShard engages the throttle on unlock but never waits on it.
+	err = s.WithShard(0, func(st *Store) error {
+		for k := uint64(0); k < 100; k++ {
+			if err := st.Update(func() error {
+				return st.Table(1).Insert(k, shardedRow(k, 256))
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	go func() {
+		s.PaceWriter(0)
+		close(released)
+	}()
+	// Give the writer a moment to actually block on the throttle.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case <-released:
+		t.Fatal("writer was not throttled despite a pinned, over-full log")
+	default:
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-released:
+	case <-time.After(5 * time.Second):
+		t.Fatal("throttled writer still blocked after Close")
+	}
+}

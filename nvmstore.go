@@ -145,6 +145,15 @@ type Options struct {
 	// the shard's virtual clock, not wall time.
 	CommitDelay time.Duration
 
+	// Maintenance tunes incremental checkpointing and paced dirty
+	// write-back (see MaintenanceOptions). The zero value selects every
+	// default. In a ShardedStore a maintenance goroutine per shard runs
+	// the checkpoint rounds off the commit path (a negative
+	// Maintenance.Interval disables the goroutines); in a
+	// single-threaded Store the rounds piggyback on the commit path,
+	// bounded to Maintenance.Batch pages each.
+	Maintenance MaintenanceOptions
+
 	// StrictPersistence makes NVM writes that were never flushed vanish
 	// on CrashRestart — the adversarial model for recovery testing.
 	StrictPersistence bool
@@ -196,6 +205,7 @@ func Open(opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.SetMaintenance(opts.Maintenance)
 	return &Store{e: e, collector: collector, checkpointOnClose: opts.CheckpointOnClose}, nil
 }
 
@@ -319,8 +329,35 @@ func (s *Store) ApplyBatch(ops []func() error) error {
 }
 
 // Checkpoint forces all dirty pages to persistent storage and truncates
-// the write-ahead log.
+// the write-ahead log, synchronously — the full stall the incremental
+// rounds exist to avoid. Shutdown and snapshot paths use it; the commit
+// path never does.
 func (s *Store) Checkpoint() error { return s.e.Checkpoint() }
+
+// MaintenanceOptions tunes incremental checkpointing and paced dirty
+// write-back; see Options.Maintenance and engine.MaintenanceOptions for
+// the field semantics.
+type MaintenanceOptions = engine.MaintenanceOptions
+
+// CkptStats counts incremental-checkpoint activity: bounded write-back
+// rounds, pages written back, and WAL truncations with the bytes they
+// discarded. Reported in Metrics.Ckpt.
+type CkptStats = engine.CkptStats
+
+// CheckpointRound performs one bounded incremental-checkpoint round:
+// write back up to batch dirty pages (batch <= 0 selects the configured
+// Maintenance.Batch) and truncate the WAL once the dirty set is
+// drained. It returns the pages written back and whether the log was
+// truncated. The sharded store's maintenance goroutines call it per
+// shard; single-threaded callers can use it to spread checkpoint work
+// explicitly.
+func (s *Store) CheckpointRound(batch int) (pages int, truncated bool, err error) {
+	return s.e.CheckpointRound(batch)
+}
+
+// LogFill returns the WAL region's fill fraction (0..1) — the signal
+// that drives paced write-back and writer throttling.
+func (s *Store) LogFill() float64 { return s.e.LogFill() }
 
 // WALRecord is one write-ahead-log record as delivered to the
 // replication tap (SetWALShip) — an alias of wal.Record, like
@@ -461,6 +498,14 @@ type Metrics struct {
 	// each physical WAL flush made durable — group commit's amortization
 	// factor (0 when nothing was flushed).
 	OpsPerFlush float64
+	// Ckpt counts incremental-checkpoint activity: write-back rounds,
+	// pages per round, and maintenance truncations with the log bytes
+	// they discarded.
+	Ckpt CkptStats
+	// WriterThrottles counts writers a ShardedStore blocked at the
+	// hard log-fill threshold until background truncation caught up;
+	// always zero on a single Store.
+	WriterThrottles int64
 	// NVMLinesRead counts cache lines read from NVM (including CPU-cache
 	// hits); NVMLinesFlushed counts lines made durable.
 	NVMLinesRead    int64
@@ -525,6 +570,7 @@ func (s *Store) Metrics() Metrics {
 	m := Metrics{
 		Buffer: s.e.Manager().Stats(),
 		Log:    s.e.Log().Stats(),
+		Ckpt:   s.e.CkptStats(),
 	}
 	m.OpsPerFlush = m.Log.OpsPerFlush()
 	nvmStats := s.e.Manager().NVM().Stats()

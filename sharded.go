@@ -36,6 +36,12 @@ type ShardedStore struct {
 	// is disabled (Options.CommitBatch <= 1 after defaulting, or the
 	// NVMDirect architecture, which persists in place per commit).
 	gc []*groupCommitter
+	// maint holds one background maintainer per shard (incremental
+	// checkpointing and paced write-back off the commit path), or nil
+	// when background maintenance is disabled (negative
+	// Options.Maintenance.Interval, or the NVMDirect architecture,
+	// which truncates its log per commit).
+	maint []*maintainer
 }
 
 // DefaultCommitBatch is the per-shard group-commit batch bound used when
@@ -211,6 +217,9 @@ func OpenSharded(n int, opts Options) (*ShardedStore, error) {
 			s.gc[i] = newGroupCommitter(batch, opts.CommitDelay)
 		}
 	}
+	if opts.Maintenance.Interval >= 0 && opts.Architecture != NVMDirect {
+		s.startMaintenance()
+	}
 	return s, nil
 }
 
@@ -236,11 +245,14 @@ func (s *ShardedStore) ShardFor(key uint64) int { return shard.Of(key, len(s.sha
 func (s *ShardedStore) Shard(i int) *Store { return s.shards[i] }
 
 // WithShard runs fn with shard i's store while holding its lock, so it is
-// safe to call from any goroutine.
+// safe to call from any goroutine. Before the lock is released the shard's
+// log fill is inspected (noteShard), so any locked access that grows the
+// log engages the writer throttle or nudges the maintainer as needed.
 func (s *ShardedStore) WithShard(i int, fn func(*Store) error) error {
 	slot := &s.slots[i]
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
+	defer s.noteShard(i)
 	return fn(s.shards[i])
 }
 
@@ -249,6 +261,7 @@ func (s *ShardedStore) onShard(i int, fn func(*Store) error) error {
 	slot := &s.slots[i]
 	slot.mu.Lock()
 	defer slot.mu.Unlock()
+	defer s.noteShard(i)
 	slot.ops++
 	return fn(s.shards[i])
 }
@@ -260,8 +273,11 @@ func (s *ShardedStore) onShard(i int, fn func(*Store) error) error {
 // virtual-clock reading at commit is captured under the same lock (the
 // clock has no synchronization of its own), and the writer then waits on
 // the shard's group committer for a flush covering it. Without group
-// commit it is onShard + Store.Update, flushing per operation.
+// commit it is onShard + Store.Update, flushing per operation. Either
+// way the writer first yields to backpressure (PaceWriter) when the
+// shard's log is near full, so appends never fail with wal.ErrLogFull.
 func (s *ShardedStore) onShardDurable(i int, fn func(st *Store) error) error {
+	s.PaceWriter(i)
 	if s.gc == nil {
 		return s.onShard(i, func(st *Store) error {
 			return st.Update(func() error { return fn(st) })
@@ -275,6 +291,7 @@ func (s *ShardedStore) onShardDurable(i int, fn func(st *Store) error) error {
 	st := s.shards[i]
 	err := st.UpdateNoFlush(func() error { return fn(st) })
 	ns := st.e.Clock().Ns()
+	s.noteShard(i)
 	slot.mu.Unlock()
 	if err != nil {
 		// Rolled back; the abort record flushed immediately. Nothing of
@@ -346,11 +363,13 @@ func (s *ShardedStore) Table(id uint64) *ShardedTable {
 }
 
 // Close shuts every shard down in an orderly fashion under its lock:
-// log tails are flushed (plus a final checkpoint per shard with
-// Options.CheckpointOnClose), so every acknowledged transaction is
-// durable. Close is idempotent; closing a store with a shard inside an
-// open transaction fails, reporting every such shard.
+// background maintenance is stopped first (releasing any throttled
+// writers), then log tails are flushed (plus a final checkpoint per
+// shard with Options.CheckpointOnClose), so every acknowledged
+// transaction is durable. Close is idempotent; closing a store with a
+// shard inside an open transaction fails, reporting every such shard.
 func (s *ShardedStore) Close() error {
+	s.stopMaintenance()
 	var errs []error
 	for i := range s.shards {
 		if err := s.WithShard(i, (*Store).Close); err != nil {
@@ -507,6 +526,10 @@ func (s *ShardedStore) Metrics() Metrics {
 		total.NVMTotalWrites += m.NVMTotalWrites
 		total.SSDPagesRead += m.SSDPagesRead
 		total.SSDPagesWritten += m.SSDPagesWritten
+		total.Ckpt.Rounds += m.Ckpt.Rounds
+		total.Ckpt.Pages += m.Ckpt.Pages
+		total.Ckpt.Truncations += m.Ckpt.Truncations
+		total.Ckpt.TruncatedBytes += m.Ckpt.TruncatedBytes
 		total.Residency.Add(m.Residency)
 		if m.Latency != nil {
 			if total.Latency == nil {
@@ -516,6 +539,7 @@ func (s *ShardedStore) Metrics() Metrics {
 		}
 	}
 	total.OpsPerFlush = total.Log.OpsPerFlush()
+	total.WriterThrottles = s.WriterThrottles()
 	return total
 }
 
@@ -679,6 +703,7 @@ func (t *ShardedTable) PutBatch(keys []uint64, rows [][]byte) error {
 		byShard[sh] = append(byShard[sh], i)
 	}
 	for sh, idxs := range byShard {
+		t.s.PaceWriter(sh)
 		slot := &t.s.slots[sh]
 		slot.mu.Lock()
 		st := t.s.shards[sh]
@@ -695,6 +720,7 @@ func (t *ShardedTable) PutBatch(keys []uint64, rows [][]byte) error {
 			}
 		}
 		_, err = st.FlushWAL()
+		t.s.noteShard(sh)
 		slot.mu.Unlock()
 		if err != nil {
 			errs = append(errs, fmt.Errorf("nvmstore: flush shard %d: %w", sh, err))
