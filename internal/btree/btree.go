@@ -440,6 +440,7 @@ func (t *Tree) UpdateField(key uint64, off int, val []byte) (bool, error) {
 		}
 		payOff = t.leafPayOff(pos)
 	}
+	t.noteLeafWrite(h)
 	dst := h.Write(payOff+off, len(val))
 	if t.logger != nil {
 		if err := t.logger.LogUpdate(t.id, key, off, dst, val); err != nil {
@@ -588,8 +589,12 @@ func (t *Tree) splitChild(parent, child core.Handle, idx int) (uint64, error) {
 	case nodeInner:
 		sep = t.splitInner(child, right)
 	case nodeLeafHash:
+		t.noteLeafWrite(child)
+		t.m.Versions().NoteNewPage(right.PID())
 		sep = t.splitHashLeaf(child, right)
 	default:
+		t.noteLeafWrite(child)
+		t.m.Versions().NoteNewPage(right.PID())
 		sep = t.splitSortedLeaf(child, right)
 	}
 	t.innerInsertSep(parent, idx, sep, right.PID())

@@ -73,6 +73,7 @@ func (t *Tree) BulkLoad(n int, keyAt func(i int) uint64, payloadAt func(i int, d
 		if n-i < batch {
 			batch = n - i
 		}
+		t.noteLeafWrite(h)
 		data := h.WriteAll()
 		if t.layout == LayoutHash {
 			buf := make([]byte, t.payload)

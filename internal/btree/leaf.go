@@ -31,6 +31,7 @@ func (t *Tree) sortedInsert(h core.Handle, key uint64, payload []byte, upsert bo
 		if !upsert {
 			return fmt.Errorf("btree: insert key %d: %w", key, ErrDuplicateKey)
 		}
+		t.noteLeafWrite(h)
 		copy(h.Write(t.leafPayOff(pos), t.payload), payload)
 		return nil
 	}
@@ -39,6 +40,7 @@ func (t *Tree) sortedInsert(h core.Handle, key uint64, payload []byte, upsert bo
 			return err
 		}
 	}
+	t.noteLeafWrite(h)
 	count := nodeCount(h)
 	if count > pos {
 		// Shift the tails of both arrays up by one entry. Write returns
@@ -67,6 +69,7 @@ func (t *Tree) sortedDelete(h core.Handle, key uint64) (bool, error) {
 			return false, err
 		}
 	}
+	t.noteLeafWrite(h)
 	count := nodeCount(h)
 	if pos < count-1 {
 		kb := h.Write(t.leafKeyOff(pos), (count-pos)*8)
@@ -125,6 +128,7 @@ func (t *Tree) hashInsert(h core.Handle, key uint64, payload []byte, upsert bool
 				if !upsert {
 					return fmt.Errorf("btree: insert key %d: %w", key, ErrDuplicateKey)
 				}
+				t.noteLeafWrite(h)
 				copy(h.Write(t.hashPayOff(i), t.payload), payload)
 				return nil
 			}
@@ -142,6 +146,7 @@ func (t *Tree) hashInsert(h core.Handle, key uint64, payload []byte, upsert bool
 			return err
 		}
 	}
+	t.noteLeafWrite(h)
 	wasEmpty := h.Read(t.hashStateOff(target), 1)[0] == slotEmpty
 	h.Write(t.hashStateOff(target), 1)[0] = slotOccupied
 	binary.LittleEndian.PutUint64(h.Write(t.hashKeyOff(target), 8), key)
@@ -165,6 +170,7 @@ func (t *Tree) hashDelete(h core.Handle, key uint64) (bool, error) {
 			return false, err
 		}
 	}
+	t.noteLeafWrite(h)
 	h.Write(t.hashStateOff(pos), 1)[0] = slotTomb
 	setNodeCount(h, nodeCount(h)-1)
 	return true, nil
@@ -179,7 +185,12 @@ type hashEntry struct {
 // hashGather collects the occupied slots of a hash leaf in key order.
 // Scans over hash leaves pay this sorting cost, as the paper notes (§5.5).
 func (t *Tree) hashGather(h core.Handle) []hashEntry {
-	data := h.ReadAll()
+	return t.hashGatherData(h.ReadAll())
+}
+
+// hashGatherData is hashGather over a raw page image (snapshot scans read
+// copy-on-write images without fixing a page).
+func (t *Tree) hashGatherData(data []byte) []hashEntry {
 	entries := make([]hashEntry, 0, nodeCountData(data))
 	for i := 0; i < t.hashCap; i++ {
 		if data[t.hashStateOff(i)] == slotOccupied {

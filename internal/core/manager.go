@@ -258,6 +258,10 @@ type Manager struct {
 	rec     obs.Recorder
 	obsHits int64 // DRAM hits batched for the recorder, see recordHit
 
+	// vers is the multi-version read-path state (per-page version
+	// counters and the copy-on-write version store); see versions.go.
+	vers *Versions
+
 	// writeBarrier, when set, runs before any dirty page content reaches
 	// persistent storage. Engines install the WAL's Flush here so the
 	// write-ahead rule holds under page steal: no modified page is ever
@@ -290,6 +294,7 @@ func New(cfg Config) (*Manager, error) {
 		nextPID: 1,
 		scratch: make([]byte, PageSize),
 		rec:     cfg.Recorder,
+		vers:    newVersions(),
 	}
 	m.nvmSlots = cfg.NVMBytes / slotSize
 	m.journalOff = cfg.WALBytes + superSize
@@ -956,6 +961,7 @@ func (m *Manager) FreePage(h Handle) {
 	}
 	pid := f.pid
 	m.trace(pid, f.idx, obs.EvFree, obs.TierDRAM, 0)
+	m.vers.Drop(pid)
 	if f.kind == kindDirect {
 		m.clearSlotHeader(f.nvmSlot)
 		f.pins = 0

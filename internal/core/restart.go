@@ -135,6 +135,9 @@ func (m *Manager) CrashRestart() error {
 
 // reopen resets all volatile state and rebuilds the mapping table.
 func (m *Manager) reopen() error {
+	// Invalidate lock-free readers and drop version state before any page
+	// content can be rewritten outside the version protocol.
+	m.vers.Reset()
 	m.table = make(map[PageID]location)
 	m.frames = m.frames[:0]
 	m.freeFrames = m.freeFrames[:0]

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the multi-version read path: per-page version
+// stamps plus copy-on-write leaf images, so read transactions can see a
+// stable snapshot while writers keep modifying the tree.
+//
+// The design splits state along the synchronization boundary of the
+// sharded driver:
+//
+//   - Per-page version counters are atomics in a sync.Map, so optimistic
+//     readers on other goroutines can validate a cached row against the
+//     current page version without taking the shard lock. Writers bump a
+//     page's counter (under the shard lock) *before* modifying the first
+//     byte, which makes "counter unchanged" imply "bytes unchanged".
+//   - Everything else — the version store of copy-on-write images, the
+//     active-snapshot registry, the transaction stamp — follows the
+//     Manager's single-threaded contract and is only touched while the
+//     owning engine is quiescent (under the shard lock in the sharded
+//     driver).
+//
+// Stamps are per-engine transaction sequence numbers: Engine.Begin
+// advances the stamp, and every page modified by a transaction carries
+// the transaction's stamp as its version. A snapshot created between
+// transactions captures the current stamp S; a page whose version is
+// <= S still shows its content as of S, and the first post-snapshot
+// modification saves a copy of the committed image (tagged with the old
+// version) into the version store before bumping. Rolled-back
+// transactions are safe by construction: their mid-flight images carry
+// the transaction's own stamp, which is greater than every active
+// snapshot's, so they are neither saved as snapshot-visible nor served.
+
+// VersionStats counts read-path and version-store events. Cumulative
+// counters survive restarts; Live and ActiveSnapshots reflect current
+// state.
+type VersionStats struct {
+	Saved           int64  // copy-on-write images saved
+	Reclaimed       int64  // images reclaimed after their snapshots closed
+	Live            int64  // images currently held in the version store
+	Served          int64  // leaf images served to snapshot readers
+	ChainMax        int64  // longest per-page version chain observed
+	ActiveSnapshots int64  // snapshots currently pinning versions
+	Stamp           uint64 // current transaction stamp
+}
+
+// pageVersion is one saved copy-on-write image: the page content that was
+// current while the page's version counter read ver.
+type pageVersion struct {
+	ver   uint64
+	image []byte
+}
+
+// Versions tracks per-page version counters and the copy-on-write version
+// store for one Manager. Counter and epoch reads are safe from any
+// goroutine; all other methods follow the Manager's single-threaded
+// contract (hold the shard lock in the sharded driver).
+type Versions struct {
+	// counters maps PageID -> *atomic.Uint64. Stored under the engine
+	// lock, loaded lock-free by optimistic readers.
+	counters sync.Map
+	// epoch invalidates lock-free readers wholesale: it advances before
+	// any restart or snapshot load rewrites page content outside the
+	// version protocol.
+	epoch atomic.Uint64
+
+	// Engine-locked state.
+	stamp     uint64
+	nextSnap  uint64
+	snaps     map[uint64]uint64 // snapshot id -> pinned stamp
+	maxActive uint64            // largest pinned stamp (valid when snaps non-empty)
+	store     map[PageID][]pageVersion
+	stats     VersionStats
+}
+
+func newVersions() *Versions {
+	return &Versions{
+		snaps: make(map[uint64]uint64),
+		store: make(map[PageID][]pageVersion),
+	}
+}
+
+// Versions returns the manager's multi-version read-path state.
+func (m *Manager) Versions() *Versions { return m.vers }
+
+// Epoch returns the reader-invalidation epoch. Safe from any goroutine.
+func (v *Versions) Epoch() uint64 { return v.epoch.Load() }
+
+// VerOf returns the current version stamp of a page (0 if never
+// modified since tracking began). Safe from any goroutine.
+func (v *Versions) VerOf(pid PageID) uint64 {
+	if c, ok := v.counters.Load(pid); ok {
+		return c.(*atomic.Uint64).Load()
+	}
+	return 0
+}
+
+func (v *Versions) setVer(pid PageID, ver uint64) {
+	if c, ok := v.counters.Load(pid); ok {
+		c.(*atomic.Uint64).Store(ver)
+		return
+	}
+	c := new(atomic.Uint64)
+	c.Store(ver)
+	v.counters.Store(pid, c)
+}
+
+// BeginTx advances the transaction stamp and returns it. Engines call it
+// once per transaction.
+func (v *Versions) BeginTx() uint64 {
+	v.stamp++
+	v.stats.Stamp = v.stamp
+	return v.stamp
+}
+
+// Stamp returns the current transaction stamp: a snapshot created now
+// sees exactly the transactions with stamps <= Stamp().
+func (v *Versions) Stamp() uint64 { return v.stamp }
+
+// WillModify must be called before the first byte of a page modification.
+// If any active snapshot still needs the page's current content, image()
+// is invoked and the copy saved into the version store; either way the
+// page's version counter advances to the current transaction stamp, which
+// invalidates optimistic readers. Repeated calls within one transaction
+// are cheap no-ops.
+func (v *Versions) WillModify(pid PageID, image func() []byte) {
+	cur := v.VerOf(pid)
+	if v.stamp > 0 && cur == v.stamp {
+		return // this transaction already modified the page
+	}
+	target := v.stamp
+	if target <= cur {
+		// Modification outside a transaction (bulk load, replay): invent
+		// the next stamp so the version still advances.
+		target = cur + 1
+		v.stamp = target
+		v.stats.Stamp = target
+	}
+	if len(v.snaps) > 0 && cur <= v.maxActive {
+		chain := append(v.store[pid], pageVersion{ver: cur, image: append([]byte(nil), image()...)})
+		v.store[pid] = chain
+		v.stats.Saved++
+		v.stats.Live++
+		if n := int64(len(chain)); n > v.stats.ChainMax {
+			v.stats.ChainMax = n
+		}
+	}
+	v.setVer(pid, target)
+}
+
+// NoteNewPage stamps a freshly allocated page with the current
+// transaction stamp without saving an image: a page born after a snapshot
+// must not present its content as part of that snapshot.
+func (v *Versions) NoteNewPage(pid PageID) { v.setVer(pid, v.stamp) }
+
+// BeginSnapshot registers a snapshot pinned at the current stamp and
+// returns its id and the pinned stamp.
+func (v *Versions) BeginSnapshot() (id, asOf uint64) {
+	v.nextSnap++
+	id = v.nextSnap
+	asOf = v.stamp
+	v.snaps[id] = asOf
+	if len(v.snaps) == 1 || asOf > v.maxActive {
+		v.maxActive = asOf
+	}
+	v.stats.ActiveSnapshots = int64(len(v.snaps))
+	return id, asOf
+}
+
+// EndSnapshot unregisters a snapshot and eagerly reclaims the versions
+// nothing pins anymore, returning the number reclaimed. Unknown ids
+// (e.g. after a restart reset the registry) are ignored.
+func (v *Versions) EndSnapshot(id uint64) int64 {
+	if _, ok := v.snaps[id]; !ok {
+		return 0
+	}
+	delete(v.snaps, id)
+	v.maxActive = 0
+	for _, s := range v.snaps {
+		if s > v.maxActive {
+			v.maxActive = s
+		}
+	}
+	v.stats.ActiveSnapshots = int64(len(v.snaps))
+	return v.Reclaim()
+}
+
+// ImageAsOf returns the saved image of a page as of the given stamp, or
+// false if the version store has none (the caller checks VerOf first: a
+// current version <= asOf means the live page itself is the image, and a
+// miss here means the page did not exist at asOf).
+func (v *Versions) ImageAsOf(pid PageID, asOf uint64) ([]byte, bool) {
+	chain := v.store[pid]
+	for i := len(chain) - 1; i >= 0; i-- {
+		if chain[i].ver <= asOf {
+			v.stats.Served++
+			return chain[i].image, true
+		}
+	}
+	return nil, false
+}
+
+// NoteServed counts one live leaf image served to a snapshot reader
+// (saved images count themselves in ImageAsOf).
+func (v *Versions) NoteServed() { v.stats.Served++ }
+
+// Reclaim drops every saved version no active snapshot can still read
+// and returns the number dropped. The background maintainer calls it
+// periodically; EndSnapshot calls it eagerly.
+func (v *Versions) Reclaim() int64 {
+	if len(v.store) == 0 {
+		return 0
+	}
+	var dropped int64
+	if len(v.snaps) == 0 {
+		for pid, chain := range v.store {
+			dropped += int64(len(chain))
+			delete(v.store, pid)
+		}
+	} else {
+		stamps := make([]uint64, 0, len(v.snaps))
+		for _, s := range v.snaps {
+			stamps = append(stamps, s)
+		}
+		sort.Slice(stamps, func(a, b int) bool { return stamps[a] < stamps[b] })
+		for pid, chain := range v.store {
+			kept := make([]pageVersion, 0, len(chain))
+			for i, pv := range chain {
+				// Entry i serves snapshots with stamps in [ver, hi): up to
+				// the next saved version, or up to the live page's version.
+				hi := v.VerOf(pid)
+				if i+1 < len(chain) {
+					hi = chain[i+1].ver
+				}
+				if anyStampIn(stamps, pv.ver, hi) {
+					kept = append(kept, pv)
+				} else {
+					dropped++
+				}
+			}
+			if len(kept) == 0 {
+				delete(v.store, pid)
+			} else {
+				v.store[pid] = kept
+			}
+		}
+	}
+	v.stats.Reclaimed += dropped
+	v.stats.Live -= dropped
+	return dropped
+}
+
+// anyStampIn reports whether the sorted stamps contain one in [lo, hi).
+func anyStampIn(stamps []uint64, lo, hi uint64) bool {
+	i := sort.Search(len(stamps), func(i int) bool { return stamps[i] >= lo })
+	return i < len(stamps) && stamps[i] < hi
+}
+
+// Drop forgets all version state of a freed page.
+func (v *Versions) Drop(pid PageID) {
+	v.counters.Delete(pid)
+	if chain, ok := v.store[pid]; ok {
+		v.stats.Reclaimed += int64(len(chain))
+		v.stats.Live -= int64(len(chain))
+		delete(v.store, pid)
+	}
+}
+
+// Stats returns the read-path counters. Engine-locked like the rest of
+// the non-atomic state.
+func (v *Versions) Stats() VersionStats { return v.stats }
+
+// Reset invalidates all readers and clears version state. Restart and
+// snapshot-load paths call it before rewriting page content outside the
+// version protocol; the epoch advances first so lock-free readers fall
+// back to the locked path before any content can change under them.
+func (v *Versions) Reset() {
+	v.epoch.Add(1)
+	v.counters.Range(func(k, _ any) bool {
+		v.counters.Delete(k)
+		return true
+	})
+	v.store = make(map[PageID][]pageVersion)
+	v.snaps = make(map[uint64]uint64)
+	v.maxActive = 0
+	v.stamp = 0
+	v.stats.Live = 0
+	v.stats.ActiveSnapshots = 0
+	v.stats.Stamp = 0
+}

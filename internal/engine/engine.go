@@ -237,7 +237,16 @@ func (e *Engine) Begin() {
 	e.txActive = true
 	e.curTx = e.log.Begin()
 	e.txOps = e.txOps[:0]
+	// Advance the transaction stamp: pages modified by this transaction
+	// carry it as their version (snapshot reads, optimistic validation).
+	e.m.Versions().BeginTx()
 }
+
+// Versions exposes the buffer manager's multi-version read-path state
+// (per-page version counters, copy-on-write version store, snapshot
+// registry). Same synchronization contract as the engine itself, except
+// for the documented lock-free counter and epoch reads.
+func (e *Engine) Versions() *core.Versions { return e.m.Versions() }
 
 // InTx reports whether a transaction is active.
 func (e *Engine) InTx() bool { return e.txActive }

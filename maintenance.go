@@ -101,6 +101,9 @@ func (mt *maintainer) sweep() {
 		slot := &mt.s.slots[mt.i]
 		slot.mu.Lock()
 		st := mt.s.shards[mt.i]
+		// Reclaim copy-on-write page versions no open snapshot can read
+		// anymore; cheap when the version store is empty.
+		st.e.Versions().Reclaim()
 		var err error
 		if st.e.NeedsMaintenance() {
 			needed = true

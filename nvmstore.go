@@ -523,6 +523,52 @@ type Metrics struct {
 	// was opened with Options.Observe; nil otherwise. Use Latency.Rows()
 	// for percentile summaries.
 	Latency *LatencySnapshot
+	// Read holds the multi-version read-path counters (snapshot reads,
+	// optimistic lookups, copy-on-write version-store occupancy).
+	Read ReadStats
+}
+
+// ReadStats is a snapshot of the multi-version read path: snapshot scans
+// served from stable page images, the optimistic lock-free lookup cache,
+// and the copy-on-write version store that backs both.
+type ReadStats struct {
+	// SnapshotReads counts leaf images served to snapshot scans (from the
+	// live page when its version predates the snapshot, or from the
+	// version store otherwise).
+	SnapshotReads int64
+	// OptimisticHits counts lookups answered from the lock-free read
+	// cache without taking the shard lock; OptimisticRetries counts
+	// validation failures that fell back to the locked path. Both are
+	// zero on a single Store — the cache lives in ShardedStore.
+	OptimisticHits    int64
+	OptimisticRetries int64
+	// VersionsSaved counts copy-on-write page images saved for open
+	// snapshots; VersionsReclaimed counts images freed once no snapshot
+	// could read them; VersionsLive is the current resident image count.
+	VersionsSaved     int64
+	VersionsReclaimed int64
+	VersionsLive      int64
+	// VersionChainMax is the high-water length of any one page's version
+	// chain — a proxy for how far the oldest open snapshot lags writers.
+	VersionChainMax int64
+	// ActiveSnapshots is the number of currently open snapshots pinning
+	// old versions.
+	ActiveSnapshots int64
+}
+
+// add accumulates another shard's read-path counters (gauges sum;
+// VersionChainMax takes the max).
+func (r *ReadStats) add(o ReadStats) {
+	r.SnapshotReads += o.SnapshotReads
+	r.OptimisticHits += o.OptimisticHits
+	r.OptimisticRetries += o.OptimisticRetries
+	r.VersionsSaved += o.VersionsSaved
+	r.VersionsReclaimed += o.VersionsReclaimed
+	r.VersionsLive += o.VersionsLive
+	if o.VersionChainMax > r.VersionChainMax {
+		r.VersionChainMax = o.VersionChainMax
+	}
+	r.ActiveSnapshots += o.ActiveSnapshots
 }
 
 // WearProfile summarizes the per-cache-line write distribution of the
@@ -583,6 +629,15 @@ func (s *Store) Metrics() Metrics {
 		m.SSDPagesWritten = st.PagesWritten
 	}
 	m.Residency = s.e.Manager().Residency()
+	vs := s.e.Versions().Stats()
+	m.Read = ReadStats{
+		SnapshotReads:     vs.Served,
+		VersionsSaved:     vs.Saved,
+		VersionsReclaimed: vs.Reclaimed,
+		VersionsLive:      vs.Live,
+		VersionChainMax:   vs.ChainMax,
+		ActiveSnapshots:   vs.ActiveSnapshots,
+	}
 	if s.collector != nil {
 		// Flush the hit counters batched on the hot path so the
 		// snapshot is complete (see Manager.SyncObs).
@@ -664,6 +719,168 @@ func (t *Table) BulkLoad(n int, keyAt func(i int) uint64, rowAt func(i int, dst 
 		return fmt.Errorf("nvmstore: bulk load inside a transaction")
 	}
 	return t.t.BulkLoad(n, keyAt, rowAt, fill)
+}
+
+// ErrSnapshotInvalid reports that a read snapshot was invalidated by a
+// store restart (crash, clean restart, or state snapshot load) between
+// its creation and use. The caller should open a fresh snapshot.
+var ErrSnapshotInvalid = errors.New("nvmstore: snapshot invalidated by restart")
+
+// StoreSnapshot is a stable read point over one Store: scans through it
+// see exactly the transactions committed before Snapshot was called,
+// while later writers proceed — their first modification of each page
+// saves a copy-on-write image the snapshot reads instead. Close it
+// promptly so those images can be reclaimed.
+type StoreSnapshot struct {
+	s     *Store
+	id    uint64
+	stamp uint64
+	lsn   uint64
+	epoch uint64
+}
+
+// Snapshot opens a stable read point at the current durable frontier. It
+// flushes the WAL first, so LSN() is a commit-LSN watermark: every
+// transaction at or below it is both durable and visible to the
+// snapshot. Must not run inside a transaction.
+func (s *Store) Snapshot() (*StoreSnapshot, error) {
+	if s.e.InTx() {
+		return nil, fmt.Errorf("nvmstore: snapshot inside a transaction")
+	}
+	if _, err := s.e.FlushWAL(); err != nil {
+		return nil, err
+	}
+	v := s.e.Versions()
+	id, stamp := v.BeginSnapshot()
+	return &StoreSnapshot{s: s, id: id, stamp: stamp, lsn: s.DurableLSN(), epoch: v.Epoch()}, nil
+}
+
+// LSN returns the commit-LSN watermark of the snapshot: the durable LSN
+// at creation. Everything committed at or below it is visible.
+func (sn *StoreSnapshot) LSN() uint64 { return sn.lsn }
+
+// Stamp returns the snapshot's transaction stamp (its position in the
+// store's begin-transaction order).
+func (sn *StoreSnapshot) Stamp() uint64 { return sn.stamp }
+
+// Close releases the snapshot, allowing the version store to reclaim
+// page images only it could read. Closing twice is harmless.
+func (sn *StoreSnapshot) Close() {
+	sn.s.e.Versions().EndSnapshot(sn.id)
+}
+
+// ScanAsOf is Scan against a snapshot: it visits the rows visible at
+// sn's stamp, in ascending key order from from, stopping after limit
+// rows (limit <= 0 means all) or when fn returns false. Writers
+// committing after the snapshot are invisible. It returns
+// ErrSnapshotInvalid if the store restarted since sn was taken.
+func (t *Table) ScanAsOf(sn *StoreSnapshot, from uint64, limit int, fieldOff, fieldLen int, fn func(key uint64, field []byte) bool) error {
+	if sn.s != t.s {
+		return fmt.Errorf("nvmstore: snapshot belongs to a different store")
+	}
+	if t.s.e.Versions().Epoch() != sn.epoch {
+		return ErrSnapshotInvalid
+	}
+	n := 0
+	return chainScanAsOf(t.t, sn.stamp, from, fieldOff, fieldLen,
+		func(body func() error) error {
+			if t.s.e.Versions().Epoch() != sn.epoch {
+				return ErrSnapshotInvalid
+			}
+			return body()
+		},
+		func(key uint64, field []byte) bool {
+			if limit > 0 && n >= limit {
+				return false
+			}
+			n++
+			return fn(key, field)
+		})
+}
+
+// readLeafBatch is the number of leaf images a snapshot scan fetches per
+// lock acquisition: enough to amortize the lock round-trip, small enough
+// that writers wait for at most a few page copies.
+const readLeafBatch = 16
+
+// chainScanAsOf walks the leaf sibling chain as of snapshot stamp,
+// emitting entries with key >= from. locked runs its argument with the
+// store's exclusive access held (on a plain Store that is a direct call;
+// the sharded driver wraps the shard lock); only the leaf-image fetches
+// run under it — up to readLeafBatch images per acquisition — and
+// decoding happens on the immutable images outside. The chain walk is
+// sound because splits keep the left sibling in place (so an as-of
+// image's next pointer is the as-of successor) and leaves are never
+// merged or freed while the tree lives.
+func chainScanAsOf(tree *btree.Tree, stamp, from uint64, fieldOff, fieldLen int, locked func(func() error) error, fn func(key uint64, field []byte) bool) error {
+	var imgs [][]byte
+	var next core.PageID
+	first, end := true, false
+	for !end {
+		imgs = imgs[:0]
+		err := locked(func() error {
+			if first {
+				first = false
+				// Start at the leaf currently routing from: if it existed
+				// at the snapshot stamp it covered from then too (leaf
+				// ranges only narrow). A leaf born after the stamp has no
+				// as-of image; fall back to the stable chain head.
+				pid, err := tree.LeafFor(from)
+				if err != nil {
+					return err
+				}
+				img, _, err := tree.LeafImageAsOf(pid, stamp)
+				if err != nil {
+					return err
+				}
+				if img == nil {
+					head, err := tree.HeadLeaf()
+					if err != nil {
+						return err
+					}
+					img, _, err = tree.LeafImageAsOf(head, stamp)
+					if err != nil {
+						return err
+					}
+				}
+				if img == nil {
+					end = true
+					return nil
+				}
+				imgs = append(imgs, img)
+				next = btree.ImageNext(img)
+			}
+			for len(imgs) < readLeafBatch {
+				if next == core.InvalidPageID {
+					end = true
+					return nil
+				}
+				img, _, err := tree.LeafImageAsOf(next, stamp)
+				if err != nil {
+					return err
+				}
+				if img == nil {
+					// A mid-chain successor with no as-of image was born
+					// after the snapshot: the as-of chain ends here.
+					end = true
+					return nil
+				}
+				imgs = append(imgs, img)
+				next = btree.ImageNext(img)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, img := range imgs {
+			more, err := tree.ScanImage(img, from, fieldOff, fieldLen, fn)
+			if err != nil || !more {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // SaveSnapshot checkpoints the store and writes its entire durable state

@@ -6,8 +6,10 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"nvmstore/internal/core"
 	"nvmstore/internal/fault"
 	"nvmstore/internal/obs"
 	"nvmstore/internal/shard"
@@ -42,6 +44,55 @@ type ShardedStore struct {
 	// Options.Maintenance.Interval, or the NVMDirect architecture,
 	// which truncates its log per commit).
 	maint []*maintainer
+	// readers holds one optimistic lookup cache per shard; readHits and
+	// readRetries count lock-free cache hits and validation failures
+	// across all shards (see ShardedTable.Lookup).
+	readers     []readCache
+	readHits    atomic.Int64
+	readRetries atomic.Int64
+}
+
+// readCacheCap bounds one shard's optimistic lookup cache; when full the
+// cache is dropped wholesale rather than evicted piecemeal — hot keys
+// repopulate within one locked lookup each.
+const readCacheCap = 4096
+
+// readCache is one shard's optimistic lookup cache: immutable cached rows
+// validated lock-free against the owning leaf's version counter. Entries
+// are only ever replaced whole (a *cachedRow is never mutated), so a
+// reader that wins validation can copy the row without any lock.
+type readCache struct {
+	rows  sync.Map // uint64 key -> *cachedRow
+	count atomic.Int64
+}
+
+// cachedRow is an immutable row snapshot plus the leaf version it was
+// read under. Valid while the store epoch and the leaf's version counter
+// still match; any leaf mutation (including a split moving the key or a
+// delete) bumps the counter first, invalidating the entry.
+type cachedRow struct {
+	row   []byte
+	pid   core.PageID
+	ver   uint64
+	epoch uint64
+}
+
+// store caches a row, dropping the whole cache when the cap is reached
+// (the count is approximate under concurrency; the cap is a bound on
+// memory, not an exact size).
+func (c *readCache) store(key uint64, r *cachedRow) {
+	if c.count.Load() >= readCacheCap {
+		c.rows.Range(func(k, _ any) bool {
+			c.rows.Delete(k)
+			return true
+		})
+		c.count.Store(0)
+	}
+	if _, loaded := c.rows.LoadOrStore(key, r); loaded {
+		c.rows.Store(key, r)
+	} else {
+		c.count.Add(1)
+	}
 }
 
 // DefaultCommitBatch is the per-shard group-commit batch bound used when
@@ -197,8 +248,9 @@ func OpenSharded(n int, opts Options) (*ShardedStore, error) {
 	per.SSDBytes = splitCapacity(opts.SSDBytes, n)
 	per.WALBytes = splitCapacity(opts.WALBytes, n)
 	s := &ShardedStore{
-		shards: make([]*Store, n),
-		slots:  make([]shardSlot, n),
+		shards:  make([]*Store, n),
+		slots:   make([]shardSlot, n),
+		readers: make([]readCache, n),
 	}
 	for i := range s.shards {
 		st, err := Open(per)
@@ -531,6 +583,7 @@ func (s *ShardedStore) Metrics() Metrics {
 		total.Ckpt.Truncations += m.Ckpt.Truncations
 		total.Ckpt.TruncatedBytes += m.Ckpt.TruncatedBytes
 		total.Residency.Add(m.Residency)
+		total.Read.add(m.Read)
 		if m.Latency != nil {
 			if total.Latency == nil {
 				total.Latency = &LatencySnapshot{}
@@ -540,6 +593,8 @@ func (s *ShardedStore) Metrics() Metrics {
 	}
 	total.OpsPerFlush = total.Log.OpsPerFlush()
 	total.WriterThrottles = s.WriterThrottles()
+	total.Read.OptimisticHits = s.readHits.Load()
+	total.Read.OptimisticRetries = s.readRetries.Load()
 	return total
 }
 
@@ -730,19 +785,61 @@ func (t *ShardedTable) PutBatch(keys []uint64, rows [][]byte) error {
 }
 
 // Lookup copies the row for key into buf and reports whether it exists.
+//
+// The fast path is optimistic and lock-free: a previously cached copy of
+// the row is validated against the owning leaf's version counter (and
+// the store epoch, which restarts bump) without touching the shard lock,
+// so point reads scale independently of writers on the shard. Writers
+// bump the leaf's counter before modifying the first byte, so a
+// validated cache hit is exactly the row a locked lookup would return.
+// On a miss or failed validation the lookup takes the shard lock, reads
+// the row, and re-caches it.
 func (t *ShardedTable) Lookup(key uint64, buf []byte) (bool, error) {
+	sh := t.s.ShardFor(key)
+	cache := &t.s.readers[sh]
+	v := t.s.shards[sh].e.Versions()
+	if e, ok := cache.rows.Load(key); ok {
+		c := e.(*cachedRow)
+		// Seqlock-style validation: if both epoch reads agree, no restart
+		// ran in between, so the version counter read reflects live
+		// pre-restart state; if the version also matches, the leaf is
+		// byte-identical to when the row was cached.
+		e1 := v.Epoch()
+		if e1 == c.epoch && v.VerOf(c.pid) == c.ver && v.Epoch() == e1 {
+			copy(buf, c.row)
+			t.s.readHits.Add(1)
+			return true, nil
+		}
+		t.s.readRetries.Add(1)
+	}
 	var found bool
-	err := t.s.onShard(t.s.ShardFor(key), func(st *Store) error {
+	var pid core.PageID
+	var ver, epoch uint64
+	err := t.s.onShard(sh, func(st *Store) error {
 		tab, err := t.shardTable(st)
 		if err != nil {
 			return err
 		}
 		return st.Update(func() error {
 			var err error
-			found, err = tab.Lookup(key, buf)
+			found, pid, err = tab.t.LookupWithPage(key, buf)
+			if err == nil && found {
+				// Version and epoch are stable under the shard lock
+				// (restarts run under it too).
+				ver = v.VerOf(pid)
+				epoch = v.Epoch()
+			}
 			return err
 		})
 	})
+	if err == nil && found {
+		cache.store(key, &cachedRow{
+			row:   append([]byte(nil), buf[:t.rowSize]...),
+			pid:   pid,
+			ver:   ver,
+			epoch: epoch,
+		})
+	}
 	return found, err
 }
 
@@ -816,6 +913,134 @@ func (t *ShardedTable) Scan(from uint64, limit int, fieldOff, fieldLen int, fn f
 					return true
 				})
 			})
+		})
+		if err != nil {
+			return err
+		}
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a].key < all[b].key })
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+	for _, e := range all {
+		if !fn(e.key, e.field) {
+			break
+		}
+	}
+	return nil
+}
+
+// Snapshot is a stable read point over every shard of a ShardedStore:
+// scans through it see, per shard, exactly the transactions committed
+// before it was taken, while writers on all shards keep committing.
+// Close it promptly so the shards can reclaim the copy-on-write page
+// images the snapshot pins.
+type Snapshot struct {
+	s     *ShardedStore
+	snaps []*StoreSnapshot
+	once  sync.Once
+}
+
+// Snapshot opens a stable read point across all shards. Each shard's
+// point is taken under its lock at the shard's durable frontier (the WAL
+// is flushed first), so per shard the snapshot is a commit-LSN prefix;
+// shards are snapshotted one after another, so the points of different
+// shards are close but not a single global instant — the same contract a
+// scan over hash-partitioned shards always had.
+func (s *ShardedStore) Snapshot() (*Snapshot, error) {
+	sn := &Snapshot{s: s, snaps: make([]*StoreSnapshot, len(s.shards))}
+	for i := range s.shards {
+		err := s.WithShard(i, func(st *Store) error {
+			var err error
+			sn.snaps[i], err = st.Snapshot()
+			return err
+		})
+		if err != nil {
+			sn.Close()
+			return nil, fmt.Errorf("nvmstore: snapshot shard %d: %w", i, err)
+		}
+	}
+	return sn, nil
+}
+
+// Close releases the snapshot on every shard, unpinning old page
+// versions for reclamation by the background maintainer (or eagerly, on
+// the spot, when no other snapshot needs them). Closing twice is
+// harmless.
+func (sn *Snapshot) Close() {
+	sn.once.Do(func() {
+		for i, ss := range sn.snaps {
+			if ss == nil {
+				continue
+			}
+			ss := ss
+			_ = sn.s.WithShard(i, func(*Store) error {
+				ss.Close()
+				return nil
+			})
+		}
+	})
+}
+
+// LSNs returns the per-shard commit-LSN watermarks of the snapshot:
+// everything committed at or below LSNs()[i] on shard i is visible.
+func (sn *Snapshot) LSNs() []uint64 {
+	lsns := make([]uint64, len(sn.snaps))
+	for i, ss := range sn.snaps {
+		if ss != nil {
+			lsns[i] = ss.LSN()
+		}
+	}
+	return lsns
+}
+
+// ScanSnapshot is Scan against a snapshot: it visits the rows visible at
+// sn, in ascending global key order from from, stopping after limit rows
+// (limit <= 0 means all) or when fn returns false. Unlike Scan, which
+// holds each shard's lock for that shard's whole range, a snapshot scan
+// takes a shard's lock only to fetch one leaf image at a time and
+// decodes entries outside it, so shard workers keep committing while the
+// scan runs — writers committing after the snapshot are simply
+// invisible to it. It returns ErrSnapshotInvalid if any scanned shard
+// restarted since the snapshot was taken.
+func (t *ShardedTable) ScanSnapshot(sn *Snapshot, from uint64, limit int, fieldOff, fieldLen int, fn func(key uint64, field []byte) bool) error {
+	if sn.s != t.s {
+		return fmt.Errorf("nvmstore: snapshot belongs to a different store")
+	}
+	type entry struct {
+		key   uint64
+		field []byte
+	}
+	var all []entry
+	for i := range t.s.shards {
+		st := t.s.shards[i]
+		ss := sn.snaps[i]
+		slot := &t.s.slots[i]
+		// Readers take the bare shard lock: they are not routed
+		// operations (no ops count) and must not engage the writer
+		// throttle or maintainer nudge on their own behalf.
+		locked := func(body func() error) error {
+			slot.mu.Lock()
+			defer slot.mu.Unlock()
+			if st.e.Versions().Epoch() != ss.epoch {
+				return ErrSnapshotInvalid
+			}
+			return body()
+		}
+		var tab *Table
+		if err := locked(func() error {
+			var err error
+			tab, err = t.shardTable(st)
+			return err
+		}); err != nil {
+			return err
+		}
+		got := 0
+		err := chainScanAsOf(tab.t, ss.stamp, from, fieldOff, fieldLen, locked, func(key uint64, field []byte) bool {
+			// Image slices are immutable, so no per-entry copy is needed.
+			all = append(all, entry{key, field})
+			got++
+			return limit <= 0 || got < limit
 		})
 		if err != nil {
 			return err

@@ -1,0 +1,337 @@
+package nvmstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// snapRow builds a row whose first 8 bytes carry a little-endian
+// generation stamp, so a scan can tell which version of a key it saw.
+func snapRow(key, gen uint64, size int) []byte {
+	row := make([]byte, size)
+	binary.LittleEndian.PutUint64(row, gen)
+	for i := 8; i < size; i++ {
+		row[i] = byte(key) + byte(gen) + byte(i)
+	}
+	return row
+}
+
+// TestSnapshotFrozenPrefix opens a snapshot, then updates every row and
+// inserts new keys behind it. The snapshot scan must keep returning the
+// pre-snapshot generation for every original key, must never surface the
+// born-after keys, and two scans of the same snapshot must be identical.
+func TestSnapshotFrozenPrefix(t *testing.T) {
+	s := openShardedStore(t, 2)
+	defer s.Close()
+	table, err := s.CreateTable(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 600
+	for k := uint64(0); k < rows; k++ {
+		if err := table.Insert(k, snapRow(k, 1, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+	for _, lsn := range sn.LSNs() {
+		if lsn == 0 {
+			t.Fatal("snapshot pinned a zero commit LSN")
+		}
+	}
+
+	// Mutate everything behind the snapshot: bump every original row to
+	// generation 2 and insert a tail of born-after keys.
+	for k := uint64(0); k < rows; k++ {
+		if err := table.Put(k, snapRow(k, 2, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := uint64(rows); k < rows+200; k++ {
+		if err := table.Insert(k, snapRow(k, 2, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	scan := func() map[uint64]uint64 {
+		got := make(map[uint64]uint64, rows)
+		err := table.ScanSnapshot(sn, 0, 0, 0, 64, func(k uint64, row []byte) bool {
+			got[k] = binary.LittleEndian.Uint64(row)
+			return true
+		})
+		if err != nil {
+			t.Fatalf("snapshot scan: %v", err)
+		}
+		return got
+	}
+	first := scan()
+	if len(first) != rows {
+		t.Fatalf("snapshot scan saw %d keys, want %d (born-after keys must be invisible)", len(first), rows)
+	}
+	for k, gen := range first {
+		if k >= rows {
+			t.Fatalf("snapshot scan surfaced born-after key %d", k)
+		}
+		if gen != 1 {
+			t.Fatalf("key %d: snapshot saw generation %d, want the pre-snapshot generation 1", k, gen)
+		}
+	}
+	second := scan()
+	if len(second) != len(first) {
+		t.Fatalf("repeated scans of one snapshot disagree: %d vs %d keys", len(second), len(first))
+	}
+	// The live table meanwhile serves the new world.
+	buf := make([]byte, 64)
+	if found, err := table.Lookup(5, buf); err != nil || !found {
+		t.Fatalf("live lookup: found=%v err=%v", found, err)
+	}
+	if gen := binary.LittleEndian.Uint64(buf); gen != 2 {
+		t.Fatalf("live read saw generation %d, want 2", gen)
+	}
+}
+
+// TestSnapshotConcurrentWithWritersAndMaintainer races snapshot scans
+// against writer goroutines and the background maintainer. Run under
+// -race this checks the whole read path's locking discipline; the
+// assertions check that each scan sees a self-consistent frozen prefix
+// (every original key exactly once, at some single observed generation
+// per key never newer than the moment the scan finished) and that all
+// saved versions are reclaimed once the snapshots close.
+func TestSnapshotConcurrentWithWritersAndMaintainer(t *testing.T) {
+	s := openMaintStore(t, 2, MaintenanceOptions{Interval: time.Millisecond, SoftFill: 0.02, HardFill: 0.5})
+	table, err := s.CreateTable(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 400
+	for k := uint64(0); k < rows; k++ {
+		if err := table.Insert(k, snapRow(k, 1, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			gen := uint64(2)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for k := uint64(w); k < rows; k += 2 {
+					if err := table.Put(k, snapRow(k, gen, 64)); err != nil {
+						t.Errorf("update %d: %v", k, err)
+						return
+					}
+				}
+				gen++
+			}
+		}(w)
+	}
+
+	for i := 0; i < 20; i++ {
+		sn, err := s.Snapshot()
+		if err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		// A write behind the open snapshot deterministically forces at
+		// least one copy-on-write image, whatever the goroutine timing.
+		if err := table.Put(uint64(i), snapRow(uint64(i), 100+uint64(i), 64)); err != nil {
+			t.Fatalf("put behind snapshot %d: %v", i, err)
+		}
+		seen := make(map[uint64]uint64, rows)
+		err = table.ScanSnapshot(sn, 0, 0, 0, 64, func(k uint64, row []byte) bool {
+			if _, dup := seen[k]; dup {
+				t.Errorf("snapshot %d: key %d visited twice", i, k)
+			}
+			seen[k] = binary.LittleEndian.Uint64(row)
+			return true
+		})
+		sn.Close()
+		if err != nil {
+			t.Fatalf("snapshot scan %d: %v", i, err)
+		}
+		if len(seen) != rows {
+			t.Fatalf("snapshot %d saw %d keys, want %d", i, len(seen), rows)
+		}
+		for k, gen := range seen {
+			if gen < 1 {
+				t.Fatalf("snapshot %d: key %d has unwritten generation %d", i, k, gen)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	m := s.Metrics()
+	if m.Read.SnapshotReads == 0 {
+		t.Fatal("no snapshot reads counted")
+	}
+	if m.Read.VersionsSaved == 0 {
+		t.Fatal("writers behind open snapshots saved no copy-on-write images")
+	}
+	if m.Read.VersionsLive != 0 {
+		t.Fatalf("%d versions still live after every snapshot closed (saved %d, reclaimed %d)",
+			m.Read.VersionsLive, m.Read.VersionsSaved, m.Read.VersionsReclaimed)
+	}
+	if m.Read.ActiveSnapshots != 0 {
+		t.Fatalf("%d snapshots still registered as active", m.Read.ActiveSnapshots)
+	}
+}
+
+// TestSnapshotWritersNotBlockedByScan parks a snapshot scan in the
+// middle of its callback and proves writers still commit: the scan holds
+// no shard lock while the caller consumes rows, so a slow reader cannot
+// throttle the write path.
+func TestSnapshotWritersNotBlockedByScan(t *testing.T) {
+	s := openShardedStore(t, 2)
+	defer s.Close()
+	table, err := s.CreateTable(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 300
+	for k := uint64(0); k < rows; k++ {
+		if err := table.Insert(k, snapRow(k, 1, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+
+	paused := make(chan struct{})  // closed once the scan reaches its first row
+	release := make(chan struct{}) // closed once the writes below committed
+	done := make(chan error, 1)
+	go func() {
+		n := 0
+		done <- table.ScanSnapshot(sn, 0, 0, 0, 64, func(uint64, []byte) bool {
+			if n == 0 {
+				close(paused)
+				<-release
+			}
+			n++
+			return true
+		})
+	}()
+	<-paused
+	// The scan is mid-flight and parked. Every write must still commit
+	// promptly; a deadlock here trips the test timeout.
+	for k := uint64(0); k < rows; k++ {
+		if err := table.Put(k, snapRow(k, 9, 64)); err != nil {
+			t.Fatalf("update %d while scan parked: %v", k, err)
+		}
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("parked scan failed: %v", err)
+	}
+}
+
+// TestOptimisticLookupRetry is the regression test for the seqlock-style
+// point-read fast path: a cached read must be invalidated by any write
+// to its page, so a Lookup after an Update can never serve the stale
+// cached row.
+func TestOptimisticLookupRetry(t *testing.T) {
+	s := openShardedStore(t, 2)
+	defer s.Close()
+	table, err := s.CreateTable(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 128
+	for k := uint64(0); k < rows; k++ {
+		if err := table.Insert(k, snapRow(k, 1, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]byte, 64)
+	// First lookup fills the read cache, the second must hit it.
+	for i := 0; i < 2; i++ {
+		if found, err := table.Lookup(7, buf); err != nil || !found {
+			t.Fatalf("lookup: found=%v err=%v", found, err)
+		}
+	}
+	if hits := s.Metrics().Read.OptimisticHits; hits == 0 {
+		t.Fatal("repeated lookup of an untouched key did not hit the optimistic cache")
+	}
+	if !bytes.Equal(buf, snapRow(7, 1, 64)) {
+		t.Fatal("cached row content mismatch")
+	}
+	// Any write to the page bumps its version; the stale cache entry
+	// must fail validation and the locked path must return the new row.
+	if err := table.Put(7, snapRow(7, 2, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if found, err := table.Lookup(7, buf); err != nil || !found {
+		t.Fatalf("lookup after update: found=%v err=%v", found, err)
+	}
+	if !bytes.Equal(buf, snapRow(7, 2, 64)) {
+		t.Fatal("optimistic fast path served a stale row after an update")
+	}
+	if retries := s.Metrics().Read.OptimisticRetries; retries == 0 {
+		t.Fatal("stale cache entry did not count an optimistic retry")
+	}
+}
+
+// TestSnapshotInvalidatedByRestart proves a crash-restart fences open
+// snapshots: the version store's epoch bump makes every subsequent
+// ScanSnapshot on the old handle fail with ErrSnapshotInvalid instead of
+// silently mixing pre- and post-recovery images.
+func TestSnapshotInvalidatedByRestart(t *testing.T) {
+	s := openShardedStore(t, 2)
+	defer s.Close()
+	table, err := s.CreateTable(1, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 200; k++ {
+		if err := table.Insert(k, snapRow(k, 1, 64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn.Close()
+	if _, err := s.CrashRestart(); err != nil {
+		t.Fatal(err)
+	}
+	err = table.ScanSnapshot(sn, 0, 0, 0, 64, func(uint64, []byte) bool { return true })
+	if !errors.Is(err, ErrSnapshotInvalid) {
+		t.Fatalf("scan on a pre-crash snapshot returned %v, want ErrSnapshotInvalid", err)
+	}
+	// The store itself recovered: fresh snapshots work.
+	sn2, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sn2.Close()
+	seen := 0
+	if err := table.ScanSnapshot(sn2, 0, 0, 0, 64, func(uint64, []byte) bool {
+		seen++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 200 {
+		t.Fatalf("post-recovery snapshot saw %d rows, want 200", seen)
+	}
+}
